@@ -1,0 +1,53 @@
+package dex
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestBarrierCostProbe(t *testing.T) {
+	if os.Getenv("DEX_PROBE") == "" {
+		t.Skip("set DEX_PROBE=1")
+	}
+	for _, nodes := range []int{1, 2, 8} {
+		c := NewCluster(nodes)
+		threads := 8 * nodes
+		_, err := c.Run(func(main *Thread) error {
+			bar, err := NewBarrier(main, threads)
+			if err != nil {
+				return err
+			}
+			var ws []*Thread
+			var total time.Duration
+			for i := 0; i < threads; i++ {
+				i := i
+				w, _ := main.Spawn(func(w *Thread) error {
+					if err := w.Migrate(i * nodes / threads); err != nil {
+						return err
+					}
+					start := w.Now()
+					for k := 0; k < 10; k++ {
+						if err := bar.Wait(w); err != nil {
+							return err
+						}
+					}
+					if i == 0 {
+						total = w.Now() - start
+					}
+					return w.MigrateBack()
+				})
+				ws = append(ws, w)
+			}
+			for _, w := range ws {
+				main.Join(w)
+			}
+			fmt.Printf("nodes=%d threads=%d per-barrier=%v\n", nodes, threads, total/10)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

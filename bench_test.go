@@ -1,0 +1,224 @@
+package dex_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§V), plus ablations and library micro-benchmarks.
+//
+// Each experiment benchmark regenerates its artifact at test scale and
+// reports the headline virtual-time quantities as custom metrics (the
+// paper's numbers are the targets; ns/op measures the simulator itself).
+// Run the full-scale artifacts with: go run ./cmd/dexbench -size full
+//
+//	go test -bench=. -benchmem
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"dex"
+	"dex/internal/apps"
+	"dex/internal/exper"
+)
+
+func benchExperiment(b *testing.B, id string) exper.Table {
+	e, ok := exper.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var table exper.Table
+	for i := 0; i < b.N; i++ {
+		table = e.Run(apps.SizeTest)
+	}
+	return table
+}
+
+// BenchmarkE0ScaleUpInherent regenerates the §V-B inherent-scalability
+// check (completion time vs threads on one scale-up node).
+func BenchmarkE0ScaleUpInherent(b *testing.B) {
+	benchExperiment(b, "scaleup")
+}
+
+// BenchmarkE1Table1Complexity regenerates Table I (adaptation complexity).
+func BenchmarkE1Table1Complexity(b *testing.B) {
+	benchExperiment(b, "table1")
+}
+
+// BenchmarkE2Figure2Scalability regenerates Figure 2 (application
+// scalability, 1-8 nodes, initial vs optimized) at test scale.
+func BenchmarkE2Figure2Scalability(b *testing.B) {
+	benchExperiment(b, "figure2")
+}
+
+// BenchmarkE3Table2Migration regenerates Table II and reports the measured
+// migration latencies (paper: 812.1 / 236.6 / 24.7 µs).
+func BenchmarkE3Table2Migration(b *testing.B) {
+	table := benchExperiment(b, "table2")
+	report := func(metric, cell string) {
+		if v, err := strconv.ParseFloat(cell, 64); err == nil {
+			b.ReportMetric(v, metric)
+		}
+	}
+	report("first-fwd-us", table.Rows[0][3])
+	report("warm-fwd-us", table.Rows[1][3])
+	report("backward-us", table.Rows[len(table.Rows)-1][3])
+}
+
+// BenchmarkE4Figure3Breakdown regenerates Figure 3 (migration latency
+// breakdown at the remote; paper: 620 µs of remote-worker setup).
+func BenchmarkE4Figure3Breakdown(b *testing.B) {
+	table := benchExperiment(b, "figure3")
+	if v, err := strconv.ParseFloat(table.Rows[0][2], 64); err == nil {
+		b.ReportMetric(v, "worker-setup-us")
+	}
+}
+
+// BenchmarkE5FaultPingPong regenerates the §V-D fault-handling
+// microbenchmark (bimodal latency; paper: 19.3 µs fast, 158.8 µs retried).
+func BenchmarkE5FaultPingPong(b *testing.B) {
+	benchExperiment(b, "faults")
+}
+
+// Ablation benchmarks for the design decisions DESIGN.md calls out.
+
+func BenchmarkAblationCoalescing(b *testing.B) { benchExperiment(b, "ablation-coalescing") }
+func BenchmarkAblationRDMA(b *testing.B)       { benchExperiment(b, "ablation-rdma") }
+func BenchmarkAblationVMA(b *testing.B)        { benchExperiment(b, "ablation-vma") }
+func BenchmarkAblationUpgrade(b *testing.B)    { benchExperiment(b, "ablation-upgrade") }
+func BenchmarkAblationAlignment(b *testing.B)  { benchExperiment(b, "ablation-alignment") }
+
+// Library micro-benchmarks: wall-clock cost of simulating the core
+// mechanisms (ns/op is simulator speed; the *-us metrics are virtual time).
+
+// BenchmarkMigrationRoundTrip measures a warm migrate-out/migrate-back pair.
+func BenchmarkMigrationRoundTrip(b *testing.B) {
+	cluster := dex.NewCluster(2)
+	var virtual time.Duration
+	_, err := cluster.Run(func(t *dex.Thread) error {
+		// Warm up the worker.
+		if err := t.Migrate(1); err != nil {
+			return err
+		}
+		if err := t.MigrateBack(); err != nil {
+			return err
+		}
+		b.ResetTimer()
+		start := t.Now()
+		for i := 0; i < b.N; i++ {
+			if err := t.Migrate(1); err != nil {
+				return err
+			}
+			if err := t.MigrateBack(); err != nil {
+				return err
+			}
+		}
+		virtual = t.Now() - start
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(virtual.Nanoseconds())/float64(b.N)/1000, "virtual-us/op")
+}
+
+// BenchmarkRemotePageFault measures cold remote read faults (one page
+// each), the paper's 19.3 µs path.
+func BenchmarkRemotePageFault(b *testing.B) {
+	cluster := dex.NewCluster(2)
+	var virtual time.Duration
+	_, err := cluster.Run(func(t *dex.Thread) error {
+		addr, err := t.Mmap(uint64(b.N+1)*dex.PageSize, dex.ProtRead|dex.ProtWrite, "bench")
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, dex.PageSize)
+		for i := 0; i <= b.N; i++ {
+			if err := t.Write(addr+dex.Addr(i)*dex.PageSize, buf); err != nil {
+				return err
+			}
+		}
+		if err := t.Migrate(1); err != nil {
+			return err
+		}
+		b.ResetTimer()
+		start := t.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := t.ReadUint64(addr + dex.Addr(i)*dex.PageSize); err != nil {
+				return err
+			}
+		}
+		virtual = t.Now() - start
+		return t.MigrateBack()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(virtual.Nanoseconds())/float64(b.N)/1000, "virtual-us/fault")
+}
+
+// BenchmarkLocalAccess measures the fast path: reads of pages the node
+// already owns.
+func BenchmarkLocalAccess(b *testing.B) {
+	cluster := dex.NewCluster(1)
+	_, err := cluster.Run(func(t *dex.Thread) error {
+		addr, err := t.Mmap(64*dex.PageSize, dex.ProtRead|dex.ProtWrite, "local")
+		if err != nil {
+			return err
+		}
+		if err := t.Write(addr, make([]byte, 64*dex.PageSize)); err != nil {
+			return err
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := t.ReadUint64(addr + dex.Addr(i%64)*dex.PageSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFutexWakeRoundTrip measures a cross-node futex wait/wake pair.
+func BenchmarkFutexWakeRoundTrip(b *testing.B) {
+	cluster := dex.NewCluster(2)
+	_, err := cluster.Run(func(t *dex.Thread) error {
+		addr, err := t.Mmap(dex.PageSize, dex.ProtRead|dex.ProtWrite, "futex")
+		if err != nil {
+			return err
+		}
+		w, err := t.Spawn(func(w *dex.Thread) error {
+			if err := w.Migrate(1); err != nil {
+				return err
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := w.FutexWait(addr, 0); err != nil {
+					return err
+				}
+			}
+			return w.MigrateBack()
+		})
+		if err != nil {
+			return err
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for {
+				n, err := t.FutexWake(addr, 1)
+				if err != nil {
+					return err
+				}
+				if n == 1 {
+					break
+				}
+				t.Compute(5 * time.Microsecond)
+			}
+		}
+		t.Join(w)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Command dexbench regenerates the paper's evaluation artifacts: every
+// table and figure of §V plus the design ablations. Each experiment prints
+// the same rows/series the paper reports, with the paper's numbers
+// alongside where applicable.
+//
+// Usage:
+//
+//	dexbench                  # run everything at test scale
+//	dexbench -size full       # full scale (regenerates EXPERIMENTS.md data)
+//	dexbench -exp figure2     # one experiment
+//	dexbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dex/internal/apps"
+	"dex/internal/exper"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dexbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dexbench", flag.ContinueOnError)
+	var (
+		expID = fs.String("exp", "", "run a single experiment (see -list)")
+		size  = fs.String("size", "test", "test | full (workload scale for application experiments)")
+		list  = fs.Bool("list", false, "list experiments")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range exper.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Desc)
+		}
+		return nil
+	}
+	sz := apps.SizeTest
+	if *size == "full" {
+		sz = apps.SizeFull
+	}
+	exps := exper.All()
+	if *expID != "" {
+		e, ok := exper.ByID(*expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *expID)
+		}
+		exps = []exper.Experiment{e}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		table := e.Run(sz)
+		fmt.Println(table.Render())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestBenchList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

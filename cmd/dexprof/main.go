@@ -1,0 +1,90 @@
+// Command dexprof runs an application under the DeX page-fault profiler
+// (§IV-A of the paper) and prints the post-processed analyses: the program
+// objects and code sites causing the most consistency faults, the most
+// contended pages, fault frequency over time, and per-thread access
+// patterns — the workflow the paper uses to find and fix false sharing.
+//
+// Usage:
+//
+//	dexprof -app kmn -nodes 4 -variant initial -size full -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dex"
+	"dex/internal/apps"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dexprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dexprof", flag.ContinueOnError)
+	var (
+		appName  = fs.String("app", "", "application to profile")
+		nodes    = fs.Int("nodes", 4, "cluster size")
+		variant  = fs.String("variant", "initial", "baseline | initial | optimized")
+		size     = fs.String("size", "test", "test | full")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		top      = fs.Int("top", 10, "entries per analysis")
+		buckets  = fs.Bool("timeline", false, "print the fault-frequency timeline")
+		affinity = fs.Bool("affinity", false, "print thread-to-data affinity suggestions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, ok := apps.ByName(*appName)
+	if !ok {
+		return fmt.Errorf("unknown application %q", *appName)
+	}
+	cfg := apps.Config{Nodes: *nodes, Seed: *seed}
+	switch *variant {
+	case "baseline":
+		cfg.Variant = apps.Baseline
+	case "initial":
+		cfg.Variant = apps.Initial
+	case "optimized":
+		cfg.Variant = apps.Optimized
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+	if *size == "full" {
+		cfg.Size = apps.SizeFull
+	} else {
+		cfg.Size = apps.SizeTest
+	}
+	trace := dex.NewTrace()
+	cfg.Opts = append(cfg.Opts, dex.WithTrace(trace))
+	res, err := app.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s on %d nodes: %v\n\n", res.App, res.Variant, res.Nodes, res.Elapsed)
+	trace.Report(os.Stdout, *top)
+	if *affinity {
+		fmt.Println("\n--- affinity suggestions (move thread to its data's producer) ---")
+		for _, s := range trace.AffinitySuggestions(8) {
+			fmt.Printf("thread %3d: node %d -> node %d (%d/%d remote reads, %.0f%% local after move)\n",
+				s.Task, s.From, s.To, s.ReadFaults, s.Total, 100*s.Score())
+		}
+	}
+	if *buckets {
+		fmt.Println("\n--- fault frequency over time ---")
+		for _, b := range trace.Timeline(res.Elapsed / 20) {
+			bar := ""
+			for i := 0; i < b.Faults/20; i++ {
+				bar += "#"
+			}
+			fmt.Printf("%12v %6d %s\n", b.Start.Round(10*time.Microsecond), b.Faults, bar)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestProfileRun(t *testing.T) {
+	if err := run([]string{"-app", "grp", "-nodes", "2", "-variant", "initial",
+		"-top", "3", "-affinity", "-timeline"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if err := run([]string{"-app", "nope"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run([]string{"-app", "grp", "-variant", "bogus"}); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Command dexrun executes one of the paper's benchmark applications on a
+// simulated DeX cluster and prints its run report.
+//
+// Usage:
+//
+//	dexrun -app kmn -nodes 8 -variant optimized -size full
+//	dexrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dex/internal/apps"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dexrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dexrun", flag.ContinueOnError)
+	var (
+		appName = fs.String("app", "", "application to run (see -list)")
+		nodes   = fs.Int("nodes", 2, "cluster size")
+		threads = fs.Int("threads", 8, "threads per node")
+		variant = fs.String("variant", "optimized", "baseline | initial | optimized")
+		size    = fs.String("size", "test", "test | full")
+		seed    = fs.Int64("seed", 1, "simulation seed")
+		list    = fs.Bool("list", false, "list available applications")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range apps.All() {
+			fmt.Printf("%-5s %s\n", a.Name, a.Desc)
+		}
+		return nil
+	}
+	app, ok := apps.ByName(*appName)
+	if !ok {
+		return fmt.Errorf("unknown application %q (use -list)", *appName)
+	}
+	cfg := apps.Config{Nodes: *nodes, ThreadsPerNode: *threads, Seed: *seed}
+	switch *variant {
+	case "baseline":
+		cfg.Variant = apps.Baseline
+	case "initial":
+		cfg.Variant = apps.Initial
+	case "optimized":
+		cfg.Variant = apps.Optimized
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+	switch *size {
+	case "test":
+		cfg.Size = apps.SizeTest
+	case "full":
+		cfg.Size = apps.SizeFull
+	default:
+		return fmt.Errorf("unknown size %q", *size)
+	}
+	start := time.Now()
+	res, err := app.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("app:          %s (%s, %d nodes x %d threads)\n", res.App, res.Variant, res.Nodes, res.Threads/maxInt(res.Nodes, 1))
+	fmt.Printf("elapsed:      %v (virtual, region of interest)\n", res.Elapsed)
+	fmt.Printf("wall clock:   %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("result check: %s\n", res.Check)
+	fmt.Printf("migrations:   %d\n", res.Report.Migrations)
+	d := res.Report.DSM
+	fmt.Printf("dsm:          %d reads, %d writes, %d coalesced, %d nacks, %d invalidations, %d upgrades\n",
+		d.ReadFaults, d.WriteFaults, d.FollowerJoins, d.Nacks, d.Invalidations, d.OwnershipGrants)
+	n := res.Report.Net
+	fmt.Printf("fabric:       %d small msgs (%d B), %d page sends (%d B), %d RDMA writes\n",
+		n.SmallSends, n.SmallBytes, n.PageSends, n.PageBytes, n.RDMAWrites)
+	fmt.Printf("delegations:  %d   vma queries: %d\n", res.Report.Delegations, res.Report.VMAQueries)
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunApp(t *testing.T) {
+	if err := run([]string{"-app", "ep", "-nodes", "2", "-variant", "initial", "-size", "test"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-app", "nope"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run([]string{"-app", "ep", "-variant", "bogus"}); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if err := run([]string{"-app", "ep", "-size", "bogus"}); err == nil {
+		t.Fatal("unknown size accepted")
+	}
+}

@@ -1,0 +1,212 @@
+// Package dex is a Go reproduction of DeX ("DeX: Scaling Applications
+// Beyond Machine Boundaries", ICDCS 2020): an execution environment that
+// extends a process beyond a single machine by letting its threads migrate
+// across nodes while transparently sharing one sequentially-consistent
+// address space.
+//
+// The library runs on a deterministic discrete-event cluster simulator: a
+// Cluster models a rack of machines connected by an InfiniBand-like fabric,
+// and every mechanism of the paper — execution-context migration through
+// per-node remote workers, the page-level read-replicate/write-invalidate
+// consistency protocol with leader/follower fault coalescing, futex-based
+// synchronization via work delegation to the origin, on-demand VMA
+// synchronization, and the RDMA messaging layer with send/receive buffer
+// pools and the hybrid RDMA sink — is implemented for real against real
+// bytes in real 4 KB pages, with latencies charged in virtual time using
+// the paper's measured constants.
+//
+// A minimal program:
+//
+//	cluster := dex.NewCluster(4)
+//	report, err := cluster.Run(func(t *dex.Thread) error {
+//		addr, err := t.Mmap(dex.PageSize, dex.ProtRead|dex.ProtWrite, "counter")
+//		if err != nil {
+//			return err
+//		}
+//		w, err := t.Spawn(func(w *dex.Thread) error {
+//			if err := w.Migrate(1); err != nil { // hop to another machine
+//				return err
+//			}
+//			_, err := w.AddUint64(addr, 1) // same memory, different node
+//			return err
+//		})
+//		if err != nil {
+//			return err
+//		}
+//		t.Join(w)
+//		return nil
+//	})
+package dex
+
+import (
+	"fmt"
+	"time"
+
+	"dex/internal/core"
+	"dex/internal/fabric"
+	"dex/internal/mem"
+	"dex/internal/profile"
+)
+
+// Re-exported fundamental types. Thread and Report are defined in the
+// runtime layer; the aliases make the public API self-contained.
+type (
+	// Thread is one execution context of a DeX process. See the methods on
+	// core.Thread: Migrate, Read/Write, Compute, Spawn/Join, futexes.
+	Thread = core.Thread
+	// Process is a running DeX process.
+	Process = core.Process
+	// Report summarizes a process run: elapsed virtual time, protocol and
+	// interconnect counters, migration records.
+	Report = core.Report
+	// MigrationRecord is the phase breakdown of one thread migration.
+	MigrationRecord = core.MigrationRecord
+	// Addr is a virtual address in the shared address space.
+	Addr = mem.Addr
+	// Prot is a memory-protection mask.
+	Prot = mem.Prot
+	// Trace is the page-fault profiler (§IV-A of the paper).
+	Trace = profile.Trace
+)
+
+// PageSize is the consistency granularity (4 KB, as in the paper).
+const PageSize = mem.PageSize
+
+// Protection bits for Mmap and Mprotect.
+const (
+	ProtRead  = mem.ProtRead
+	ProtWrite = mem.ProtWrite
+)
+
+// Errors surfaced by thread operations.
+var (
+	ErrSegfault   = core.ErrSegfault
+	ErrProtection = core.ErrProtection
+	ErrBadNode    = core.ErrBadNode
+)
+
+// NewTrace returns an empty page-fault trace to pass to WithTrace.
+func NewTrace() *Trace { return profile.NewTrace() }
+
+// Option configures a Cluster.
+type Option interface {
+	apply(*core.Params)
+}
+
+type optionFunc func(*core.Params)
+
+func (f optionFunc) apply(p *core.Params) { f(p) }
+
+// WithCoresPerNode sets the core count of every node (default 8, the
+// paper's testbed).
+func WithCoresPerNode(n int) Option {
+	return optionFunc(func(p *core.Params) { p.CoresPerNode = n })
+}
+
+// WithMemBandwidth sets the per-node memory-bus bandwidth in bytes/second.
+func WithMemBandwidth(bytesPerSecond float64) Option {
+	return optionFunc(func(p *core.Params) { p.MemBandwidth = bytesPerSecond })
+}
+
+// WithSeed seeds the deterministic simulation (default 1).
+func WithSeed(seed int64) Option {
+	return optionFunc(func(p *core.Params) { p.Seed = seed })
+}
+
+// WithTrace attaches a page-fault profiler to the cluster.
+func WithTrace(tr *Trace) Option {
+	return optionFunc(func(p *core.Params) { p.Hook = tr.Hook() })
+}
+
+// WithPageTransferMode selects the page-transfer strategy of the messaging
+// layer (§III-E): the default hybrid RDMA sink, per-page dynamic
+// registration, or the VERB-only path.
+func WithPageTransferMode(mode fabric.PageMode) Option {
+	return optionFunc(func(p *core.Params) { p.Fabric.Mode = mode })
+}
+
+// Page-transfer modes for WithPageTransferMode.
+const (
+	HybridSink = fabric.HybridSink
+	PerPageReg = fabric.PerPageReg
+	VerbOnly   = fabric.VerbOnly
+)
+
+// WithRawParams replaces the full low-level parameter set; the experiment
+// harness uses it for ablations. Nodes is still taken from NewCluster.
+func WithRawParams(params core.Params) Option {
+	return optionFunc(func(p *core.Params) {
+		nodes := p.Nodes
+		*p = params
+		p.Nodes = nodes
+		p.Fabric.Nodes = nodes
+	})
+}
+
+// Cluster is a simulated rack of machines running DeX.
+type Cluster struct {
+	machine *core.Machine
+	params  core.Params
+}
+
+// NewCluster creates a cluster of nodes machines (8 cores each by default)
+// connected by a 56 Gbps InfiniBand-like fabric.
+func NewCluster(nodes int, opts ...Option) *Cluster {
+	params := core.DefaultParams(nodes)
+	for _, o := range opts {
+		o.apply(&params)
+	}
+	return &Cluster{machine: core.NewMachine(params), params: params}
+}
+
+// Nodes returns the number of machines in the cluster.
+func (c *Cluster) Nodes() int { return c.machine.Nodes() }
+
+// Machine exposes the underlying runtime for advanced use (experiment
+// harnesses, tests).
+func (c *Cluster) Machine() *core.Machine { return c.machine }
+
+// Start creates a process originating at node 0 whose main thread runs
+// main. Use Wait to run the simulation to completion.
+func (c *Cluster) Start(main func(*Thread) error) *Process {
+	return c.machine.NewProcess(0, main)
+}
+
+// StartAt creates a process originating at the given node.
+func (c *Cluster) StartAt(origin int, main func(*Thread) error) *Process {
+	return c.machine.NewProcess(origin, main)
+}
+
+// Wait runs the simulation until every process finishes and returns the
+// first error (application or simulation).
+func (c *Cluster) Wait() error { return c.machine.Run() }
+
+// Run is the single-process convenience: it starts main at node 0, runs to
+// completion, and returns the process report.
+func (c *Cluster) Run(main func(*Thread) error) (Report, error) {
+	p := c.Start(main)
+	if err := c.Wait(); err != nil {
+		return p.Report(), err
+	}
+	return p.Report(), nil
+}
+
+// LabelTrace wires a trace's address labeler to a process's address space
+// so profiling reports show program-object names. Call it after the run.
+func LabelTrace(tr *Trace, p *Process) {
+	tr.SetLabeler(func(a Addr) string {
+		v, ok := p.AddressSpace().VMAs.Find(a)
+		if !ok {
+			return ""
+		}
+		return v.Label
+	})
+}
+
+// Elapsed returns the current virtual time of the cluster.
+func (c *Cluster) Elapsed() time.Duration { return c.machine.Engine().Now() }
+
+// String describes the cluster configuration.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("dex.Cluster{nodes: %d, cores/node: %d}", c.params.Nodes, c.params.CoresPerNode)
+}

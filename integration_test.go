@@ -1,0 +1,47 @@
+package dex_test
+
+import (
+	"testing"
+
+	"dex/internal/apps"
+)
+
+// TestOddNodeCountsAllApps runs every application at awkward cluster sizes:
+// odd node counts exercise uneven partitions, boundary pages that straddle
+// node assignments, and non-power-of-two thread placement. Each app's
+// internal self-check validates the computed results.
+func TestOddNodeCountsAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	for _, nodes := range []int{3, 5, 7} {
+		for _, app := range apps.All() {
+			for _, v := range []apps.Variant{apps.Initial, apps.Optimized} {
+				res, err := app.Run(apps.Config{Nodes: nodes, Variant: v})
+				if err != nil {
+					t.Fatalf("%s %v on %d nodes: %v", app.Name, v, nodes, err)
+				}
+				if res.Elapsed <= 0 {
+					t.Fatalf("%s %v on %d nodes: empty result", app.Name, v, nodes)
+				}
+			}
+		}
+	}
+}
+
+// TestSingleThreadPerNode runs the apps in the degenerate one-thread-per-
+// node configuration.
+func TestSingleThreadPerNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	for _, app := range apps.All() {
+		res, err := app.Run(apps.Config{Nodes: 4, ThreadsPerNode: 1, Variant: apps.Optimized})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if res.Threads != 4 {
+			t.Fatalf("%s: threads = %d", app.Name, res.Threads)
+		}
+	}
+}

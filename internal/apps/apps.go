@@ -1,0 +1,283 @@
+// Package apps implements the paper's eight benchmark applications (§V) as
+// DeX programs, each in three variants:
+//
+//   - Baseline: the unmodified single-machine program (run on one node).
+//   - Initial: the naive DeX conversion of §V-A — thread-migration calls
+//     inserted at parallel regions, with the false-sharing pathologies the
+//     paper diagnoses deliberately preserved (thread arguments packed on a
+//     shared page, blind global flag/counter updates, unaligned partitions,
+//     parent-stack reads).
+//   - Optimized: the §IV/§V-C version — page-aligned per-thread data,
+//     locally staged updates merged once per phase, read-only globals on
+//     their own replicated pages.
+//
+// Every application computes real results on real data in the shared
+// address space and self-checks against a sequential reference, so the
+// performance experiments double as correctness tests of the whole stack.
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"dex"
+)
+
+// Variant selects the porting stage of an application.
+type Variant int
+
+// Porting stages (see package comment).
+const (
+	Baseline Variant = iota + 1
+	Initial
+	Optimized
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Baseline:
+		return "baseline"
+	case Initial:
+		return "initial"
+	case Optimized:
+		return "optimized"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Size selects the workload scale.
+type Size int
+
+// Workload scales: SizeTest keeps unit tests fast; SizeFull is used by the
+// experiment harness to regenerate the paper's figures.
+const (
+	SizeTest Size = iota + 1
+	SizeFull
+)
+
+// Config parameterizes one application run.
+type Config struct {
+	// Nodes is the cluster size; Baseline runs force it to 1.
+	Nodes int
+	// ThreadsPerNode matches the paper's 8×n-thread configuration.
+	ThreadsPerNode int
+	Variant        Variant
+	Size           Size
+	Seed           int64
+	// Opts are extra cluster options (e.g. dex.WithTrace for profiling).
+	Opts []dex.Option
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.ThreadsPerNode == 0 {
+		cfg.ThreadsPerNode = 8
+	}
+	if cfg.Variant == 0 {
+		cfg.Variant = Optimized
+	}
+	if cfg.Size == 0 {
+		cfg.Size = SizeTest
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Variant == Baseline {
+		cfg.Nodes = 1
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 1
+	}
+	return cfg
+}
+
+func (cfg Config) threads() int { return cfg.ThreadsPerNode * cfg.Nodes }
+
+func (cfg Config) cluster() *dex.Cluster {
+	opts := append([]dex.Option{dex.WithSeed(cfg.Seed)}, cfg.Opts...)
+	return dex.NewCluster(cfg.Nodes, opts...)
+}
+
+// Result is the outcome of one application run.
+type Result struct {
+	App     string
+	Variant Variant
+	Nodes   int
+	Threads int
+	Elapsed time.Duration
+	Report  dex.Report
+	// Check is an application-defined answer digest; equal configurations
+	// must produce equal digests regardless of node count and variant
+	// (within the app's stated tolerance).
+	Check string
+}
+
+// App couples a name with its runner.
+type App struct {
+	Name string
+	Desc string
+	Run  func(cfg Config) (Result, error)
+}
+
+// All returns the eight applications in the paper's order.
+func All() []App {
+	return []App{
+		{Name: "grp", Desc: "string match over a text corpus (Phoenix)", Run: RunGRP},
+		{Name: "kmn", Desc: "k-means clustering (Phoenix)", Run: RunKMN},
+		{Name: "bt", Desc: "NPB BT block-tridiagonal solver (OpenMP, 15 regions)", Run: RunBT},
+		{Name: "ep", Desc: "NPB EP embarrassingly parallel (OpenMP, 1 region)", Run: RunEP},
+		{Name: "ft", Desc: "NPB FT 2-D FFT with all-to-all transposes (OpenMP, 7 regions)", Run: RunFT},
+		{Name: "blk", Desc: "PARSEC blackscholes option pricing (pthreads)", Run: RunBLK},
+		{Name: "bfs", Desc: "Polymer breadth-first search (NUMA-aware)", Run: RunBFS},
+		{Name: "bp", Desc: "Polymer belief propagation (NUMA-aware, memory bound)", Run: RunBP},
+	}
+}
+
+// ByName looks up an application.
+func ByName(name string) (App, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// nodeOf returns the node assignment of worker id: contiguous blocks, as
+// the paper assigns 8 threads per node.
+func nodeOf(id, threads, nodes int) int { return id * nodes / threads }
+
+// workerSet runs body on cfg.threads() worker threads. For non-Baseline
+// variants each worker migrates to its assigned node before body and
+// returns to the origin afterwards — the paper's one-line-in/one-line-out
+// conversion (§V-A). The main thread blocks until all workers finish.
+func workerSet(main *dex.Thread, cfg Config, body func(w *dex.Thread, id int) error) error {
+	threads := cfg.threads()
+	ws := make([]*dex.Thread, 0, threads)
+	for i := 0; i < threads; i++ {
+		id := i
+		node := nodeOf(id, threads, cfg.Nodes)
+		w, err := main.Spawn(func(t *dex.Thread) error {
+			if cfg.Variant != Baseline {
+				if err := t.Migrate(node); err != nil {
+					return err
+				}
+			}
+			if err := body(t, id); err != nil {
+				return err
+			}
+			if cfg.Variant != Baseline {
+				return t.MigrateBack()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		ws = append(ws, w)
+	}
+	for _, w := range ws {
+		main.Join(w)
+	}
+	return nil
+}
+
+// --- bulk data helpers -----------------------------------------------------
+
+func writeFloat64s(t *dex.Thread, addr dex.Addr, vals []float64) error {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return t.Write(addr, buf)
+}
+
+func readFloat64s(t *dex.Thread, addr dex.Addr, n int) ([]float64, error) {
+	buf := make([]byte, 8*n)
+	if err := t.Read(addr, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}
+
+// floatsOf decodes a little-endian byte buffer into float64s.
+func floatsOf(buf []byte) []float64 {
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+func writeUint32s(t *dex.Thread, addr dex.Addr, vals []uint32) error {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	return t.Write(addr, buf)
+}
+
+func readUint32s(t *dex.Thread, addr dex.Addr, n int) ([]uint32, error) {
+	buf := make([]byte, 4*n)
+	if err := t.Read(addr, buf); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return out, nil
+}
+
+func writeUint64s(t *dex.Thread, addr dex.Addr, vals []uint64) error {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	return t.Write(addr, buf)
+}
+
+func readUint64s(t *dex.Thread, addr dex.Addr, n int) ([]uint64, error) {
+	buf := make([]byte, 8*n)
+	if err := t.Read(addr, buf); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return out, nil
+}
+
+// partition splits n items into parts ranges.
+func partition(n, parts, i int) (lo, hi int) {
+	return n * i / parts, n * (i + 1) / parts
+}
+
+// checksumFloats produces a stable digest of a float slice, rounding so
+// that accumulation-order differences below tol collapse to the same
+// digest.
+func checksumFloats(vals []float64, tol float64) string {
+	var sum, asum float64
+	for _, v := range vals {
+		sum += v
+		if v < 0 {
+			asum -= v
+		} else {
+			asum += v
+		}
+	}
+	r := func(x float64) float64 {
+		if tol <= 0 {
+			return x
+		}
+		return math.Round(x/tol) * tol
+	}
+	return fmt.Sprintf("n=%d sum=%.6g abs=%.6g", len(vals), r(sum), r(asum))
+}

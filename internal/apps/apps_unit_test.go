@@ -1,0 +1,232 @@
+package apps
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dex"
+)
+
+func TestCountStarting(t *testing.T) {
+	key := []byte("ab1")
+	tests := []struct {
+		buf   string
+		limit int
+		want  int
+	}{
+		{"ab1 xx ab1", 10, 2},
+		{"ab1 xx ab1", 7, 1}, // second match starts at 7, excluded
+		{"ab1 xx ab1", 8, 2}, // start 7 < 8 included
+		{"xxab1", 2, 1},      // starts at 2, limit 2 excludes... start must be < limit
+		{"", 0, 0},
+		{"ab1ab1ab1", 9, 3},
+		{"ab", 2, 0},
+	}
+	for _, tt := range tests {
+		got := countStarting([]byte(tt.buf), key, tt.limit)
+		want := tt.want
+		if tt.buf == "xxab1" {
+			want = 0 // match start 2 is not < limit 2
+		}
+		if got != want {
+			t.Errorf("countStarting(%q, limit=%d) = %d, want %d", tt.buf, tt.limit, got, want)
+		}
+	}
+}
+
+func TestBlackScholesKnownValue(t *testing.T) {
+	// Standard textbook case: S=100, K=100, r=5%, v=20%, T=1y -> C≈10.4506.
+	got := blackScholes(100, 100, 0.05, 0.2, 1)
+	if math.Abs(got-10.4506) > 1e-3 {
+		t.Fatalf("blackScholes = %v, want ~10.4506", got)
+	}
+	// An absurdly deep in-the-money call is worth ~S - K*e^{-rT}.
+	deep := blackScholes(1000, 1, 0.05, 0.2, 1)
+	if math.Abs(deep-(1000-math.Exp(-0.05))) > 1e-6 {
+		t.Fatalf("deep ITM = %v", deep)
+	}
+}
+
+func TestCNDFSymmetry(t *testing.T) {
+	for _, x := range []float64{0, 0.5, 1, 2.3} {
+		if s := cndf(x) + cndf(-x); math.Abs(s-1) > 1e-12 {
+			t.Fatalf("cndf(%v)+cndf(-%v) = %v", x, x, s)
+		}
+	}
+	if math.Abs(cndf(0)-0.5) > 1e-12 {
+		t.Fatal("cndf(0) != 0.5")
+	}
+}
+
+func TestFFTLinearityAndParseval(t *testing.T) {
+	n := 32
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(float64(i%7)-3, float64(i%5)-2)
+	}
+	// Parseval: sum |x|^2 * n == sum |X|^2.
+	var timeE float64
+	for _, v := range a {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	fft(a)
+	var freqE float64
+	for _, v := range a {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE-timeE*float64(n)) > 1e-6*freqE {
+		t.Fatalf("Parseval violated: %v vs %v", freqE, timeE*float64(n))
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fft(make([]complex128, 12))
+}
+
+func TestEPBatchPartitionIndependent(t *testing.T) {
+	// The tallies of a batch depend only on (seed, batch index), so any
+	// partitioning of batches across threads yields identical totals.
+	var a, b [epBins]uint64
+	accA := epBatch(7, 3, 1000, &a)
+	accB := epBatch(7, 3, 1000, &b)
+	if accA != accB || a != b {
+		t.Fatal("epBatch not deterministic")
+	}
+	var c [epBins]uint64
+	if acc := epBatch(8, 3, 1000, &c); acc == accA && c == a {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestKMNReferenceStable(t *testing.T) {
+	p := kmnSizes(SizeTest)
+	pts := make([]float64, 300*kmnDims)
+	for i := range pts {
+		pts[i] = float64((i*37)%113) / 3
+	}
+	small := kmnParams{points: 300, k: 4, iters: 3}
+	a := kmnReference(pts, small)
+	b := kmnReference(pts, small)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("reference nondeterministic")
+		}
+	}
+	_ = p
+}
+
+func TestBPCacheModelShape(t *testing.T) {
+	p := bpSizes(SizeFull)
+	b1 := bpEffectiveBytes(p, 1)
+	b2 := bpEffectiveBytes(p, 2)
+	b8 := bpEffectiveBytes(p, 8)
+	if b1 < p.bytesPerEdge*85/100 {
+		t.Fatalf("single node must pay nearly full DRAM traffic: %d vs %d", b1, p.bytesPerEdge)
+	}
+	if b2 >= b1 {
+		t.Fatalf("splitting across nodes did not reduce traffic: %d vs %d", b2, b1)
+	}
+	if b8 < p.bytesPerEdge/2 {
+		t.Fatalf("miss ratio fell below the 0.5 floor: %d", b8)
+	}
+	if b8 > b2 {
+		t.Fatal("traffic not monotone in nodes")
+	}
+}
+
+func TestChecksumFloatsTolerance(t *testing.T) {
+	a := []float64{1.0, 2.0, 3.0}
+	b := []float64{1.0 + 1e-9, 2.0, 3.0 - 1e-9}
+	if checksumFloats(a, 1e-6) != checksumFloats(b, 1e-6) {
+		t.Fatal("tolerance did not collapse tiny differences")
+	}
+	c := []float64{1.1, 2.0, 3.0}
+	if checksumFloats(a, 1e-6) == checksumFloats(c, 1e-6) {
+		t.Fatal("distinct data collapsed")
+	}
+	if !strings.Contains(checksumFloats(a, 0), "n=3") {
+		t.Fatal("missing length")
+	}
+}
+
+func TestPartitionCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, parts := range []int{1, 3, 8} {
+			covered := 0
+			prevHi := 0
+			for i := 0; i < parts; i++ {
+				lo, hi := partition(n, parts, i)
+				if lo != prevHi {
+					t.Fatalf("gap at part %d (n=%d parts=%d)", i, n, parts)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n || prevHi != n {
+				t.Fatalf("partition(%d, %d) covered %d", n, parts, covered)
+			}
+		}
+	}
+}
+
+func TestNodeOfBalanced(t *testing.T) {
+	threads, nodes := 64, 8
+	counts := make([]int, nodes)
+	for id := 0; id < threads; id++ {
+		n := nodeOf(id, threads, nodes)
+		if n < 0 || n >= nodes {
+			t.Fatalf("nodeOf(%d) = %d", id, n)
+		}
+		counts[n]++
+	}
+	for n, c := range counts {
+		if c != threads/nodes {
+			t.Fatalf("node %d got %d threads", n, c)
+		}
+	}
+}
+
+func TestAppsWithTraceOption(t *testing.T) {
+	tr := dex.NewTrace()
+	app, _ := ByName("grp")
+	res, err := app.Run(Config{Nodes: 2, Variant: Initial,
+		Opts: []dex.Option{dex.WithTrace(tr)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("trace empty")
+	}
+	if res.Report.DSM.Faults() == 0 {
+		t.Fatal("no faults reported")
+	}
+}
+
+func TestVariantAndSizeStrings(t *testing.T) {
+	if Baseline.String() != "baseline" || Initial.String() != "initial" || Optimized.String() != "optimized" {
+		t.Fatal("variant strings wrong")
+	}
+	if Variant(99).String() == "" {
+		t.Fatal("unknown variant empty")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Nodes != 1 || cfg.ThreadsPerNode != 8 || cfg.Variant != Optimized || cfg.Size != SizeTest || cfg.Seed != 1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	cfg = Config{Nodes: 4, Variant: Baseline}.withDefaults()
+	if cfg.Nodes != 1 {
+		t.Fatal("baseline must force a single node")
+	}
+	if cfg.threads() != 8 {
+		t.Fatalf("threads = %d", cfg.threads())
+	}
+}

@@ -1,0 +1,288 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dex"
+	"dex/internal/graph"
+)
+
+// bpParams sizes the Polymer belief-propagation workload: an iterative
+// pull-style vertex program that streams the whole edge list every
+// iteration. BP is memory-bandwidth bound on a single machine (the paper
+// found its CPUs underutilized and attributes the super-linear speedup to
+// relieving memory-channel pressure), so the per-edge byte traffic here is
+// what dominates.
+type bpParams struct {
+	vertices     int
+	edges        int
+	iters        int
+	damping      float64
+	edgeCost     time.Duration
+	bytesPerEdge int
+	chunk        int // vertices per processing chunk
+}
+
+func bpSizes(s Size) bpParams {
+	switch s {
+	case SizeFull:
+		return bpParams{vertices: 65536, edges: 4_000_000, iters: 6, damping: 0.5,
+			edgeCost: 20 * time.Nanosecond, bytesPerEdge: 128, chunk: 1024}
+	default:
+		return bpParams{vertices: 2048, edges: 16_000, iters: 3, damping: 0.5,
+			edgeCost: 20 * time.Nanosecond, bytesPerEdge: 128, chunk: 256}
+	}
+}
+
+// bpCacheBytes models the per-node last-level cache, sized so that the
+// full-size graph just spills out of it on one node. BP streams the graph
+// without locality, so DRAM traffic per edge follows the per-node working
+// set: once the graph is split across nodes, each slice largely fits and
+// roughly half the accesses stop reaching DRAM — the effect behind the
+// paper's super-linear 1->2 node speedup (§V-B: "the limiting resource is
+// memory channel bandwidth" and the single-node CPUs were underutilized).
+const bpCacheBytes = 18 << 20
+
+func bpEffectiveBytes(p bpParams, nodes int) int {
+	workingSet := float64(4*p.edges+2*8*p.vertices) / float64(nodes)
+	missRatio := workingSet / bpCacheBytes
+	if missRatio > 1 {
+		missRatio = 1
+	}
+	if missRatio < 0.5 {
+		missRatio = 0.5
+	}
+	return int(float64(p.bytesPerEdge) * missRatio)
+}
+
+// RunBP runs belief propagation: every iteration each vertex's belief
+// becomes a damped average of its in-neighbors' beliefs (pull over the
+// transposed graph, Polymer's per-node layout).
+//
+// Initial pathologies: the double-buffered belief arrays are packed, so
+// partition boundaries false-share, and the framework's per-thread progress
+// objects are packed onto one page and updated per chunk. Optimized (§V-C):
+// per-thread belief partitions padded to page boundaries and progress kept
+// thread-local.
+func RunBP(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	p := bpSizes(cfg.Size)
+	g := graph.RMAT(cfg.Seed, p.vertices, p.edges)
+	tr := g.Transpose()
+	want, _ := graph.PropagateRef(g, p.iters, p.damping, 0) // fixed iterations
+	effBytes := bpEffectiveBytes(p, cfg.Nodes)
+
+	cluster := cfg.cluster()
+	got := make([]float64, g.N)
+	var roiStart, roiEnd time.Duration
+	report, err := cluster.Run(func(main *dex.Thread) error {
+		threads := cfg.threads()
+		main.SetSite("bp/setup")
+		// Transposed adjacency in shared memory.
+		offsets, err := main.Mmap(uint64(8*(tr.N+1)), dex.ProtRead|dex.ProtWrite, "in-offsets")
+		if err != nil {
+			return err
+		}
+		if err := writeUint64s(main, offsets, tr.Offsets); err != nil {
+			return err
+		}
+		edges, err := main.Mmap(uint64(4*tr.M()+8), dex.ProtRead|dex.ProtWrite, "in-edges")
+		if err != nil {
+			return err
+		}
+		if err := writeUint32s(main, edges, tr.Edges); err != nil {
+			return err
+		}
+		// Belief arrays, double buffered. Optimized pads each thread's
+		// partition to page boundaries; beliefAt maps vertex -> address.
+		ranges := tr.EdgeBalancedRanges(threads)
+		var bufBytes uint64
+		partBase := make([]uint64, threads+1) // byte offset of each partition
+		if cfg.Variant == Optimized {
+			off := uint64(0)
+			for t, r := range ranges {
+				partBase[t] = off
+				sz := uint64(8 * (r.Hi - r.Lo))
+				off += (sz + dex.PageSize - 1) / dex.PageSize * dex.PageSize
+			}
+			partBase[threads] = off
+			bufBytes = off
+		} else {
+			for t, r := range ranges {
+				partBase[t] = uint64(8 * r.Lo)
+				_ = t
+			}
+			partBase[threads] = uint64(8 * g.N)
+			bufBytes = uint64(8 * g.N)
+		}
+		ownerOf := make([]int, g.N)
+		for t, r := range ranges {
+			for v := r.Lo; v < r.Hi; v++ {
+				ownerOf[v] = t
+			}
+		}
+		bufA, err := main.Mmap(bufBytes, dex.ProtRead|dex.ProtWrite, "beliefs-a")
+		if err != nil {
+			return err
+		}
+		bufB, err := main.Mmap(bufBytes, dex.ProtRead|dex.ProtWrite, "beliefs-b")
+		if err != nil {
+			return err
+		}
+		beliefAt := func(buf dex.Addr, v int) dex.Addr {
+			t := ownerOf[v]
+			return buf + dex.Addr(partBase[t]) + dex.Addr(8*(v-ranges[t].Lo))
+		}
+		// Initialize beliefs to 1.0.
+		for t, r := range ranges {
+			if r.Hi == r.Lo {
+				continue
+			}
+			ones := make([]float64, r.Hi-r.Lo)
+			for i := range ones {
+				ones[i] = 1
+			}
+			if err := writeFloat64s(main, bufA+dex.Addr(partBase[t]), ones); err != nil {
+				return err
+			}
+		}
+		// Initial pathology: packed per-thread progress objects.
+		progress, err := main.Mmap(dex.PageSize, dex.ProtRead|dex.ProtWrite, "thread-progress")
+		if err != nil {
+			return err
+		}
+		bar, err := dex.NewBarrier(main, threads)
+		if err != nil {
+			return err
+		}
+
+		body := func(w *dex.Thread, id int) error {
+			r := ranges[id]
+			cur, next := bufA, bufB
+			// Load the partition's in-adjacency once (read-only).
+			w.SetSite("bp/graph-load")
+			offs, err := readUint64s(w, offsets+dex.Addr(8*r.Lo), r.Hi-r.Lo+1)
+			if err != nil {
+				return err
+			}
+			var adj []uint32
+			if r.Hi > r.Lo && offs[len(offs)-1] > offs[0] {
+				adj, err = readUint32s(w, edges+dex.Addr(4*offs[0]), int(offs[len(offs)-1]-offs[0]))
+				if err != nil {
+					return err
+				}
+			}
+			out := make([]float64, 0, p.chunk)
+			snapIdx := func(v int) int {
+				t := ownerOf[v]
+				return int(partBase[t]/8) + v - ranges[t].Lo
+			}
+			for iter := 0; iter < p.iters; iter++ {
+				// Replicate the current belief buffer (read-only for this
+				// iteration). Each thread starts the scan at its own
+				// partition and wraps around, so the page-fault leaders are
+				// spread across threads instead of hitting every page in
+				// lockstep.
+				w.SetSite("bp/replicate")
+				snapBytes := make([]byte, bufBytes)
+				rot := int(partBase[id]) &^ (dex.PageSize - 1)
+				if err := w.ReadReplicate(cur+dex.Addr(rot), snapBytes[rot:]); err != nil {
+					return err
+				}
+				if rot > 0 {
+					if err := w.ReadReplicate(cur, snapBytes[:rot]); err != nil {
+						return err
+					}
+				}
+				snap := floatsOf(snapBytes)
+				for v := r.Lo; v < r.Hi; v += p.chunk {
+					hi := v + p.chunk
+					if hi > r.Hi {
+						hi = r.Hi
+					}
+					out = out[:0]
+					chunkEdges := 0
+					w.SetSite("bp/gather")
+					for u := v; u < hi; u++ {
+						lo, hh := offs[u-r.Lo]-offs[0], offs[u-r.Lo+1]-offs[0]
+						chunkEdges += int(hh - lo)
+						nv := (1 - p.damping) * snap[snapIdx(u)]
+						if hh > lo {
+							sum := 0.0
+							for _, src := range adj[lo:hh] {
+								sum += snap[snapIdx(int(src))]
+							}
+							nv += p.damping * sum / float64(hh-lo)
+						}
+						out = append(out, nv)
+					}
+					// The streaming work: compute plus the DRAM traffic
+					// that misses the per-node cache (beliefs + edge list).
+					w.Work(time.Duration(chunkEdges)*p.edgeCost, chunkEdges*effBytes)
+					w.SetSite("bp/scatter")
+					if len(out) > 0 {
+						if err := writeFloat64s(w, beliefAt(next, v), out); err != nil {
+							return err
+						}
+					}
+					if cfg.Variant != Optimized {
+						// Pathology: bump the packed per-thread progress
+						// objects, one update per 256 vertices processed
+						// (Polymer's framework counters).
+						w.SetSite("bp/progress")
+						for done := v; done < hi; done += 256 {
+							if _, err := w.AddUint64(progress+dex.Addr(8*id), 256); err != nil {
+								return err
+							}
+						}
+					}
+				}
+				if err := bar.Wait(w); err != nil {
+					return err
+				}
+				cur, next = next, cur
+			}
+			return nil
+		}
+		roiStart = main.Now()
+		if err := workerSet(main, cfg, body); err != nil {
+			return err
+		}
+		roiEnd = main.Now()
+		main.SetSite("bp/collect")
+		final := bufA
+		if p.iters%2 == 1 {
+			final = bufB
+		}
+		for t, r := range ranges {
+			if r.Hi == r.Lo {
+				continue
+			}
+			part, err := readFloat64s(main, final+dex.Addr(partBase[t]), r.Hi-r.Lo)
+			if err != nil {
+				return err
+			}
+			copy(got[r.Lo:r.Hi], part)
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+			return Result{}, fmt.Errorf("bp: belief[%d] = %g, want %g", v, got[v], want[v])
+		}
+	}
+	return Result{
+		App:     "bp",
+		Variant: cfg.Variant,
+		Nodes:   cfg.Nodes,
+		Threads: cfg.threads(),
+		Elapsed: roiEnd - roiStart,
+		Report:  report,
+		Check:   checksumFloats(got, 1e-6),
+	}, nil
+}

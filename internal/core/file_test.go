@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func fileMachine(t *testing.T, name string, data []byte, main func(*Thread) error) Report {
+	t.Helper()
+	m := NewMachine(DefaultParams(2))
+	p := m.NewProcess(0, main)
+	p.RegisterFile(name, data)
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return p.Report()
+}
+
+func TestFileOpenReadClose(t *testing.T) {
+	content := []byte("the quick brown fox jumps over the lazy dog")
+	fileMachine(t, "input.txt", content, func(th *Thread) error {
+		fd, err := th.Open("input.txt")
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 9)
+		n, err := th.FileRead(fd, buf)
+		if err != nil || n != 9 || string(buf) != "the quick" {
+			t.Errorf("first read = %q (%d), %v", buf[:n], n, err)
+		}
+		n, err = th.FileRead(fd, buf)
+		if err != nil || string(buf[:n]) != " brown fo" {
+			t.Errorf("second read = %q, %v", buf[:n], err)
+		}
+		// Read to EOF.
+		big := make([]byte, 1000)
+		n, err = th.FileRead(fd, big)
+		if err != nil || n != len(content)-18 {
+			t.Errorf("tail read = %d, %v", n, err)
+		}
+		n, err = th.FileRead(fd, big)
+		if err != nil || n != 0 {
+			t.Errorf("read at EOF = %d, %v", n, err)
+		}
+		return th.Close(fd)
+	})
+}
+
+func TestFilePreadPwrite(t *testing.T) {
+	fileMachine(t, "data", []byte("aaaaaaaaaa"), func(th *Thread) error {
+		fd, err := th.Open("data")
+		if err != nil {
+			return err
+		}
+		if _, err := th.Pwrite(fd, []byte("XYZ"), 4); err != nil {
+			return err
+		}
+		// Growing write past EOF.
+		if _, err := th.Pwrite(fd, []byte("tail"), 12); err != nil {
+			return err
+		}
+		size, err := th.FileSize("data")
+		if err != nil || size != 16 {
+			t.Errorf("size = %d, %v", size, err)
+		}
+		buf := make([]byte, 16)
+		n, err := th.Pread(fd, buf, 0)
+		if err != nil || n != 16 {
+			t.Errorf("pread = %d, %v", n, err)
+		}
+		want := []byte("aaaaXYZaaa\x00\x00tail")
+		if !bytes.Equal(buf, want) {
+			t.Errorf("content = %q, want %q", buf, want)
+		}
+		if n, err := th.Pread(fd, buf, 99); err != nil || n != 0 {
+			t.Errorf("pread past EOF = %d, %v", n, err)
+		}
+		if n, err := th.Pread(fd, buf, -1); err != nil || n != 0 {
+			t.Errorf("pread negative = %d, %v", n, err)
+		}
+		return th.Close(fd)
+	})
+}
+
+func TestFileErrors(t *testing.T) {
+	fileMachine(t, "exists", []byte("x"), func(th *Thread) error {
+		if _, err := th.Open("missing"); !errors.Is(err, ErrNoFile) {
+			t.Errorf("Open(missing) = %v", err)
+		}
+		if _, err := th.Pread(99, make([]byte, 1), 0); !errors.Is(err, ErrBadFD) {
+			t.Errorf("Pread(99) = %v", err)
+		}
+		if _, err := th.FileRead(99, make([]byte, 1)); !errors.Is(err, ErrBadFD) {
+			t.Errorf("FileRead(99) = %v", err)
+		}
+		if _, err := th.Pwrite(99, []byte("x"), 0); !errors.Is(err, ErrBadFD) {
+			t.Errorf("Pwrite(99) = %v", err)
+		}
+		if err := th.Close(99); !errors.Is(err, ErrBadFD) {
+			t.Errorf("Close(99) = %v", err)
+		}
+		if err := th.Close(99); err == nil {
+			t.Error("double close succeeded")
+		}
+		if _, err := th.FileSize("missing"); !errors.Is(err, ErrNoFile) {
+			t.Errorf("FileSize(missing) = %v", err)
+		}
+		return nil
+	})
+}
+
+func TestFileIODelegatesFromRemote(t *testing.T) {
+	content := make([]byte, 64<<10)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	rep := fileMachine(t, "big", content, func(th *Thread) error {
+		fd, err := th.Open("big")
+		if err != nil {
+			return err
+		}
+		if err := th.Migrate(1); err != nil {
+			return err
+		}
+		// Remote reads go through work delegation, sharing the origin's
+		// file offset state.
+		start := th.Now()
+		buf := make([]byte, 4096)
+		for i := 0; i < 4; i++ {
+			n, err := th.FileRead(fd, buf)
+			if err != nil || n != 4096 {
+				t.Errorf("remote read %d = %d, %v", i, n, err)
+			}
+			if buf[0] != byte(i*4096) {
+				t.Errorf("remote read %d got wrong offset data", i)
+			}
+		}
+		remoteSpan := th.Now() - start
+		if err := th.MigrateBack(); err != nil {
+			return err
+		}
+		// The same reads at the origin are cheaper (no round trips).
+		start = th.Now()
+		for i := 4; i < 8; i++ {
+			if _, err := th.FileRead(fd, buf); err != nil {
+				return err
+			}
+		}
+		localSpan := th.Now() - start
+		if remoteSpan < localSpan+20*time.Microsecond {
+			t.Errorf("remote file reads (%v) not charged round trips vs local (%v)", remoteSpan, localSpan)
+		}
+		return th.Close(fd)
+	})
+	if rep.Delegations < 4 {
+		t.Fatalf("Delegations = %d; the four remote file reads must delegate", rep.Delegations)
+	}
+}
+
+func TestFileSharedOffsetAcrossThreads(t *testing.T) {
+	// Two threads share one descriptor: the offset lives at the origin, so
+	// their reads interleave without overlap — the §III-A "stateful OS
+	// feature handled at the origin" property.
+	content := make([]byte, 8*100)
+	for i := range content {
+		content[i] = byte(i / 100)
+	}
+	fileMachine(t, "shared", content, func(th *Thread) error {
+		fd, err := th.Open("shared")
+		if err != nil {
+			return err
+		}
+		seen := make([]int, 8)
+		read := func(w *Thread) error {
+			buf := make([]byte, 100)
+			n, err := w.FileRead(fd, buf)
+			if err != nil || n != 100 {
+				return err
+			}
+			seen[buf[0]]++
+			return nil
+		}
+		w, err := th.Spawn(func(w *Thread) error {
+			if err := w.Migrate(1); err != nil {
+				return err
+			}
+			for i := 0; i < 4; i++ {
+				if err := read(w); err != nil {
+					return err
+				}
+			}
+			return w.MigrateBack()
+		})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if err := read(th); err != nil {
+				return err
+			}
+		}
+		th.Join(w)
+		for chunk, c := range seen {
+			if c != 1 {
+				t.Errorf("chunk %d read %d times (offset not shared)", chunk, c)
+			}
+		}
+		return nil
+	})
+}

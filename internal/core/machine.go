@@ -1,0 +1,269 @@
+// Package core implements DeX's distributed execution model (§III-A of the
+// paper): processes whose threads migrate freely across the nodes of a
+// rack-scale cluster while sharing one sequentially-consistent address
+// space.
+//
+// A Machine is a simulated cluster: nodes with cores and a memory bus,
+// connected by the fabric interconnect. A Process owns the authoritative
+// address space at its origin node, a DSM protocol manager, a futex table,
+// and one remote worker per node it has expanded to. Threads execute
+// application code as simulator tasks; Migrate relocates a thread's
+// execution locus, work delegation runs stateful OS services (futex, VMA
+// manipulation) at the origin, and on-demand VMA synchronization keeps
+// remote VMA caches lazily consistent (§III-D).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dex/internal/dsm"
+	"dex/internal/fabric"
+	"dex/internal/sim"
+)
+
+// MigrationCosts models the execution-context migration latencies of
+// §III-A, calibrated against Table II and Figure 3 of the paper.
+type MigrationCosts struct {
+	// OriginFirst/OriginWarm is the origin-side cost of collecting and
+	// shipping the execution context: higher on the first migration of the
+	// process to a node (pairing setup).
+	OriginFirst time.Duration
+	OriginWarm  time.Duration
+	// ContextSize is the wire size of the transferred execution context.
+	ContextSize int
+	// RemoteWorkerSetup is the one-time, per-(process,node) cost of
+	// creating the remote worker and the process-level data structures.
+	RemoteWorkerSetup time.Duration
+	// ThreadFork is the cost of forking a remote thread from the worker.
+	ThreadFork time.Duration
+	// ContextSetup is the cost of installing the received context.
+	ContextSetup time.Duration
+	// Schedule is the run-queue insertion cost, paid on warm forks (during
+	// the first migration it overlaps worker initialization).
+	Schedule time.Duration
+	// BackwardCollect/BackwardUpdate are the remote- and origin-side costs
+	// of a backward migration.
+	BackwardCollect time.Duration
+	BackwardUpdate  time.Duration
+}
+
+// DefaultMigrationCosts reproduces Table II: ~812 µs first forward, ~237 µs
+// warm forward, ~25 µs backward.
+func DefaultMigrationCosts() MigrationCosts {
+	return MigrationCosts{
+		OriginFirst:       12100 * time.Nanosecond,
+		OriginWarm:        6600 * time.Nanosecond,
+		ContextSize:       1024,
+		RemoteWorkerSetup: 620 * time.Microsecond,
+		ThreadFork:        137 * time.Microsecond,
+		ContextSetup:      40 * time.Microsecond,
+		Schedule:          50 * time.Microsecond,
+		BackwardCollect:   10 * time.Microsecond,
+		BackwardUpdate:    11 * time.Microsecond,
+	}
+}
+
+// Params configures a simulated cluster.
+type Params struct {
+	// Nodes is the number of machines in the rack.
+	Nodes int
+	// CoresPerNode is the number of CPU cores per machine.
+	CoresPerNode int
+	// MemBandwidth is the per-node memory-bus bandwidth in bytes/second
+	// shared by all cores of a node; it is what saturates first for
+	// memory-bound applications (the paper's BP observation, §V-B).
+	MemBandwidth float64
+	// BusCongestion inflates memory-bus service time per concurrent
+	// stream, modeling memory-controller interference — the source of the
+	// paper's super-linear BP speedup when load spreads across nodes.
+	BusCongestion float64
+	// DelegateDispatch is the origin-side cost of dispatching one
+	// delegated work request to the paired original thread.
+	DelegateDispatch time.Duration
+	// DelegateSize is the wire size of a delegation request/reply.
+	DelegateSize int
+	// SpawnCost is the cost of creating a thread at the origin.
+	SpawnCost time.Duration
+	// EagerVMASync broadcasts every VMA change to all workers instead of
+	// only shrinks/downgrades (ablation A3).
+	EagerVMASync bool
+
+	Fabric    fabric.Params
+	DSM       dsm.Params
+	Migration MigrationCosts
+
+	// Hook receives DSM fault events (the page-fault profiler attaches
+	// here).
+	Hook dsm.Hook
+	// Seed seeds the deterministic simulation.
+	Seed int64
+}
+
+// DefaultParams returns a cluster shaped like the paper's testbed: n nodes
+// of 8 cores each over 56 Gbps InfiniBand.
+func DefaultParams(nodes int) Params {
+	return Params{
+		Nodes:            nodes,
+		CoresPerNode:     8,
+		MemBandwidth:     12e9,
+		BusCongestion:    0.12,
+		DelegateDispatch: 2 * time.Microsecond,
+		DelegateSize:     96,
+		SpawnCost:        15 * time.Microsecond,
+		Fabric:           fabric.DefaultParams(nodes),
+		DSM:              dsm.DefaultParams(),
+		Migration:        DefaultMigrationCosts(),
+		Seed:             1,
+	}
+}
+
+// Node models one machine: its cores and memory bus.
+type Node struct {
+	id    int
+	cores *sim.Semaphore
+	bus   *sim.Bus
+}
+
+// Machine is a simulated cluster running DeX processes.
+type Machine struct {
+	eng     *sim.Engine
+	net     *fabric.Network
+	params  Params
+	nodes   []*Node
+	procs   []*Process
+	nextPID int
+}
+
+// NewMachine builds a cluster from params.
+func NewMachine(params Params) *Machine {
+	if params.Nodes < 1 {
+		panic("core: need at least one node")
+	}
+	if params.CoresPerNode < 1 {
+		panic("core: need at least one core per node")
+	}
+	eng := sim.NewEngine(params.Seed)
+	if params.Fabric.Nodes != params.Nodes {
+		params.Fabric.Nodes = params.Nodes
+	}
+	m := &Machine{
+		eng:    eng,
+		net:    fabric.New(eng, params.Fabric),
+		params: params,
+		nodes:  make([]*Node, params.Nodes),
+	}
+	for i := range m.nodes {
+		m.nodes[i] = &Node{
+			id:    i,
+			cores: sim.NewSemaphore(fmt.Sprintf("cores@%d", i), params.CoresPerNode),
+			bus:   sim.NewBus(eng, fmt.Sprintf("membus@%d", i), params.MemBandwidth),
+		}
+		m.nodes[i].bus.SetCongestion(params.BusCongestion)
+		node := i
+		m.net.SetHandler(node, func(src int, msg fabric.Message) { m.route(node, src, msg) })
+	}
+	return m
+}
+
+// Engine exposes the simulation engine (for experiment harnesses).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Network exposes the interconnect (for stats).
+func (m *Machine) Network() *fabric.Network { return m.net }
+
+// Params returns the machine configuration.
+func (m *Machine) Params() Params { return m.params }
+
+// Nodes returns the number of nodes.
+func (m *Machine) Nodes() int { return m.params.Nodes }
+
+// envelope is the core-layer message: a closure delivered at the
+// destination node in event context. Migration requests, delegated work,
+// and worker commands all travel as envelopes over the same fabric as the
+// DSM protocol.
+type envelope struct {
+	bytes   int
+	deliver func()
+}
+
+func (e *envelope) Size() int { return e.bytes }
+
+// route dispatches an incoming fabric message at a node.
+func (m *Machine) route(node, src int, msg fabric.Message) {
+	if env, ok := msg.(*envelope); ok {
+		env.deliver()
+		return
+	}
+	for _, p := range m.procs {
+		if p.mgr.HandleMessage(node, src, msg) {
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: unroutable message %T at node %d from %d", msg, node, src))
+}
+
+// Run executes the simulation to completion: every spawned process runs
+// until all of its threads finish. It returns the first application or
+// simulation error.
+func (m *Machine) Run() error {
+	if err := m.eng.Run(); err != nil {
+		return err
+	}
+	for _, p := range m.procs {
+		if p.firstErr != nil {
+			return p.firstErr
+		}
+	}
+	return nil
+}
+
+// Report summarizes one process run.
+type Report struct {
+	// Elapsed is the virtual time from process start to the completion of
+	// its last thread.
+	Elapsed time.Duration
+	// DSM and Net are protocol and interconnect counters.
+	DSM dsm.Stats
+	Net fabric.Stats
+	// Migrations counts completed thread migrations (both directions).
+	Migrations int
+	// MigrationRecords holds per-migration phase timings (Figure 3).
+	MigrationRecords []MigrationRecord
+	// VMAQueries counts on-demand VMA synchronizations (§III-D).
+	VMAQueries uint64
+	// Delegations counts delegated work requests handled at the origin.
+	Delegations uint64
+	// Threads is the total number of threads the process created.
+	Threads int
+	// ResidentPages is, per node, how many page frames the process holds
+	// there (replicas included) at the time the report is taken — the
+	// §IV-B memory-footprint dimension of padding decisions.
+	ResidentPages []int
+}
+
+// TotalResidentPages sums frames across all nodes.
+func (r Report) TotalResidentPages() int {
+	total := 0
+	for _, n := range r.ResidentPages {
+		total += n
+	}
+	return total
+}
+
+// MigrationRecord is the phase breakdown of one migration.
+type MigrationRecord struct {
+	ThreadID int
+	From, To int
+	Backward bool
+	First    bool // first migration of the process to this node
+	// Phase durations (forward: origin, transfer, worker, fork, ctx,
+	// sched; backward: collect, transfer, update).
+	Origin   time.Duration
+	Transfer time.Duration
+	Worker   time.Duration
+	Fork     time.Duration
+	Ctx      time.Duration
+	Sched    time.Duration
+	Total    time.Duration
+}

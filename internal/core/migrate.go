@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dex/internal/sim"
+)
+
+// migration carries the state of one in-flight forward migration between
+// the migrating thread, the fabric, and the destination worker.
+type migration struct {
+	th     *Thread
+	to     int
+	first  bool
+	record MigrationRecord
+	// phase timestamps
+	sentAt    time.Duration
+	arrivedAt time.Duration
+	resumed   bool
+}
+
+// Migrate relocates the thread to node, as the paper's migration system
+// call does. Migrating to the current node is a no-op; migrating to the
+// origin performs the (cheap) backward migration; anything else is a
+// forward migration through the destination's remote worker, creating the
+// worker first if this is the process's first visit to that node.
+func (th *Thread) Migrate(node int) error {
+	p := th.proc
+	if node < 0 || node >= p.m.params.Nodes {
+		return fmt.Errorf("%w: %d", ErrBadNode, node)
+	}
+	if node == th.node {
+		return nil
+	}
+	if node == p.origin {
+		th.migrateBackward()
+		return nil
+	}
+	th.migrateForward(node)
+	return nil
+}
+
+// MigrateBack returns the thread to its origin.
+func (th *Thread) MigrateBack() error { return th.Migrate(th.proc.origin) }
+
+// migrateForward implements §III-A: collect the execution context, ship it
+// to the remote, reconstruct the thread there (via the remote worker), and
+// leave the original thread behind to serve delegated work. In the
+// simulation the "original thread" is implicit: delegated operations run in
+// spawned origin-side contexts with the same costs.
+func (th *Thread) migrateForward(to int) {
+	p := th.proc
+	costs := p.m.params.Migration
+	mg := &migration{th: th, to: to}
+	start := th.task.Now()
+
+	// Origin-side: collect pt_regs/mm state and pair the threads. The
+	// first migration of the process to a node also sets up the pairing
+	// state, which is more expensive (Table II).
+	originCost := costs.OriginWarm
+	if _, ok := p.workers[to]; !ok {
+		originCost = costs.OriginFirst
+	}
+	mg.record = MigrationRecord{
+		ThreadID: th.id,
+		From:     th.node,
+		To:       to,
+		Origin:   originCost,
+	}
+	th.task.Sleep(originCost)
+
+	// Ship the execution context. The worker is created on first use; its
+	// setup cost is charged inside the worker task itself, so a second
+	// migration arriving meanwhile queues behind worker readiness.
+	mg.sentAt = th.task.Now()
+	p.m.net.Send(th.task, th.node, to, &envelope{bytes: costs.ContextSize, deliver: func() {
+		mg.arrivedAt = p.m.eng.Now()
+		w, created := p.worker(to)
+		mg.record.First = created
+		w.mb.Send(workerMsg{fork: mg})
+	}})
+	for !mg.resumed {
+		th.task.Park(fmt.Sprintf("migrating to node %d", to))
+	}
+	// Execution continues at the destination.
+	th.node = to
+	mg.record.Total = th.task.Now() - start
+	p.migrations++
+	p.migrationRecords = append(p.migrationRecords, mg.record)
+}
+
+// serveFork runs in the destination worker's context: it charges the
+// remote-side costs of reconstructing the thread and resumes it.
+func (p *Process) serveFork(t *sim.Task, mg *migration) {
+	costs := p.m.params.Migration
+	// Transfer time observed at the remote (context flight).
+	mg.record.Transfer = mg.arrivedAt - mg.sentAt
+	if mg.record.First {
+		// Worker setup time already elapsed between arrival and now.
+		mg.record.Worker = t.Now() - mg.arrivedAt
+	}
+	t.Sleep(costs.ThreadFork)
+	mg.record.Fork = costs.ThreadFork
+	t.Sleep(costs.ContextSetup)
+	mg.record.Ctx = costs.ContextSetup
+	if !mg.record.First {
+		// On warm forks the run-queue insertion is paid in full; during
+		// the first migration it overlaps worker initialization.
+		t.Sleep(costs.Schedule)
+		mg.record.Sched = costs.Schedule
+	}
+	mg.resumed = true
+	mg.th.task.Unpark()
+}
+
+// migrateBackward implements the cheap return path: collect the remote
+// context, transfer it, update the original thread's state, and resume at
+// the origin. The remote thread exits.
+func (th *Thread) migrateBackward() {
+	p := th.proc
+	costs := p.m.params.Migration
+	from := th.node
+	record := MigrationRecord{
+		ThreadID: th.id,
+		From:     from,
+		To:       p.origin,
+		Backward: true,
+	}
+	start := th.task.Now()
+	th.task.Sleep(costs.BackwardCollect)
+	record.Origin = costs.BackwardCollect
+	resumed := false
+	sentAt := th.task.Now()
+	p.m.net.Send(th.task, from, p.origin, &envelope{bytes: costs.ContextSize, deliver: func() {
+		record.Transfer = p.m.eng.Now() - sentAt
+		// The original thread's context is updated and it is resumed;
+		// charge the update cost on the origin side.
+		p.m.eng.Spawn("backward-update", func(t *sim.Task) {
+			t.Sleep(costs.BackwardUpdate)
+			record.Ctx = costs.BackwardUpdate
+			resumed = true
+			th.task.Unpark()
+		})
+	}})
+	for !resumed {
+		th.task.Park("migrating back to origin")
+	}
+	th.node = p.origin
+	record.Total = th.task.Now() - start
+	p.migrations++
+	p.migrationRecords = append(p.migrationRecords, record)
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dex/internal/dsm"
+	"dex/internal/futex"
+	"dex/internal/mem"
+	"dex/internal/sim"
+)
+
+// Errors returned by process and thread operations.
+var (
+	ErrSegfault     = errors.New("core: segmentation fault")
+	ErrProtection   = errors.New("core: protection violation")
+	ErrBadNode      = errors.New("core: no such node")
+	ErrNotAtOrigin  = errors.New("core: operation only valid at the origin")
+	ErrProcessEnded = errors.New("core: process has ended")
+)
+
+// Process is a DeX process: created at its origin node, expandable to every
+// node in the cluster by migrating threads.
+type Process struct {
+	m      *Machine
+	pid    int
+	origin int
+
+	as    *mem.AddressSpace
+	mgr   *dsm.Manager
+	fut   *futex.Table
+	files *fileTable
+
+	threads    []*Thread
+	liveCount  int
+	mainDone   bool
+	firstErr   error
+	startedAt  time.Duration
+	finishedAt time.Duration
+
+	workers  map[int]*remoteWorker // per remote node
+	vmaCache map[int]*mem.VMASet   // per remote node
+
+	migrations       int
+	migrationRecords []MigrationRecord
+	vmaQueries       uint64
+	delegations      uint64
+}
+
+// remoteWorker is the per-(process, node) worker thread of §III-A: it forks
+// remote threads and applies node-wide operations (VMA updates, exit).
+type remoteWorker struct {
+	node  int
+	ready bool
+	mb    *sim.Mailbox[workerMsg]
+	task  *sim.Task
+}
+
+type workerMsg struct {
+	// fork resumes a migrating thread after charging fork costs.
+	fork *migration
+	// apply runs a node-wide operation in worker context and then calls
+	// done (used for VMA synchronization and shutdown).
+	apply func(t *sim.Task)
+	done  func()
+	stop  bool
+}
+
+// NewProcess creates a process whose origin is the given node. The main
+// thread is spawned at the origin running main; the process ends when all
+// of its threads have finished.
+func (m *Machine) NewProcess(origin int, main func(*Thread) error) *Process {
+	if origin < 0 || origin >= m.params.Nodes {
+		panic(fmt.Sprintf("core: origin node %d out of range", origin))
+	}
+	pid := m.nextPID
+	m.nextPID++
+	p := &Process{
+		m:        m,
+		pid:      pid,
+		origin:   origin,
+		as:       mem.NewAddressSpace(),
+		fut:      futex.NewTable(),
+		files:    newFileTable(),
+		workers:  make(map[int]*remoteWorker),
+		vmaCache: make(map[int]*mem.VMASet),
+	}
+	p.mgr = dsm.New(m.eng, m.net, m.params.DSM, pid, origin, m.params.Nodes, m.params.Hook)
+	m.procs = append(m.procs, p)
+	p.startedAt = m.eng.Now()
+	p.newThread(origin, main, nil)
+	return p
+}
+
+// PID returns the process id.
+func (p *Process) PID() int { return p.pid }
+
+// Origin returns the origin node.
+func (p *Process) Origin() int { return p.origin }
+
+// Manager exposes the DSM protocol manager (for tests and profiling).
+func (p *Process) Manager() *dsm.Manager { return p.mgr }
+
+// AddressSpace exposes the authoritative address space at the origin.
+func (p *Process) AddressSpace() *mem.AddressSpace { return p.as }
+
+// Err returns the first error returned by any thread.
+func (p *Process) Err() error { return p.firstErr }
+
+// Report summarizes the run. Call it after Machine.Run returns.
+func (p *Process) Report() Report {
+	resident := make([]int, p.m.params.Nodes)
+	for n := range resident {
+		resident[n] = p.mgr.PageTable(n).Present()
+	}
+	return Report{
+		ResidentPages:    resident,
+		Elapsed:          p.finishedAt - p.startedAt,
+		DSM:              p.mgr.Stats(),
+		Net:              p.m.net.Stats(),
+		Migrations:       p.migrations,
+		MigrationRecords: p.migrationRecords,
+		VMAQueries:       p.vmaQueries,
+		Delegations:      p.delegations,
+		Threads:          len(p.threads),
+	}
+}
+
+// newThread creates a thread at node running fn. parent is nil for the main
+// thread.
+func (p *Process) newThread(node int, fn func(*Thread) error, parent *Thread) *Thread {
+	th := &Thread{
+		proc: p,
+		id:   len(p.threads),
+		node: node,
+	}
+	p.threads = append(p.threads, th)
+	p.liveCount++
+	name := fmt.Sprintf("pid%d/t%d", p.pid, th.id)
+	th.task = p.m.eng.Spawn(name, func(t *sim.Task) {
+		th.task = t
+		err := fn(th)
+		if err != nil && p.firstErr == nil {
+			p.firstErr = fmt.Errorf("thread %d: %w", th.id, err)
+		}
+		p.threadDone(t, th)
+	})
+	return th
+}
+
+// threadDone marks a thread finished, wakes joiners, and tears the process
+// down when the last thread exits.
+func (p *Process) threadDone(t *sim.Task, th *Thread) {
+	th.done = true
+	for _, j := range th.joiners {
+		j.Unpark()
+	}
+	th.joiners = nil
+	p.liveCount--
+	if p.liveCount > 0 {
+		return
+	}
+	p.finishedAt = p.m.eng.Now()
+	p.shutdownWorkers(t)
+}
+
+// shutdownWorkers broadcasts process exit to every remote worker (§III-A:
+// original process exit is a node-wide operation delivered to the remote
+// workers) and waits for them to stop.
+func (p *Process) shutdownWorkers(t *sim.Task) {
+	remaining := 0
+	done := func() { remaining--; t.Unpark() }
+	for _, w := range p.workersInOrder() {
+		remaining++
+		w := w
+		p.m.net.Send(t, p.origin, w.node, &envelope{bytes: 48, deliver: func() {
+			w.mb.Send(workerMsg{stop: true, done: done})
+		}})
+	}
+	for remaining > 0 {
+		t.Park("process exit: draining workers")
+	}
+}
+
+// worker returns the remote worker for node, creating and starting it on
+// first use (the expensive first-migration path of §III-A).
+func (p *Process) worker(node int) (*remoteWorker, bool) {
+	if w, ok := p.workers[node]; ok {
+		return w, false
+	}
+	w := &remoteWorker{
+		node: node,
+		mb:   sim.NewMailbox[workerMsg](fmt.Sprintf("worker pid%d@%d", p.pid, node)),
+	}
+	p.workers[node] = w
+	p.vmaCache[node] = &mem.VMASet{}
+	w.task = p.m.eng.Spawn(fmt.Sprintf("worker pid%d@%d", p.pid, node), func(t *sim.Task) {
+		// Per-process setup: address space bootstrap, messaging state,
+		// process-level bookkeeping (the 620 µs of Figure 3).
+		t.Sleep(p.m.params.Migration.RemoteWorkerSetup)
+		w.ready = true
+		for {
+			msg := w.mb.Recv(t)
+			switch {
+			case msg.stop:
+				msg.done()
+				return
+			case msg.fork != nil:
+				p.serveFork(t, msg.fork)
+			default:
+				msg.apply(t)
+				msg.done()
+			}
+		}
+	})
+	return w, true
+}
+
+// workersInOrder returns active workers sorted by node id, keeping message
+// ordering — and thus the whole simulation — deterministic.
+func (p *Process) workersInOrder() []*remoteWorker {
+	var out []*remoteWorker
+	for node := 0; node < p.m.params.Nodes; node++ {
+		if w, ok := p.workers[node]; ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// vmaSetFor returns the VMA view at a node: authoritative at the origin, a
+// lazily synchronized cache elsewhere.
+func (p *Process) vmaSetFor(node int) *mem.VMASet {
+	if node == p.origin {
+		return &p.as.VMAs
+	}
+	if s, ok := p.vmaCache[node]; ok {
+		return s
+	}
+	// A thread can only be at a node whose worker (and cache) exists.
+	panic(fmt.Sprintf("core: no VMA cache for pid %d at node %d", p.pid, node))
+}
+
+// delegate ships op to the origin and runs it there in handler-thread
+// context, blocking th until the result returns (§III-A work delegation).
+// At the origin the operation runs inline.
+func (p *Process) delegate(th *Thread, name string, op func(t *sim.Task) any) any {
+	if th.node == p.origin {
+		return op(th.task)
+	}
+	p.delegations++
+	node := th.node
+	var (
+		resVal  any
+		resDone bool
+	)
+	p.m.net.Send(th.task, node, p.origin, &envelope{bytes: p.m.params.DelegateSize, deliver: func() {
+		p.m.eng.Spawn("delegate "+name, func(t *sim.Task) {
+			t.Sleep(p.m.params.DelegateDispatch)
+			v := op(t)
+			p.m.net.Send(t, p.origin, node, &envelope{bytes: p.m.params.DelegateSize, deliver: func() {
+				resVal = v
+				resDone = true
+				th.task.Unpark()
+			}})
+		})
+	}})
+	for !resDone {
+		th.task.Park("delegation " + name)
+	}
+	return resVal
+}
+
+// broadcastVMA applies a VMA update on every active remote worker and waits
+// for completion. apply runs in each worker's context. t must be running at
+// the origin.
+func (p *Process) broadcastVMA(t *sim.Task, apply func(node int, t *sim.Task)) {
+	remaining := 0
+	done := func() { remaining--; t.Unpark() }
+	for _, w := range p.workersInOrder() {
+		remaining++
+		w := w
+		p.m.net.Send(t, p.origin, w.node, &envelope{bytes: 96, deliver: func() {
+			w.mb.Send(workerMsg{
+				apply: func(wt *sim.Task) { apply(w.node, wt) },
+				done: func() {
+					// Ack travels back to the origin.
+					p.m.eng.Spawn("vma-ack", func(at *sim.Task) {
+						p.m.net.Send(at, w.node, p.origin, &envelope{bytes: 48, deliver: done})
+					})
+				},
+			})
+		}})
+	}
+	for remaining > 0 {
+		t.Park("vma broadcast")
+	}
+}
+
+// mmapAt implements mmap in origin context.
+func (p *Process) mmapAt(t *sim.Task, size uint64, prot mem.Prot, label string) (mem.Addr, error) {
+	addr, err := p.as.Mmap(size, prot, label)
+	if err != nil {
+		return 0, err
+	}
+	if p.m.params.EagerVMASync {
+		v, _ := p.as.VMAs.Find(addr)
+		p.broadcastVMA(t, func(node int, wt *sim.Task) {
+			if err := p.vmaCache[node].Upsert(v); err != nil {
+				panic(fmt.Sprintf("core: eager VMA sync failed: %v", err))
+			}
+		})
+	}
+	return addr, nil
+}
+
+// munmapAt implements munmap in origin context: the shrink is broadcast to
+// every worker (§III-D), remote PTEs in the range are invalidated, and the
+// ownership directory entries are dropped.
+func (p *Process) munmapAt(t *sim.Task, addr mem.Addr, size uint64) error {
+	if err := p.as.Munmap(addr, size); err != nil {
+		return err
+	}
+	length := mem.PageAlignUp(size)
+	lo := addr.VPN()
+	hi := (addr + mem.Addr(length) - 1).VPN()
+	p.broadcastVMA(t, func(node int, wt *sim.Task) {
+		if err := p.vmaCache[node].Carve(addr, length); err != nil {
+			panic(fmt.Sprintf("core: VMA shrink broadcast failed: %v", err))
+		}
+		p.mgr.PageTable(node).InvalidateRange(lo, hi)
+	})
+	return p.mgr.DropDirectoryRange(t, lo, hi)
+}
+
+// mprotectAt implements mprotect in origin context. Downgrades (losing
+// write permission) are broadcast eagerly; permissive changes propagate
+// through on-demand synchronization.
+func (p *Process) mprotectAt(t *sim.Task, addr mem.Addr, size uint64, prot mem.Prot) error {
+	length := mem.PageAlignUp(size)
+	old, ok := p.as.VMAs.Find(addr)
+	if err := p.as.Mprotect(addr, size, prot); err != nil {
+		return err
+	}
+	downgrade := ok && old.Prot.CanWrite() && !prot.CanWrite()
+	if downgrade || p.m.params.EagerVMASync {
+		v, _ := p.as.VMAs.Find(addr)
+		p.broadcastVMA(t, func(node int, wt *sim.Task) {
+			if err := p.vmaCache[node].Upsert(v); err != nil {
+				panic(fmt.Sprintf("core: VMA downgrade broadcast failed: %v", err))
+			}
+			if downgrade {
+				// Drop write access so stores trap again.
+				lo, hi := addr.VPN(), (addr + mem.Addr(length) - 1).VPN()
+				for vpn := lo; vpn <= hi; vpn++ {
+					p.mgr.PageTable(node).Downgrade(vpn)
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// queryVMA performs the on-demand VMA synchronization of §III-D: a remote
+// thread that sees a missing VMA asks the origin whether the access is
+// legitimate.
+func (p *Process) queryVMA(th *Thread, addr mem.Addr) (mem.VMA, bool) {
+	p.vmaQueries++
+	type res struct {
+		v  mem.VMA
+		ok bool
+	}
+	r := p.delegate(th, "vma-query", func(t *sim.Task) any {
+		v, ok := p.as.VMAs.Find(addr)
+		return res{v: v, ok: ok}
+	}).(res)
+	if r.ok && th.node != p.origin {
+		if err := p.vmaCache[th.node].Upsert(r.v); err != nil {
+			panic(fmt.Sprintf("core: VMA cache update failed: %v", err))
+		}
+	}
+	return r.v, r.ok
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"dex/internal/dsm"
+	"dex/internal/mem"
+	"dex/internal/sim"
+)
+
+// Thread is one execution context of a DeX process. It starts at the
+// process origin and may relocate itself to any node at any time with
+// Migrate. All methods must be called from the thread's own execution (the
+// function passed to Spawn / NewProcess).
+type Thread struct {
+	proc *Process
+	id   int
+	node int
+	task *sim.Task
+	site string
+
+	// pending batches the cost of small local accesses so that hot
+	// word-granularity loops do not create one simulator event per load or
+	// store; it is flushed once it exceeds a couple of microseconds.
+	pending time.Duration
+
+	done    bool
+	joiners []*sim.Task
+}
+
+// smallAccess is the size threshold below which an access charges batched
+// local cost instead of occupying the memory bus individually.
+const smallAccess = 256
+
+// chargeSmall accounts for a small local access: a fixed per-access cost
+// plus its bandwidth share, batched to bound simulator events.
+func (th *Thread) chargeSmall(bytes int) {
+	bw := th.proc.m.params.MemBandwidth
+	th.pending += 25*time.Nanosecond +
+		time.Duration(float64(bytes)/bw*float64(time.Second))
+	if th.pending >= 2*time.Microsecond {
+		d := th.pending
+		th.pending = 0
+		th.task.Sleep(d)
+	}
+}
+
+// ID returns the thread id within its process.
+func (th *Thread) ID() int { return th.id }
+
+// Node returns the node the thread currently executes on.
+func (th *Thread) Node() int { return th.node }
+
+// Process returns the owning process.
+func (th *Thread) Process() *Process { return th.proc }
+
+// Now returns the current virtual time.
+func (th *Thread) Now() time.Duration { return th.task.Now() }
+
+// SetSite tags subsequent faults with a source-location label for the
+// page-fault profiler (the paper's "memory address of the faulting
+// instruction", §IV-A, resolved to a program location).
+func (th *Thread) SetSite(site string) { th.site = site }
+
+// Site returns the current profiling tag.
+func (th *Thread) Site() string { return th.site }
+
+func (th *Thread) ctx() dsm.Ctx {
+	return dsm.Ctx{Node: th.node, Task: th.id, Site: th.site}
+}
+
+// Compute occupies one core of the current node for d of virtual time,
+// queueing behind other runnable threads if all cores are busy.
+func (th *Thread) Compute(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	node := th.proc.m.nodes[th.node]
+	node.cores.Acquire(th.task)
+	th.task.Sleep(d)
+	node.cores.Release()
+}
+
+// Work models a computation phase touching local memory: d of CPU time on
+// a core plus bytes of traffic on the node's shared memory bus. The bus is
+// what saturates for memory-bound workloads when many cores stream at once.
+func (th *Thread) Work(d time.Duration, bytes int) {
+	node := th.proc.m.nodes[th.node]
+	node.cores.Acquire(th.task)
+	if d > 0 {
+		th.task.Sleep(d)
+	}
+	node.cores.Release()
+	if bytes > 0 {
+		node.bus.Transfer(th.task, bytes)
+	}
+}
+
+// Spawn creates a new thread at the origin running fn, like pthread_create.
+// Threads can only be created at the origin (matching the paper's model
+// where all threads of a process share that origin).
+func (th *Thread) Spawn(fn func(*Thread) error) (*Thread, error) {
+	if th.node != th.proc.origin {
+		return nil, fmt.Errorf("%w: spawn from node %d", ErrNotAtOrigin, th.node)
+	}
+	th.Compute(th.proc.m.params.SpawnCost)
+	return th.proc.newThread(th.proc.origin, fn, th), nil
+}
+
+// Join blocks until other finishes.
+func (th *Thread) Join(other *Thread) {
+	for !other.done {
+		other.joiners = append(other.joiners, th.task)
+		th.task.Park(fmt.Sprintf("join t%d", other.id))
+	}
+}
+
+// Mmap allocates a page-aligned region, delegating to the origin when the
+// thread is remote (§III-A: all VMA manipulation happens at the origin).
+func (th *Thread) Mmap(size uint64, prot mem.Prot, label string) (mem.Addr, error) {
+	type res struct {
+		addr mem.Addr
+		err  error
+	}
+	r := th.proc.delegate(th, "mmap", func(t *sim.Task) any {
+		addr, err := th.proc.mmapAt(t, size, prot, label)
+		return res{addr: addr, err: err}
+	}).(res)
+	return r.addr, r.err
+}
+
+// Munmap removes a mapping; the shrink is broadcast to all remote workers.
+func (th *Thread) Munmap(addr mem.Addr, size uint64) error {
+	r := th.proc.delegate(th, "munmap", func(t *sim.Task) any {
+		return th.proc.munmapAt(t, addr, size)
+	})
+	if r == nil {
+		return nil
+	}
+	return r.(error)
+}
+
+// Mprotect changes a mapping's protection. Downgrades are broadcast
+// eagerly; permissive changes propagate on demand.
+func (th *Thread) Mprotect(addr mem.Addr, size uint64, prot mem.Prot) error {
+	r := th.proc.delegate(th, "mprotect", func(t *sim.Task) any {
+		return th.proc.mprotectAt(t, addr, size, prot)
+	})
+	if r == nil {
+		return nil
+	}
+	return r.(error)
+}
+
+// checkAccess validates [addr, addr+size) against the VMA view at the
+// thread's node, performing on-demand VMA synchronization on a miss
+// (§III-D). It returns ErrSegfault or ErrProtection on illegal access.
+func (th *Thread) checkAccess(addr mem.Addr, size int, write bool) error {
+	if size <= 0 {
+		return nil
+	}
+	set := th.proc.vmaSetFor(th.node)
+	a := addr
+	end := addr + mem.Addr(size)
+	for a < end {
+		v, ok := set.Find(a)
+		if !ok {
+			if th.node == th.proc.origin {
+				return fmt.Errorf("%w: %v", ErrSegfault, a)
+			}
+			// Remote cache miss: ask the origin whether the access is
+			// legitimate.
+			v, ok = th.proc.queryVMA(th, a)
+			if !ok {
+				return fmt.Errorf("%w: %v", ErrSegfault, a)
+			}
+		}
+		if write && !v.Prot.CanWrite() {
+			return fmt.Errorf("%w: write to %s VMA at %v", ErrProtection, v.Prot, a)
+		}
+		if !write && !v.Prot.CanRead() {
+			return fmt.Errorf("%w: read from %s VMA at %v", ErrProtection, v.Prot, a)
+		}
+		a = v.End()
+	}
+	return nil
+}
+
+// Read copies len(buf) bytes from the shared address space at addr into
+// buf, faulting pages in as needed through the consistency protocol.
+func (th *Thread) Read(addr mem.Addr, buf []byte) error {
+	if err := th.checkAccess(addr, len(buf), false); err != nil {
+		return err
+	}
+	mgr := th.proc.mgr
+	off := 0
+	for off < len(buf) {
+		a := addr + mem.Addr(off)
+		n := mem.PageSize - a.PageOff()
+		if rem := len(buf) - off; n > rem {
+			n = rem
+		}
+		pte := mgr.EnsurePage(th.task, th.ctx(), a, false)
+		copy(buf[off:off+n], pte.Frame[a.PageOff():a.PageOff()+n])
+		off += n
+	}
+	if len(buf) <= smallAccess {
+		th.chargeSmall(len(buf))
+	} else {
+		th.proc.m.nodes[th.node].bus.Transfer(th.task, len(buf))
+	}
+	return nil
+}
+
+// Write copies data into the shared address space at addr, acquiring
+// exclusive page ownership as needed.
+func (th *Thread) Write(addr mem.Addr, data []byte) error {
+	if err := th.checkAccess(addr, len(data), true); err != nil {
+		return err
+	}
+	mgr := th.proc.mgr
+	off := 0
+	for off < len(data) {
+		a := addr + mem.Addr(off)
+		n := mem.PageSize - a.PageOff()
+		if rem := len(data) - off; n > rem {
+			n = rem
+		}
+		pte := mgr.EnsurePage(th.task, th.ctx(), a, true)
+		copy(pte.Frame[a.PageOff():a.PageOff()+n], data[off:off+n])
+		off += n
+	}
+	if len(data) <= smallAccess {
+		th.chargeSmall(len(data))
+	} else {
+		th.proc.m.nodes[th.node].bus.Transfer(th.task, len(data))
+	}
+	return nil
+}
+
+// ReadReplicate copies len(buf) bytes from addr like Read, but models the
+// iterative re-read of a replicated working set: pages already present
+// locally are treated as cache-resident and charge no bus traffic — only
+// pages newly pulled in by the consistency protocol pay for their bytes.
+// Use it for data re-scanned every iteration whose streaming cost the
+// application accounts separately (e.g. via Work).
+func (th *Thread) ReadReplicate(addr mem.Addr, buf []byte) error {
+	if err := th.checkAccess(addr, len(buf), false); err != nil {
+		return err
+	}
+	mgr := th.proc.mgr
+	faulted := 0
+	off := 0
+	for off < len(buf) {
+		a := addr + mem.Addr(off)
+		n := mem.PageSize - a.PageOff()
+		if rem := len(buf) - off; n > rem {
+			n = rem
+		}
+		if mgr.Lookup(th.node, a.VPN(), false) == nil {
+			faulted += mem.PageSize
+		}
+		pte := mgr.EnsurePage(th.task, th.ctx(), a, false)
+		copy(buf[off:off+n], pte.Frame[a.PageOff():a.PageOff()+n])
+		off += n
+	}
+	if faulted > 0 {
+		th.proc.m.nodes[th.node].bus.Transfer(th.task, faulted)
+	} else {
+		th.chargeSmall(64)
+	}
+	return nil
+}
+
+// Prefetch is a data-access hint (§IV-A of the paper): it pulls read
+// replicas of the pages spanning [addr, addr+size) to the current node in
+// batched protocol requests, amortizing the per-page round trip a naive
+// access pattern would pay. It is best effort — busy or already-present
+// pages are skipped — and returns how many pages were actually replicated.
+func (th *Thread) Prefetch(addr mem.Addr, size int) (int, error) {
+	if size <= 0 {
+		return 0, nil
+	}
+	if err := th.checkAccess(addr, size, false); err != nil {
+		return 0, err
+	}
+	first := addr.VPN()
+	last := (addr + mem.Addr(size) - 1).VPN()
+	vpns := make([]uint64, 0, last-first+1)
+	for vpn := first; vpn <= last; vpn++ {
+		vpns = append(vpns, vpn)
+	}
+	return th.proc.mgr.Prefetch(th.task, th.ctx(), vpns)
+}
+
+// ReadUint64 loads one 64-bit word (little endian).
+func (th *Thread) ReadUint64(addr mem.Addr) (uint64, error) {
+	var buf [8]byte
+	if err := th.Read(addr, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// WriteUint64 stores one 64-bit word (little endian).
+func (th *Thread) WriteUint64(addr mem.Addr, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return th.Write(addr, buf[:])
+}
+
+// ReadUint32 loads one 32-bit word (little endian).
+func (th *Thread) ReadUint32(addr mem.Addr) (uint32, error) {
+	var buf [4]byte
+	if err := th.Read(addr, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+// WriteUint32 stores one 32-bit word (little endian).
+func (th *Thread) WriteUint32(addr mem.Addr, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return th.Write(addr, buf[:])
+}
+
+// ReadFloat64 loads one float64.
+func (th *Thread) ReadFloat64(addr mem.Addr) (float64, error) {
+	v, err := th.ReadUint64(addr)
+	return math.Float64frombits(v), err
+}
+
+// WriteFloat64 stores one float64.
+func (th *Thread) WriteFloat64(addr mem.Addr, v float64) error {
+	return th.WriteUint64(addr, math.Float64bits(v))
+}
+
+// CompareAndSwapUint32 atomically replaces the word at addr with new if it
+// equals old, reporting whether the swap happened. Atomicity comes from
+// exclusive page ownership: the page cannot be revoked between the load and
+// the store.
+func (th *Thread) CompareAndSwapUint32(addr mem.Addr, old, new uint32) (bool, error) {
+	if err := th.checkAccess(addr, 4, true); err != nil {
+		return false, err
+	}
+	if addr.PageOff() > mem.PageSize-4 {
+		return false, fmt.Errorf("%w: CAS straddles a page boundary at %v", mem.ErrBadRange, addr)
+	}
+	pte := th.proc.mgr.EnsurePage(th.task, th.ctx(), addr, true)
+	word := pte.Frame[addr.PageOff() : addr.PageOff()+4]
+	swapped := binary.LittleEndian.Uint32(word) == old
+	if swapped {
+		binary.LittleEndian.PutUint32(word, new)
+	}
+	th.chargeSmall(4) // after the mutation: chargeSmall may yield
+	return swapped, nil
+}
+
+// AddUint64 atomically adds delta to the word at addr and returns the new
+// value (exclusive ownership makes the read-modify-write atomic).
+func (th *Thread) AddUint64(addr mem.Addr, delta uint64) (uint64, error) {
+	if err := th.checkAccess(addr, 8, true); err != nil {
+		return 0, err
+	}
+	if addr.PageOff() > mem.PageSize-8 {
+		return 0, fmt.Errorf("%w: atomic add straddles a page boundary at %v", mem.ErrBadRange, addr)
+	}
+	pte := th.proc.mgr.EnsurePage(th.task, th.ctx(), addr, true)
+	word := pte.Frame[addr.PageOff() : addr.PageOff()+8]
+	v := binary.LittleEndian.Uint64(word) + delta
+	binary.LittleEndian.PutUint64(word, v)
+	th.chargeSmall(8) // after the mutation: chargeSmall may yield
+	return v, nil
+}
+
+// AddFloat64 atomically adds delta to the float64 at addr and returns the
+// new value. Like AddUint64, exclusive page ownership makes the
+// read-modify-write atomic.
+func (th *Thread) AddFloat64(addr mem.Addr, delta float64) (float64, error) {
+	if err := th.checkAccess(addr, 8, true); err != nil {
+		return 0, err
+	}
+	if addr.PageOff() > mem.PageSize-8 {
+		return 0, fmt.Errorf("%w: atomic add straddles a page boundary at %v", mem.ErrBadRange, addr)
+	}
+	pte := th.proc.mgr.EnsurePage(th.task, th.ctx(), addr, true)
+	word := pte.Frame[addr.PageOff() : addr.PageOff()+8]
+	v := math.Float64frombits(binary.LittleEndian.Uint64(word)) + delta
+	binary.LittleEndian.PutUint64(word, math.Float64bits(v))
+	th.chargeSmall(8) // after the mutation: chargeSmall may yield
+	return v, nil
+}
+
+// Futex word states used by FutexWait/FutexWake callers are application
+// defined; the kernel-side semantics match Linux FUTEX_WAIT/FUTEX_WAKE.
+
+// FutexWait blocks until woken if the 32-bit word at addr still holds val.
+// The check and the enqueue are delegated to the origin and performed
+// against origin-local memory, exactly as §III-A describes. It returns
+// false (EAGAIN) if the value had already changed.
+func (th *Thread) FutexWait(addr mem.Addr, val uint32) (bool, error) {
+	if err := th.checkAccess(addr, 4, false); err != nil {
+		return false, err
+	}
+	p := th.proc
+	type res struct {
+		slept bool
+		err   error
+	}
+	r := p.delegate(th, "futex-wait", func(t *sim.Task) any {
+		// The value check runs at the origin against origin-resident
+		// memory (pulling the page home if needed).
+		pte := p.mgr.EnsurePage(t, dsm.Ctx{Node: p.origin, Task: th.id, Site: "futex"}, addr, false)
+		cur := binary.LittleEndian.Uint32(pte.Frame[addr.PageOff() : addr.PageOff()+4])
+		if cur != val {
+			return res{slept: false}
+		}
+		w := p.fut.Enqueue(t, addr)
+		w.Block()
+		return res{slept: true}
+	}).(res)
+	return r.slept, r.err
+}
+
+// FutexWake wakes up to n waiters blocked on addr and returns how many were
+// woken. Like FutexWait it executes at the origin.
+func (th *Thread) FutexWake(addr mem.Addr, n int) (int, error) {
+	if err := th.checkAccess(addr, 4, false); err != nil {
+		return 0, err
+	}
+	p := th.proc
+	woken := p.delegate(th, "futex-wake", func(t *sim.Task) any {
+		return p.fut.Wake(addr, n)
+	}).(int)
+	return woken, nil
+}

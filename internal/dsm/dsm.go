@@ -1,0 +1,636 @@
+// Package dsm implements DeX's page-level memory consistency protocol
+// (§III-B of the paper) and its concurrent fault handling (§III-C).
+//
+// The protocol is a multiple-reader / single-writer, read-replicate /
+// write-invalidate design providing sequential consistency. The origin node
+// of a process tracks page ownership on a per-page, per-node basis in a
+// radix tree indexed by virtual page number. A node may keep accessing a
+// page without contacting the origin as long as it holds proper ownership;
+// read requests earn a shared copy, write requests earn exclusive ownership
+// after the origin revokes every other copy. When the requester already
+// holds an up-to-date copy, the origin grants ownership without resending
+// the page data.
+//
+// Concurrent faults on one node are tamed with the paper's leader-follower
+// model: the first thread to fault on a (page, access-type) pair becomes the
+// leader and runs the protocol; followers park and simply resume with the
+// updated PTE. Cross-node races are resolved by the origin serializing
+// transactions per page and NACKing conflicting requests, which retry after
+// a backoff — reproducing the bimodal fault-latency distribution of §V-D.
+package dsm
+
+import (
+	"fmt"
+	"time"
+
+	"dex/internal/fabric"
+	"dex/internal/mem"
+	"dex/internal/radix"
+	"dex/internal/sim"
+)
+
+// Kind classifies a consistency-protocol event for profiling.
+type Kind int
+
+// Fault kinds, matching the paper's trace tuple (read/write/invalidate).
+const (
+	KindRead Kind = iota + 1
+	KindWrite
+	KindInvalidate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindInvalidate:
+		return "invalidate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Params holds the software-cost model and protocol switches.
+type Params struct {
+	// FaultEntry is the cost of trapping into the fault handler and
+	// consulting the ongoing-fault table.
+	FaultEntry time.Duration
+	// OriginDispatch is the cost of dispatching an incoming page request
+	// to a handler context at the origin.
+	OriginDispatch time.Duration
+	// Directory is the cost of one ownership-directory transaction.
+	Directory time.Duration
+	// PTEInstall is the cost of the serialized PTE update.
+	PTEInstall time.Duration
+	// FollowerWake is the cost a coalesced follower pays to resume.
+	FollowerWake time.Duration
+	// InvalidateApply is the cost of applying one revocation to a PTE.
+	InvalidateApply time.Duration
+	// NackBackoffBase/Jitter control the retry delay after a conflicting
+	// (NACKed) request; the delay grows linearly with the attempt count.
+	NackBackoffBase   time.Duration
+	NackBackoffJitter time.Duration
+
+	// DisableCoalescing turns off the leader-follower model (ablation A1):
+	// every faulting thread runs the full protocol itself.
+	DisableCoalescing bool
+	// AlwaysSendData disables ownership-only grants (ablation A4): page
+	// data is resent even when the requester's copy is fresh.
+	AlwaysSendData bool
+	// RecordLatency keeps a per-fault latency sample (for §V-D analysis).
+	RecordLatency bool
+}
+
+// DefaultParams returns the software-cost model calibrated so that an
+// uncontended remote fault lands near the paper's 19.3 µs and a contended,
+// retried fault near 158.8 µs (§V-D).
+func DefaultParams() Params {
+	return Params{
+		FaultEntry:        2000 * time.Nanosecond,
+		OriginDispatch:    2200 * time.Nanosecond,
+		Directory:         1500 * time.Nanosecond,
+		PTEInstall:        1200 * time.Nanosecond,
+		FollowerWake:      500 * time.Nanosecond,
+		InvalidateApply:   600 * time.Nanosecond,
+		NackBackoffBase:   75 * time.Microsecond,
+		NackBackoffJitter: 70 * time.Microsecond,
+	}
+}
+
+// FaultEvent is the profiler-visible record of one consistency event,
+// mirroring the paper's trace tuple (§IV-A).
+type FaultEvent struct {
+	Time    time.Duration
+	Node    int
+	Task    int
+	Kind    Kind
+	Site    string
+	Addr    mem.Addr
+	Latency time.Duration
+	Retries int
+}
+
+// Hook receives fault events as they complete.
+type Hook func(FaultEvent)
+
+// Ctx identifies the faulting context for accounting and profiling.
+type Ctx struct {
+	Node int
+	Task int
+	Site string
+}
+
+// Stats aggregates protocol activity.
+type Stats struct {
+	ReadFaults      uint64
+	WriteFaults     uint64
+	FollowerJoins   uint64
+	Nacks           uint64
+	Invalidations   uint64
+	Downgrades      uint64
+	PageTransfers   uint64 // pages pulled back to the origin from writers
+	OwnershipGrants uint64 // write grants that skipped the data transfer
+	PrefetchedPages uint64 // pages granted through batched prefetch hints
+	TotalLatency    time.Duration
+}
+
+// Faults returns the total number of lead faults handled by the protocol.
+func (s Stats) Faults() uint64 { return s.ReadFaults + s.WriteFaults }
+
+type fkey struct {
+	vpn   uint64
+	write bool
+}
+
+// faultGroup tracks one in-progress lead fault and its coalesced followers.
+type faultGroup struct {
+	followers []*sim.Task
+}
+
+// outstanding tracks a request this node has in flight to the origin, and
+// serializes revocations that target the ownership being granted: a revoke
+// arriving between the grant reply and the PTE install is deferred until
+// the install completes.
+type outstanding struct {
+	vpn       uint64
+	task      *sim.Task
+	done      bool
+	nack      bool
+	stale     bool
+	withData  bool
+	installed bool
+	deferred  []func()
+}
+
+type nodeState struct {
+	pt          mem.PageTable
+	faults      map[fkey]*faultGroup
+	outstanding map[uint64]*outstanding // keyed by request token
+}
+
+// dirEntry is the origin's per-page ownership record.
+//
+// Invariant: writer >= 0 implies owners == {writer}; writer < 0 implies the
+// origin is among the owners and its copy is up to date.
+type dirEntry struct {
+	owners uint64 // bitmask of nodes holding a valid copy
+	writer int    // exclusive owner, or -1
+	busy   bool   // a transaction is in flight for this page
+}
+
+func (d *dirEntry) has(node int) bool { return d.owners&(1<<uint(node)) != 0 }
+func (d *dirEntry) add(node int)      { d.owners |= 1 << uint(node) }
+func (d *dirEntry) ownerList(exclude int) []int {
+	var out []int
+	for n := 0; n < 64; n++ {
+		if n != exclude && d.owners&(1<<uint(n)) != 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Manager runs the consistency protocol for one process across all nodes.
+type Manager struct {
+	eng    *sim.Engine
+	net    *fabric.Network
+	params Params
+	pid    int
+	origin int
+	nodes  []*nodeState
+	dir    radix.Tree[*dirEntry]
+	hook   Hook
+	stats  Stats
+
+	reqSeq      uint64
+	revokeSeq   uint64
+	revokeWait  map[uint64]*revokeWaiter
+	installWait map[uint64]*revokeWaiter
+
+	latencies []time.Duration
+}
+
+type revokeWaiter struct {
+	task *sim.Task
+	done bool
+}
+
+// New creates a protocol manager for process pid whose origin is the given
+// node. hook may be nil.
+func New(eng *sim.Engine, net *fabric.Network, params Params, pid, origin, nodes int, hook Hook) *Manager {
+	if nodes > 64 {
+		panic("dsm: at most 64 nodes (ownership bitmask)")
+	}
+	if origin < 0 || origin >= nodes {
+		panic(fmt.Sprintf("dsm: origin %d out of range", origin))
+	}
+	m := &Manager{
+		eng:         eng,
+		net:         net,
+		params:      params,
+		pid:         pid,
+		origin:      origin,
+		hook:        hook,
+		nodes:       make([]*nodeState, nodes),
+		revokeWait:  make(map[uint64]*revokeWaiter),
+		installWait: make(map[uint64]*revokeWaiter),
+	}
+	for i := range m.nodes {
+		m.nodes[i] = &nodeState{
+			faults:      make(map[fkey]*faultGroup),
+			outstanding: make(map[uint64]*outstanding),
+		}
+	}
+	return m
+}
+
+// PID returns the process id this manager serves.
+func (m *Manager) PID() int { return m.pid }
+
+// Origin returns the origin node of the process.
+func (m *Manager) Origin() int { return m.origin }
+
+// Stats returns a snapshot of the protocol counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Latencies returns recorded per-fault latencies (empty unless
+// Params.RecordLatency is set).
+func (m *Manager) Latencies() []time.Duration { return m.latencies }
+
+// PageTable exposes a node's page table (used by the execution layer for
+// data access and by tests for verification).
+func (m *Manager) PageTable(node int) *mem.PageTable { return &m.nodes[node].pt }
+
+// Lookup returns the PTE if node already holds the page with the required
+// access (the no-fault fast path), or nil.
+func (m *Manager) Lookup(node int, vpn uint64, write bool) *mem.PTE {
+	pte := m.nodes[node].pt.Lookup(vpn)
+	if pte == nil || !pte.Present || (write && !pte.Writable) {
+		return nil
+	}
+	return pte
+}
+
+// EnsurePage makes the page containing addr accessible at ctx.Node with the
+// requested access, running the consistency protocol if needed, and returns
+// the PTE. The returned PTE (and its frame) is only guaranteed valid until
+// the task next yields to the simulator; callers must copy data in or out
+// before blocking again.
+func (m *Manager) EnsurePage(t *sim.Task, ctx Ctx, addr mem.Addr, write bool) *mem.PTE {
+	ns := m.nodes[ctx.Node]
+	vpn := addr.VPN()
+	key := fkey{vpn: vpn, write: write}
+	for {
+		if pte := m.Lookup(ctx.Node, vpn, write); pte != nil {
+			return pte
+		}
+		if g, ok := ns.faults[key]; ok && !m.params.DisableCoalescing {
+			// Follower: wait for the leader, then resume with its PTE.
+			m.stats.FollowerJoins++
+			g.followers = append(g.followers, t)
+			t.Park("fault follower " + addr.String())
+			t.Sleep(m.params.FollowerWake)
+			continue
+		}
+		g := &faultGroup{}
+		ns.faults[key] = g
+		start := t.Now()
+		t.Sleep(m.params.FaultEntry)
+		retries, protocol := m.leadFault(t, ctx.Node, vpn, write)
+		delete(ns.faults, key)
+		for _, f := range g.followers {
+			f.Unpark()
+		}
+		if protocol {
+			m.recordFault(ctx, addr, write, t.Now()-start, retries)
+		}
+		// Loop to re-validate: a revocation may already have raced in.
+	}
+}
+
+func (m *Manager) recordFault(ctx Ctx, addr mem.Addr, write bool, latency time.Duration, retries int) {
+	if write {
+		m.stats.WriteFaults++
+	} else {
+		m.stats.ReadFaults++
+	}
+	m.stats.TotalLatency += latency
+	if m.params.RecordLatency {
+		m.latencies = append(m.latencies, latency)
+	}
+	if m.hook != nil {
+		kind := KindRead
+		if write {
+			kind = KindWrite
+		}
+		m.hook(FaultEvent{
+			Time:    m.eng.Now(),
+			Node:    ctx.Node,
+			Task:    ctx.Task,
+			Kind:    kind,
+			Site:    ctx.Site,
+			Addr:    addr,
+			Latency: latency,
+			Retries: retries,
+		})
+	}
+}
+
+// leadFault runs the protocol for one lead fault. It reports the number of
+// NACK retries and whether the consistency protocol was actually involved
+// (a first-touch demand-zero fault at the origin is not a protocol fault).
+func (m *Manager) leadFault(t *sim.Task, node int, vpn uint64, write bool) (retries int, protocol bool) {
+	if node == m.origin {
+		return m.originFault(t, vpn, write)
+	}
+	return m.remoteFault(t, node, vpn, write), true
+}
+
+func (m *Manager) backoff(t *sim.Task, attempt int) {
+	d := m.params.NackBackoffBase * time.Duration(attempt)
+	if m.params.NackBackoffJitter > 0 {
+		d += time.Duration(m.eng.Rand().Int63n(int64(m.params.NackBackoffJitter)))
+	}
+	t.Sleep(d)
+}
+
+// remoteFault implements the requester side at a non-origin node.
+func (m *Manager) remoteFault(t *sim.Task, node int, vpn uint64, write bool) int {
+	ns := m.nodes[node]
+	for attempt := 1; ; attempt++ {
+		pr := m.net.PreparePageRecv(t, m.origin, node)
+		m.reqSeq++
+		token := m.reqSeq
+		req := &outstanding{vpn: vpn, task: t}
+		ns.outstanding[token] = req
+		m.net.Send(t, node, m.origin, &pageRequest{
+			pid:   m.pid,
+			vpn:   vpn,
+			write: write,
+			node:  node,
+			token: token,
+			pr:    pr,
+		})
+		for !req.done {
+			t.Park("page reply " + mem.Addr(vpn<<mem.PageShift).String())
+		}
+		if req.nack {
+			delete(ns.outstanding, token)
+			pr.Release()
+			m.stats.Nacks++
+			m.backoff(t, attempt)
+			continue
+		}
+		if req.stale {
+			// A concurrent transaction already satisfied this access; the
+			// caller re-validates the PTE.
+			delete(ns.outstanding, token)
+			pr.Release()
+			return attempt - 1
+		}
+		var frame []byte
+		if req.withData {
+			frame = pr.Claim(t)
+		} else {
+			// Ownership-only grant: our existing copy is up to date.
+			pr.Release()
+			pte := ns.pt.Lookup(vpn)
+			if pte == nil || pte.Frame == nil {
+				panic(fmt.Sprintf("dsm: ownership-only grant for vpn %#x but node %d has no copy", vpn, node))
+			}
+			frame = pte.Frame
+		}
+		t.Sleep(m.params.PTEInstall)
+		ns.pt.Map(vpn, frame, write)
+		req.installed = true
+		delete(ns.outstanding, token)
+		m.net.Send(t, node, m.origin, &installAck{pid: m.pid, token: token})
+		// Apply revocations deferred during the install window.
+		for _, fn := range req.deferred {
+			fn()
+		}
+		return attempt - 1
+	}
+}
+
+// originFault handles a fault taken by a thread running at the origin.
+func (m *Manager) originFault(t *sim.Task, vpn uint64, write bool) (int, bool) {
+	for attempt := 1; ; attempt++ {
+		de, created := m.entry(vpn)
+		if created {
+			// First touch anywhere: the origin owns the zero-filled page
+			// exclusively; no consistency traffic required.
+			return attempt - 1, false
+		}
+		if de.busy {
+			m.stats.Nacks++
+			m.backoff(t, attempt)
+			continue
+		}
+		if m.Lookup(m.origin, vpn, write) != nil {
+			// Raced with a transaction that restored our access.
+			return attempt - 1, true
+		}
+		de.busy = true
+		t.Sleep(m.params.Directory)
+		m.serveLocked(t, de, m.origin, vpn, write)
+		de.busy = false
+		t.Sleep(m.params.PTEInstall)
+		return attempt - 1, true
+	}
+}
+
+// entry returns the directory entry for vpn, creating the initial record on
+// first touch: the origin owns every page exclusively and its (zero-filled)
+// frame is materialized immediately so that the directory invariant — the
+// origin's copy is up to date unless a remote holds the page exclusively —
+// holds from the start.
+func (m *Manager) entry(vpn uint64) (*dirEntry, bool) {
+	created := false
+	de, _ := m.dir.GetOrCreate(vpn, func() *dirEntry {
+		created = true
+		m.nodes[m.origin].pt.Map(vpn, mem.NewFrame(), true)
+		return &dirEntry{owners: 1 << uint(m.origin), writer: m.origin}
+	})
+	return de, created
+}
+
+// originFrame returns the origin's current frame for vpn. It panics if the
+// origin's copy is stale, which would be a protocol invariant violation.
+func (m *Manager) originFrame(vpn uint64) []byte {
+	pte := m.nodes[m.origin].pt.Lookup(vpn)
+	if pte == nil || pte.Frame == nil {
+		panic(fmt.Sprintf("dsm: origin copy of vpn %#x is stale", vpn))
+	}
+	return pte.Frame
+}
+
+// serveLocked performs one directory transaction for reqNode with de.busy
+// held. On return the directory reflects the grant; for a local (origin)
+// requester the origin page table is updated in place. For a remote
+// requester it returns whether the grant carries page data, and the data.
+func (m *Manager) serveLocked(t *sim.Task, de *dirEntry, reqNode int, vpn uint64, write bool) (withData bool, data []byte) {
+	if de.writer == reqNode {
+		panic(fmt.Sprintf("dsm: node %d faulted on vpn %#x it owns exclusively", reqNode, vpn))
+	}
+	if write {
+		return m.serveWrite(t, de, reqNode, vpn)
+	}
+	return m.serveRead(t, de, reqNode, vpn)
+}
+
+func (m *Manager) serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
+	switch {
+	case de.writer == m.origin:
+		// The origin downgrades its own exclusive copy.
+		m.nodes[m.origin].pt.Downgrade(vpn)
+		de.writer = -1
+	case de.writer >= 0:
+		// A remote holds the page exclusively: downgrade it and pull the
+		// fresh data back to the origin.
+		m.fetchFromWriter(t, de, vpn, true /* downgrade */)
+	}
+	de.add(reqNode)
+	if reqNode == m.origin {
+		m.nodes[m.origin].pt.Map(vpn, m.originFrame(vpn), false)
+		return false, nil
+	}
+	return true, m.originFrame(vpn)
+}
+
+func (m *Manager) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
+	needData := !de.has(reqNode) || m.params.AlwaysSendData
+	if needData && de.writer >= 0 && de.writer != m.origin {
+		// The fresh copy lives at a remote exclusive owner: pull it home
+		// before revoking everything.
+		m.fetchFromWriter(t, de, vpn, false /* invalidate */)
+	}
+	// Capture the outbound data before the origin's own copy is revoked.
+	var data []byte
+	if needData && reqNode != m.origin {
+		data = m.originFrame(vpn)
+	}
+	// Revoke every copy except the requester's.
+	var acks []*revokeWaiter
+	for _, owner := range de.ownerList(reqNode) {
+		if owner == m.origin {
+			m.nodes[m.origin].pt.Invalidate(vpn)
+			t.Sleep(m.params.InvalidateApply)
+			m.stats.Invalidations++
+			m.emitInvalidate(m.origin, vpn)
+			continue
+		}
+		acks = append(acks, m.sendRevoke(t, owner, vpn, false, nil))
+	}
+	m.waitRevokes(t, acks)
+	if !needData {
+		m.stats.OwnershipGrants++
+	}
+	de.owners = 1 << uint(reqNode)
+	de.writer = reqNode
+	if reqNode == m.origin {
+		m.nodes[m.origin].pt.Map(vpn, m.originFrame(vpn), true)
+		return false, nil
+	}
+	return needData, data
+}
+
+// fetchFromWriter revokes the remote exclusive owner of vpn and installs the
+// returned data as the origin's copy. With downgrade the owner keeps a
+// shared (read-only) copy; otherwise its mapping is dropped.
+func (m *Manager) fetchFromWriter(t *sim.Task, de *dirEntry, vpn uint64, downgrade bool) {
+	w := de.writer
+	pr := m.net.PreparePageRecv(t, w, m.origin)
+	waiter := m.sendRevokeWithData(t, w, vpn, downgrade, pr)
+	m.waitRevokes(t, []*revokeWaiter{waiter})
+	data := pr.Claim(t)
+	m.nodes[m.origin].pt.Map(vpn, data, false)
+	m.stats.PageTransfers++
+	de.writer = -1
+	de.owners = 1 << uint(m.origin)
+	if downgrade {
+		de.add(w)
+	}
+}
+
+func (m *Manager) sendRevoke(t *sim.Task, target int, vpn uint64, downgrade bool, pr *fabric.PageRecv) *revokeWaiter {
+	m.revokeSeq++
+	seq := m.revokeSeq
+	w := &revokeWaiter{task: t}
+	m.revokeWait[seq] = w
+	m.net.Send(t, m.origin, target, &revokeMsg{
+		pid:       m.pid,
+		vpn:       vpn,
+		seq:       seq,
+		downgrade: downgrade,
+		needData:  pr != nil,
+		pr:        pr,
+	})
+	if downgrade {
+		m.stats.Downgrades++
+	} else {
+		m.stats.Invalidations++
+	}
+	return w
+}
+
+func (m *Manager) sendRevokeWithData(t *sim.Task, target int, vpn uint64, downgrade bool, pr *fabric.PageRecv) *revokeWaiter {
+	return m.sendRevoke(t, target, vpn, downgrade, pr)
+}
+
+func (m *Manager) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
+	for _, w := range acks {
+		for !w.done {
+			t.Park("revoke ack")
+		}
+	}
+}
+
+// DropDirectoryRange removes all ownership state for pages lo..hi
+// (inclusive VPNs) and the origin's own mappings, after the caller has
+// already invalidated remote PTEs in the range. It is used when VMAs
+// shrink (munmap). Pages with a transaction still in its install window
+// are waited out (those windows are bounded by one grant round trip); if a
+// page stays busy — the application is unmapping memory it is concurrently
+// faulting on — an error is returned.
+func (m *Manager) DropDirectoryRange(t *sim.Task, lo, hi uint64) error {
+	for attempt := 0; ; attempt++ {
+		busyVPN := uint64(0)
+		busy := false
+		var victims []uint64
+		m.dir.ForRange(lo, hi, func(vpn uint64, de *dirEntry) bool {
+			if de.busy {
+				busy = true
+				busyVPN = vpn
+				return false
+			}
+			victims = append(victims, vpn)
+			return true
+		})
+		if !busy {
+			for _, vpn := range victims {
+				m.dir.Delete(vpn)
+			}
+			m.nodes[m.origin].pt.InvalidateRange(lo, hi)
+			return nil
+		}
+		if attempt >= 50 {
+			return fmt.Errorf("dsm: munmap races with a persistent transaction on vpn %#x", busyVPN)
+		}
+		t.Sleep(20 * time.Microsecond)
+	}
+}
+
+func (m *Manager) emitInvalidate(node int, vpn uint64) {
+	if m.hook != nil {
+		m.hook(FaultEvent{
+			Time: m.eng.Now(),
+			Node: node,
+			Task: -1,
+			Kind: KindInvalidate,
+			Addr: mem.Addr(vpn << mem.PageShift),
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package dsm
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// CheckInvariants verifies the protocol's global invariants. It is intended
+// to be called when the simulation is quiescent (no transaction in flight):
+//
+//  1. An exclusive writer is the sole owner, its PTE is present and
+//     writable, and no other node has the page present.
+//  2. With no exclusive writer, the origin is among the owners, every owner
+//     has a present read-only (or origin-writable pre-share) mapping, every
+//     owner's frame is byte-identical, and no non-owner has the page.
+//  3. No directory entry is marked busy.
+func (m *Manager) CheckInvariants() error {
+	var err error
+	m.dir.ForEach(func(vpn uint64, de *dirEntry) bool {
+		if de.busy {
+			err = fmt.Errorf("dsm: vpn %#x still busy", vpn)
+			return false
+		}
+		if de.writer >= 0 {
+			if de.owners != 1<<uint(de.writer) {
+				err = fmt.Errorf("dsm: vpn %#x writer %d but owners %#x", vpn, de.writer, de.owners)
+				return false
+			}
+			// The writer must still hold the page. Its write bit may have
+			// been stripped by an mprotect downgrade without changing DSM
+			// ownership, so only presence is required.
+			pte := m.nodes[de.writer].pt.Lookup(vpn)
+			if pte == nil || !pte.Present || pte.Frame == nil {
+				err = fmt.Errorf("dsm: vpn %#x writer %d lost its mapping", vpn, de.writer)
+				return false
+			}
+		} else if !de.has(m.origin) {
+			err = fmt.Errorf("dsm: vpn %#x has no writer and origin not an owner", vpn)
+			return false
+		}
+		var ref []byte
+		for n := range m.nodes {
+			pte := m.nodes[n].pt.Lookup(vpn)
+			present := pte != nil && pte.Present
+			if de.has(n) != present {
+				err = fmt.Errorf("dsm: vpn %#x node %d directory says owner=%v but present=%v",
+					vpn, n, de.has(n), present)
+				return false
+			}
+			if !present {
+				continue
+			}
+			if de.writer < 0 && pte.Writable && n != m.origin {
+				err = fmt.Errorf("dsm: vpn %#x node %d writable without exclusive ownership", vpn, n)
+				return false
+			}
+			if ref == nil {
+				ref = pte.Frame
+			} else if !bytes.Equal(ref, pte.Frame) {
+				err = fmt.Errorf("dsm: vpn %#x replicas diverge between owners", vpn)
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}

@@ -1,0 +1,240 @@
+package dsm
+
+import (
+	"fmt"
+
+	"dex/internal/fabric"
+	"dex/internal/sim"
+)
+
+// Wire sizes of the protocol control messages in bytes. Page data itself
+// travels through the fabric's page path, not inside these messages.
+const (
+	pageRequestSize = 64
+	pageReplySize   = 48
+	revokeSize      = 56
+	revokeAckSize   = 40
+)
+
+// pageRequest asks the origin for access to a page. The requester has
+// already prepared a landing zone (pr) for possible page data.
+type pageRequest struct {
+	pid   int
+	vpn   uint64
+	write bool
+	node  int
+	token uint64
+	pr    *fabric.PageRecv
+}
+
+func (*pageRequest) Size() int { return pageRequestSize }
+
+// pageReply answers a pageRequest. nack means the directory entry was busy
+// and the requester must retry; stale means the request was already
+// satisfied by a concurrent transaction (the requester re-validates its
+// PTE); withData means page data was RDMA'd into the requester's prepared
+// landing zone.
+type pageReply struct {
+	pid      int
+	token    uint64
+	nack     bool
+	stale    bool
+	withData bool
+}
+
+func (*pageReply) Size() int { return pageReplySize }
+
+// installAck tells the origin the requester has installed its granted PTE,
+// closing the page's ownership-transition window.
+type installAck struct {
+	pid   int
+	token uint64
+}
+
+func (*installAck) Size() int { return revokeAckSize }
+
+// revokeMsg revokes (or downgrades) a node's copy of a page. If needData is
+// set, the target must ship its copy into pr (at the origin) with the ack.
+type revokeMsg struct {
+	pid       int
+	vpn       uint64
+	seq       uint64
+	downgrade bool
+	needData  bool
+	pr        *fabric.PageRecv
+}
+
+func (*revokeMsg) Size() int { return revokeSize }
+
+// revokeAck acknowledges a revokeMsg.
+type revokeAck struct {
+	pid int
+	seq uint64
+}
+
+func (*revokeAck) Size() int { return revokeAckSize }
+
+// HandleMessage processes a fabric message addressed to node if it belongs
+// to this manager's protocol and process; it reports whether the message
+// was consumed. It runs in event context and spawns tasks for any blocking
+// work.
+func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
+	switch mm := msg.(type) {
+	case *prefetchRequest:
+		if mm.pid != m.pid {
+			return false
+		}
+		if node != m.origin {
+			panic(fmt.Sprintf("dsm: prefetch request delivered to node %d (origin %d)", node, m.origin))
+		}
+		m.eng.Spawn("dsm-prefetch", func(t *sim.Task) { m.servePrefetch(t, mm) })
+		return true
+	case *pageRequest:
+		if mm.pid != m.pid {
+			return false
+		}
+		if node != m.origin {
+			panic(fmt.Sprintf("dsm: page request for pid %d delivered to node %d (origin %d)", m.pid, node, m.origin))
+		}
+		m.eng.Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, mm) })
+		return true
+	case *pageReply:
+		if mm.pid != m.pid {
+			return false
+		}
+		m.handleReply(node, mm)
+		return true
+	case *revokeMsg:
+		if mm.pid != m.pid {
+			return false
+		}
+		m.applyRevoke(node, mm)
+		return true
+	case *installAck:
+		if mm.pid != m.pid {
+			return false
+		}
+		w, ok := m.installWait[mm.token]
+		if !ok {
+			panic(fmt.Sprintf("dsm: stray install ack token %d", mm.token))
+		}
+		delete(m.installWait, mm.token)
+		w.done = true
+		w.task.Unpark()
+		return true
+	case *revokeAck:
+		if mm.pid != m.pid {
+			return false
+		}
+		w, ok := m.revokeWait[mm.seq]
+		if !ok {
+			panic(fmt.Sprintf("dsm: stray revoke ack seq %d", mm.seq))
+		}
+		delete(m.revokeWait, mm.seq)
+		w.done = true
+		w.task.Unpark()
+		return true
+	default:
+		return false
+	}
+}
+
+// servePageRequest runs the origin side of one page transaction in its own
+// task (the transaction may block on revocations). The directory entry
+// stays busy until the requester acknowledges its PTE install: the page is
+// in ownership transition for that whole window, and conflicting requests
+// are NACKed — the source of the retried, slow faults of §V-D.
+func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest) {
+	t.Sleep(m.params.OriginDispatch)
+	de, _ := m.entry(req.vpn)
+	if de.busy {
+		m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: req.token, nack: true})
+		return
+	}
+	if (!req.write && de.has(req.node)) || (req.write && de.writer == req.node) {
+		// A concurrent transaction already satisfied this request (e.g. a
+		// read request racing with the same node's write grant): tell the
+		// requester to re-validate its PTE.
+		m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: req.token, stale: true})
+		return
+	}
+	de.busy = true
+	t.Sleep(m.params.Directory)
+	withData, data := m.serveLocked(t, de, req.node, req.vpn, req.write)
+	reply := &pageReply{pid: m.pid, token: req.token, withData: withData}
+	ack := &revokeWaiter{task: t}
+	m.installWait[req.token] = ack
+	if withData {
+		m.net.SendPage(t, m.origin, req.node, req.pr, data, reply)
+	} else {
+		m.net.Send(t, m.origin, req.node, reply)
+	}
+	m.waitRevokes(t, []*revokeWaiter{ack})
+	de.busy = false
+}
+
+// handleReply wakes the requester task waiting on the matching token.
+func (m *Manager) handleReply(node int, rep *pageReply) {
+	ns := m.nodes[node]
+	req, ok := ns.outstanding[rep.token]
+	if !ok {
+		panic(fmt.Sprintf("dsm: stray page reply token %d at node %d", rep.token, node))
+	}
+	req.done = true
+	req.nack = rep.nack
+	req.stale = rep.stale
+	req.withData = rep.withData
+	req.task.Unpark()
+}
+
+// applyRevoke applies a revocation at its target node. If the page is in
+// the grant-to-install window of an outstanding request, application is
+// deferred until the install completes (the revocation necessarily targets
+// the ownership that request was just granted).
+func (m *Manager) applyRevoke(node int, msg *revokeMsg) {
+	ns := m.nodes[node]
+	if o := m.installingFor(ns, msg.vpn); o != nil {
+		o.deferred = append(o.deferred, func() { m.applyRevoke(node, msg) })
+		return
+	}
+	m.eng.Spawn("dsm-revoke", func(t *sim.Task) {
+		t.Sleep(m.params.InvalidateApply)
+		pte := ns.pt.Lookup(msg.vpn)
+		var frame []byte
+		if pte != nil {
+			frame = pte.Frame
+		}
+		if msg.downgrade {
+			ns.pt.Downgrade(msg.vpn)
+		} else {
+			ns.pt.Invalidate(msg.vpn)
+		}
+		m.emitInvalidate(node, msg.vpn)
+		ack := &revokeAck{pid: m.pid, seq: msg.seq}
+		if msg.needData {
+			if frame == nil {
+				panic(fmt.Sprintf("dsm: revoke needs data for vpn %#x but node %d has no frame", msg.vpn, node))
+			}
+			m.net.SendPage(t, node, m.origin, msg.pr, frame, ack)
+		} else {
+			m.net.Send(t, node, m.origin, ack)
+		}
+	})
+}
+
+// installingFor returns the outstanding request at ns that has been granted
+// ownership of vpn but has not yet installed its PTE, if any. Tokens are
+// scanned in ascending order for determinism.
+func (m *Manager) installingFor(ns *nodeState, vpn uint64) *outstanding {
+	var best *outstanding
+	var bestToken uint64
+	for token, o := range ns.outstanding {
+		if o.vpn == vpn && o.done && !o.nack && !o.stale && !o.installed {
+			if best == nil || token < bestToken {
+				best = o
+				bestToken = token
+			}
+		}
+	}
+	return best
+}

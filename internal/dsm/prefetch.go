@@ -1,0 +1,161 @@
+package dsm
+
+import (
+	"fmt"
+
+	"dex/internal/fabric"
+	"dex/internal/sim"
+)
+
+// Batched prefetch implements the data-access hints of §IV-A ("developers
+// can express these patterns to the DeX system through data access hints to
+// reduce protocol overheads"): instead of paying a full request/reply round
+// trip per page, a thread that knows it is about to stream a range asks the
+// origin for up to PrefetchBatch pages in one request. The origin grants
+// each available page with the ordinary read transaction and pipelines the
+// data transfers back-to-back over the same connection; pages that are busy
+// or already held are skipped (the hint is best effort — a later access
+// simply faults normally).
+
+// PrefetchBatch is the maximum number of pages per prefetch request,
+// bounded by the RDMA sink pool of one connection.
+const PrefetchBatch = 32
+
+// prefetchRequest asks the origin for read replicas of a batch of pages.
+type prefetchRequest struct {
+	pid    int
+	node   int
+	vpns   []uint64
+	tokens []uint64
+	prs    []*fabric.PageRecv
+}
+
+func (r *prefetchRequest) Size() int { return 64 + 8*len(r.vpns) }
+
+// Prefetch pulls read replicas of the pages spanning [addr, addr+size)
+// into ctx.Node with a single batched request per PrefetchBatch pages. It
+// returns the number of pages actually granted. Pages already present,
+// busy, or owned exclusively by this node are skipped.
+func (m *Manager) Prefetch(t *sim.Task, ctx Ctx, vpns []uint64) (int, error) {
+	if ctx.Node == m.origin {
+		// Everything is a local fault at the origin; first touch is cheap
+		// and prefetch buys nothing.
+		return 0, nil
+	}
+	granted := 0
+	for len(vpns) > 0 {
+		batch := vpns
+		if len(batch) > PrefetchBatch {
+			batch = batch[:PrefetchBatch]
+		}
+		vpns = vpns[len(batch):]
+		n, err := m.prefetchBatch(t, ctx.Node, batch)
+		if err != nil {
+			return granted, err
+		}
+		granted += n
+	}
+	return granted, nil
+}
+
+func (m *Manager) prefetchBatch(t *sim.Task, node int, batch []uint64) (int, error) {
+	ns := m.nodes[node]
+	req := &prefetchRequest{pid: m.pid, node: node}
+	outs := make([]*outstanding, 0, len(batch))
+	for _, vpn := range batch {
+		if m.Lookup(node, vpn, false) != nil {
+			continue // already readable here
+		}
+		if _, leading := ns.faults[fkey{vpn: vpn, write: false}]; leading {
+			continue // a demand fault is already in flight
+		}
+		pr := m.net.PreparePageRecv(t, m.origin, node)
+		m.reqSeq++
+		token := m.reqSeq
+		o := &outstanding{vpn: vpn, task: t}
+		ns.outstanding[token] = o
+		outs = append(outs, o)
+		req.vpns = append(req.vpns, vpn)
+		req.tokens = append(req.tokens, token)
+		req.prs = append(req.prs, pr)
+	}
+	if len(req.vpns) == 0 {
+		return 0, nil
+	}
+	t.Sleep(m.params.FaultEntry) // one handler entry for the whole batch
+	m.net.Send(t, node, m.origin, req)
+	for _, o := range outs {
+		for !o.done {
+			t.Park("prefetch batch")
+		}
+	}
+	// Install every granted page under a single PTE-update pass.
+	granted := 0
+	t.Sleep(m.params.PTEInstall)
+	for i, o := range outs {
+		token := req.tokens[i]
+		pr := req.prs[i]
+		if o.nack || o.stale {
+			pr.Release()
+			delete(ns.outstanding, token)
+			continue
+		}
+		if !o.withData {
+			panic(fmt.Sprintf("dsm: prefetch grant without data for vpn %#x", o.vpn))
+		}
+		frame := pr.Claim(t)
+		ns.pt.Map(o.vpn, frame, false)
+		o.installed = true
+		delete(ns.outstanding, token)
+		for _, fn := range o.deferred {
+			fn()
+		}
+		granted++
+	}
+	m.stats.PrefetchedPages += uint64(granted)
+	if granted > 0 {
+		// The origin registered an install-wait when it granted the first
+		// page of the batch; a fully skipped batch expects no ack.
+		m.net.Send(t, node, m.origin, &installAck{pid: m.pid, token: req.tokens[0]})
+	}
+	return granted, nil
+}
+
+// servePrefetch runs at the origin: it grants each requested page with the
+// normal read transaction, pipelining the data transfers. Busy pages and
+// pages the requester already holds are NACKed (best effort). The batch
+// holds every touched directory entry busy until the requester's single
+// install-ack arrives, keyed by the first token.
+func (m *Manager) servePrefetch(t *sim.Task, req *prefetchRequest) {
+	t.Sleep(m.params.OriginDispatch)
+	var held []*dirEntry
+	ackToken := req.tokens[0]
+	acked := &revokeWaiter{task: t}
+	needAck := false
+	for i, vpn := range req.vpns {
+		token := req.tokens[i]
+		de, _ := m.entry(vpn)
+		if de.busy || de.has(req.node) {
+			m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: token, nack: de.busy, stale: !de.busy})
+			continue
+		}
+		de.busy = true
+		held = append(held, de)
+		t.Sleep(m.params.Directory)
+		withData, data := m.serveRead(t, de, req.node, vpn)
+		if !withData {
+			panic("dsm: prefetch read grant must carry data")
+		}
+		if !needAck {
+			needAck = true
+			m.installWait[ackToken] = acked
+		}
+		m.net.SendPage(t, m.origin, req.node, req.prs[i], data, &pageReply{pid: m.pid, token: token, withData: true})
+	}
+	if needAck {
+		m.waitRevokes(t, []*revokeWaiter{acked})
+	}
+	for _, de := range held {
+		de.busy = false
+	}
+}

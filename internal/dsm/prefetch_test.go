@@ -1,0 +1,178 @@
+package dsm
+
+import (
+	"testing"
+	"time"
+
+	"dex/internal/mem"
+	"dex/internal/sim"
+)
+
+func prefetchVPNs(base mem.Addr, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base.VPN() + uint64(i)
+	}
+	return out
+}
+
+func TestPrefetchGrantsBatch(t *testing.T) {
+	e := newEnv(t, 2, DefaultParams(), nil)
+	const pages = 10
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		for i := 0; i < pages; i++ {
+			e.write(tk, 0, testAddr+mem.Addr(i*mem.PageSize), byte(i+1))
+		}
+		n, err := e.m.Prefetch(tk, Ctx{Node: 1}, prefetchVPNs(testAddr, pages))
+		if err != nil || n != pages {
+			t.Errorf("Prefetch = %d, %v", n, err)
+		}
+		for i := 0; i < pages; i++ {
+			if got := e.read(tk, 1, testAddr+mem.Addr(i*mem.PageSize)); got != byte(i+1) {
+				t.Errorf("page %d = %d", i, got)
+			}
+		}
+	})
+	e.run(t)
+	st := e.m.Stats()
+	if st.PrefetchedPages != pages {
+		t.Fatalf("PrefetchedPages = %d", st.PrefetchedPages)
+	}
+	if st.ReadFaults != 0 {
+		t.Fatalf("ReadFaults = %d; prefetched pages must not demand-fault", st.ReadFaults)
+	}
+}
+
+func TestPrefetchSplitsLargeBatches(t *testing.T) {
+	e := newEnv(t, 2, DefaultParams(), nil)
+	pages := PrefetchBatch + 7
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		for i := 0; i < pages; i++ {
+			e.write(tk, 0, testAddr+mem.Addr(i*mem.PageSize), 1)
+		}
+		n, err := e.m.Prefetch(tk, Ctx{Node: 1}, prefetchVPNs(testAddr, pages))
+		if err != nil || n != pages {
+			t.Errorf("Prefetch = %d, %v (want %d)", n, err, pages)
+		}
+	})
+	e.run(t)
+}
+
+func TestPrefetchSkipsPresentPages(t *testing.T) {
+	e := newEnv(t, 2, DefaultParams(), nil)
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		e.write(tk, 0, testAddr, 1)
+		e.write(tk, 0, testAddr+mem.PageSize, 2)
+		_ = e.read(tk, 1, testAddr) // node 1 already holds page 0
+		n, err := e.m.Prefetch(tk, Ctx{Node: 1}, prefetchVPNs(testAddr, 2))
+		if err != nil || n != 1 {
+			t.Errorf("Prefetch = %d, %v (want 1: page 0 already held)", n, err)
+		}
+	})
+	e.run(t)
+}
+
+func TestPrefetchAllSkippedNoAck(t *testing.T) {
+	// A batch in which everything is already present must not leak an
+	// install-ack or deadlock.
+	e := newEnv(t, 2, DefaultParams(), nil)
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		e.write(tk, 0, testAddr, 1)
+		_ = e.read(tk, 1, testAddr)
+		n, err := e.m.Prefetch(tk, Ctx{Node: 1}, prefetchVPNs(testAddr, 1))
+		if err != nil || n != 0 {
+			t.Errorf("Prefetch = %d, %v", n, err)
+		}
+	})
+	e.run(t)
+}
+
+func TestPrefetchAtOriginNoop(t *testing.T) {
+	e := newEnv(t, 2, DefaultParams(), nil)
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		e.write(tk, 0, testAddr, 1)
+		n, err := e.m.Prefetch(tk, Ctx{Node: 0}, prefetchVPNs(testAddr, 4))
+		if err != nil || n != 0 {
+			t.Errorf("origin Prefetch = %d, %v", n, err)
+		}
+	})
+	e.run(t)
+}
+
+func TestPrefetchRacesWithWriter(t *testing.T) {
+	// A third node writes into the range while node 1 prefetches it; the
+	// protocol must stay consistent (busy pages are skipped or served
+	// strictly serialized).
+	for seed := int64(1); seed <= 4; seed++ {
+		e := newEnvSeed(t, 3, DefaultParams(), nil, seed)
+		const pages = 16
+		e.eng.Spawn("writer", func(tk *sim.Task) {
+			for round := 0; round < 4; round++ {
+				for i := 0; i < pages; i += 3 {
+					e.write(tk, 2, testAddr+mem.Addr(i*mem.PageSize), byte(round))
+					tk.Sleep(5 * time.Microsecond)
+				}
+			}
+		})
+		e.eng.Spawn("prefetcher", func(tk *sim.Task) {
+			for round := 0; round < 4; round++ {
+				if _, err := e.m.Prefetch(tk, Ctx{Node: 1}, prefetchVPNs(testAddr, pages)); err != nil {
+					t.Errorf("Prefetch: %v", err)
+				}
+				tk.Sleep(10 * time.Microsecond)
+			}
+		})
+		e.run(t) // CheckInvariants inside
+	}
+}
+
+func TestPrefetchedPageStillRevocable(t *testing.T) {
+	e := newEnv(t, 2, DefaultParams(), nil)
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		e.write(tk, 0, testAddr, 7)
+		if _, err := e.m.Prefetch(tk, Ctx{Node: 1}, prefetchVPNs(testAddr, 1)); err != nil {
+			t.Error(err)
+		}
+		// Origin writes again: node 1's prefetched replica must be
+		// invalidated and the next remote read must see the new value.
+		e.write(tk, 0, testAddr, 8)
+		if got := e.read(tk, 1, testAddr); got != 8 {
+			t.Errorf("stale prefetched replica survived: %d", got)
+		}
+	})
+	e.run(t)
+}
+
+func TestDropDirectoryRange(t *testing.T) {
+	e := newEnv(t, 2, DefaultParams(), nil)
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		for i := 0; i < 4; i++ {
+			e.write(tk, 0, testAddr+mem.Addr(i*mem.PageSize), byte(i))
+			_ = e.read(tk, 1, testAddr+mem.Addr(i*mem.PageSize))
+		}
+		// Simulate the munmap flow: invalidate remote PTEs, then drop.
+		e.m.PageTable(1).InvalidateRange(testAddr.VPN(), testAddr.VPN()+3)
+		if err := e.m.DropDirectoryRange(tk, testAddr.VPN(), testAddr.VPN()+3); err != nil {
+			t.Errorf("DropDirectoryRange: %v", err)
+		}
+		if e.m.PageTable(0).Present() != 0 {
+			t.Errorf("origin still maps %d pages", e.m.PageTable(0).Present())
+		}
+	})
+	e.run(t)
+}
+
+func TestLatencyRecordingOff(t *testing.T) {
+	e := newEnv(t, 2, DefaultParams(), nil) // RecordLatency false
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		e.write(tk, 0, testAddr, 1)
+		_ = e.read(tk, 1, testAddr)
+	})
+	e.run(t)
+	if len(e.m.Latencies()) != 0 {
+		t.Fatalf("latencies recorded while disabled: %d", len(e.m.Latencies()))
+	}
+	if e.m.Stats().TotalLatency == 0 {
+		t.Fatal("TotalLatency not aggregated")
+	}
+}

@@ -1,0 +1,131 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"dex/internal/apps"
+	"dex/internal/core"
+	"dex/internal/mem"
+)
+
+// AblationAlignment (A5) reproduces the §IV-B caution against blanket page
+// alignment: "moving every declared program object to a separate page would
+// cause the binaries to balloon in size, and dynamically allocating every
+// object in its own page could cause extreme internal memory fragmentation
+// and out-of-memory errors ... Instead of applying page alignment to every
+// program object, we identified and selectively aligned per-node objects
+// that caused the most interference."
+//
+// Every object is private to one thread; the layouts differ only in which
+// objects share pages. Packed interleaves different threads' objects on the
+// same pages (maximal false sharing); selective groups each thread's
+// objects into its own page-aligned run (the paper's approach); blanket
+// gives every object its own page, which removes the false sharing too but
+// balloons the resident set and pays a cold fault per object.
+func AblationAlignment(apps.Size) Table {
+	const (
+		perThread = 64 // small private counters per thread
+		updates   = 300
+		objBytes  = 32
+		threadCnt = 8
+		objects   = perThread * threadCnt
+	)
+	type layout int
+	const (
+		packed layout = iota
+		selective
+		blanket
+	)
+	run := func(l layout) (time.Duration, int) {
+		params := core.DefaultParams(4)
+		m := core.NewMachine(params)
+		var span time.Duration
+		p := m.NewProcess(0, func(th *core.Thread) error {
+			// Every object is PRIVATE to one thread; the layouts differ
+			// only in which objects share pages.
+			var size uint64
+			switch l {
+			case packed:
+				size = uint64(objects * objBytes)
+			case selective:
+				perGroup := uint64((perThread*objBytes + mem.PageSize - 1) &^ (mem.PageSize - 1))
+				size = uint64(threadCnt) * perGroup
+			case blanket:
+				size = uint64(objects) * mem.PageSize
+			}
+			base, err := th.Mmap(size, mem.ProtRead|mem.ProtWrite, "objects")
+			if err != nil {
+				return err
+			}
+			// addrOf maps (thread, object) to an address. Packed layout
+			// interleaves different threads' objects on the same pages —
+			// the §IV-B false-sharing pattern; selective groups each
+			// thread's objects onto its own page-aligned run; blanket puts
+			// every object on its own page.
+			addrOf := func(t, j int) mem.Addr {
+				switch l {
+				case blanket:
+					return base + mem.Addr((t*perThread+j)*mem.PageSize)
+				case selective:
+					perGroup := (perThread*objBytes + mem.PageSize - 1) &^ (mem.PageSize - 1)
+					return base + mem.Addr(t*perGroup) + mem.Addr(j*objBytes)
+				default:
+					return base + mem.Addr((j*threadCnt+t)*objBytes)
+				}
+			}
+			start := th.Now()
+			var ws []*core.Thread
+			for t := 0; t < threadCnt; t++ {
+				t := t
+				w, err := th.Spawn(func(w *core.Thread) error {
+					if err := w.Migrate(t % 4); err != nil {
+						return err
+					}
+					for u := 0; u < updates; u++ {
+						if _, err := w.AddUint64(addrOf(t, u%perThread), 1); err != nil {
+							return err
+						}
+						w.Compute(2 * time.Microsecond)
+					}
+					return w.Migrate(0)
+				})
+				if err != nil {
+					return err
+				}
+				ws = append(ws, w)
+			}
+			for _, w := range ws {
+				th.Join(w)
+			}
+			span = th.Now() - start
+			return nil
+		})
+		if err := m.Run(); err != nil {
+			panic(fmt.Sprintf("exper: alignment ablation failed: %v", err))
+		}
+		return span, p.Report().TotalResidentPages()
+	}
+	t := Table{
+		ID:     "A5",
+		Title:  "object alignment strategies (§IV-B): 512 private objects, 8 threads on 4 nodes",
+		Header: []string{"layout", "span", "resident-pages", "resident-bytes"},
+	}
+	for _, l := range []struct {
+		name string
+		v    layout
+	}{
+		{"packed (maximal false sharing)", packed},
+		{"selective alignment (paper design)", selective},
+		{"blanket page alignment", blanket},
+	} {
+		span, pages := run(l.v)
+		t.Rows = append(t.Rows, []string{
+			l.name, span.Round(time.Microsecond).String(),
+			fmt.Sprint(pages), fmt.Sprint(pages * mem.PageSize),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"selective alignment approaches blanket-alignment speed at a fraction of the resident set (§IV-B)")
+	return t
+}

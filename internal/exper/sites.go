@@ -1,0 +1,104 @@
+package exper
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"runtime"
+)
+
+// Static call-site counting backs Table I with verifiable numbers: the
+// paper's metric is source lines changed to adapt each application; the
+// direct analogue here is the number of DeX API call sites in each port,
+// counted from the Go source with go/parser.
+
+// SiteCounts summarizes the DeX API usage of one application source file.
+type SiteCounts struct {
+	// Migration is the number of Migrate/MigrateBack call sites — the
+	// paper's "initial" conversion effort (§V-A: one call in, one out).
+	Migration int
+	// SharedMemory counts address-space call sites (Mmap, Read*, Write*,
+	// atomics, Prefetch).
+	SharedMemory int
+	// Total is every DeX thread-API call site in the file.
+	Total int
+}
+
+var migrationMethods = map[string]bool{
+	"Migrate":     true,
+	"MigrateBack": true,
+}
+
+var sharedMemoryMethods = map[string]bool{
+	"Mmap": true, "Munmap": true, "Mprotect": true,
+	"Read": true, "Write": true, "ReadReplicate": true,
+	"ReadUint64": true, "WriteUint64": true,
+	"ReadUint32": true, "WriteUint32": true,
+	"ReadFloat64": true, "WriteFloat64": true,
+	"AddUint64": true, "AddFloat64": true,
+	"CompareAndSwapUint32": true, "Prefetch": true,
+}
+
+var otherThreadMethods = map[string]bool{
+	"Spawn": true, "Join": true, "Compute": true, "Work": true,
+	"FutexWait": true, "FutexWake": true, "SetSite": true,
+	"Open": true, "Close": true, "Pread": true, "Pwrite": true,
+	"FileRead": true, "FileSize": true,
+}
+
+// appSourceDir locates internal/apps relative to this source file. It
+// returns an error when the source tree is not available (e.g. a stripped
+// binary), in which case callers fall back to audited numbers.
+func appSourceDir() (string, error) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("exper: cannot locate source tree")
+	}
+	return filepath.Join(filepath.Dir(filepath.Dir(self)), "apps"), nil
+}
+
+// CountAPISites parses internal/apps/<app>.go and tallies DeX API call
+// sites by category.
+func CountAPISites(app string) (SiteCounts, error) {
+	dir, err := appSourceDir()
+	if err != nil {
+		return SiteCounts{}, err
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filepath.Join(dir, app+".go"), nil, 0)
+	if err != nil {
+		return SiteCounts{}, fmt.Errorf("exper: parse %s: %w", app, err)
+	}
+	var counts SiteCounts
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			// The shared workerSet helper encapsulates exactly the
+			// migrate-out/migrate-back pair of the paper's conversion.
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "workerSet" {
+				counts.Migration += 2
+				counts.Total += 2
+			}
+			return true
+		}
+		name := sel.Sel.Name
+		switch {
+		case migrationMethods[name]:
+			counts.Migration++
+			counts.Total++
+		case sharedMemoryMethods[name]:
+			counts.SharedMemory++
+			counts.Total++
+		case otherThreadMethods[name]:
+			counts.Total++
+		}
+		return true
+	})
+	return counts, nil
+}

@@ -1,0 +1,410 @@
+// Package fabric models the inter-node messaging layer of DeX (§III-E of the
+// paper): an InfiniBand-like interconnect with per node-pair Reliable
+// Connection channels, VERB-based small messages drawing from DMA-ready send
+// and receive buffer pools, and RDMA-based page transfers through a
+// pre-registered "RDMA sink" with a single copy to the final destination.
+//
+// All costs are charged in virtual time on a sim.Engine: per-message CPU
+// overhead, buffer-pool backpressure, per-link serialization at the
+// configured bandwidth, and propagation latency. Three page-transfer modes
+// are provided so the paper's hybrid design can be compared against the
+// alternatives it rules out (per-page dynamic registration, and pushing page
+// data through the VERB path).
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"dex/internal/sim"
+)
+
+// PageMode selects how page-sized payloads move between nodes.
+type PageMode int
+
+const (
+	// HybridSink is the paper's design: RDMA into a pre-registered chunk
+	// pool at the receiver, then one memcpy to the final destination.
+	HybridSink PageMode = iota + 1
+	// PerPageReg dynamically registers the destination page for every
+	// transfer: zero-copy but pays the registration cost each time.
+	PerPageReg
+	// VerbOnly pushes page data through the small-message path, consuming
+	// send-pool chunks and copying on both sides.
+	VerbOnly
+)
+
+func (m PageMode) String() string {
+	switch m {
+	case HybridSink:
+		return "hybrid-sink"
+	case PerPageReg:
+		return "per-page-registration"
+	case VerbOnly:
+		return "verb-only"
+	default:
+		return fmt.Sprintf("PageMode(%d)", int(m))
+	}
+}
+
+// Params configures the interconnect. DefaultParams returns values
+// calibrated against the measurements reported in the paper (§V-D).
+type Params struct {
+	Nodes int
+
+	// LinkBandwidth is the per-direction bandwidth of each node-pair link
+	// in bytes per second.
+	LinkBandwidth float64
+	// LinkLatency is the one-way propagation latency.
+	LinkLatency time.Duration
+
+	// SendCPU is the per-message CPU cost of posting a VERB send.
+	SendCPU time.Duration
+	// RecvCPU is the per-message cost of completion handling at the
+	// receiver before the handler runs and the buffer is reposted.
+	RecvCPU time.Duration
+
+	// ChunkSize is the size of one send-pool or sink chunk in bytes.
+	ChunkSize int
+	// SendPoolChunks is the number of send-buffer chunks per connection.
+	SendPoolChunks int
+	// RecvPoolSlots is the number of posted receives per connection.
+	RecvPoolSlots int
+	// SinkChunks is the number of RDMA-sink chunks per connection.
+	SinkChunks int
+
+	// MemcpyBandwidth is the local copy bandwidth in bytes per second,
+	// used for sink-to-destination and VERB staging copies.
+	MemcpyBandwidth float64
+	// RegisterCost is the cost of one dynamic RDMA region association
+	// (PerPageReg mode only).
+	RegisterCost time.Duration
+	// RDMAPostCPU is the CPU cost of posting one RDMA write.
+	RDMAPostCPU time.Duration
+
+	// Mode selects the page-transfer strategy.
+	Mode PageMode
+}
+
+// DefaultParams returns interconnect parameters calibrated to the paper's
+// testbed: 56 Gbps InfiniBand, ~1.3 µs one-way latency, and a 4 KB page
+// retrieval cost of ~13.6 µs end to end.
+func DefaultParams(nodes int) Params {
+	return Params{
+		Nodes:           nodes,
+		LinkBandwidth:   56e9 / 8 * 0.85, // 56 Gbps less framing overhead
+		LinkLatency:     3500 * time.Nanosecond,
+		SendCPU:         700 * time.Nanosecond,
+		RecvCPU:         1000 * time.Nanosecond,
+		ChunkSize:       4096,
+		SendPoolChunks:  64,
+		RecvPoolSlots:   64,
+		SinkChunks:      64,
+		MemcpyBandwidth: 3e9,
+		RegisterCost:    4500 * time.Nanosecond,
+		RDMAPostCPU:     1200 * time.Nanosecond,
+		Mode:            HybridSink,
+	}
+}
+
+// Message is a unit of inter-node communication. Implementations live in the
+// protocol layers; the fabric only needs the wire size.
+type Message interface {
+	Size() int
+}
+
+// Handler processes a message delivered to a node. Handlers run in event
+// context and must not block; blocking work must be handed to a task.
+type Handler func(src int, m Message)
+
+// Stats aggregates fabric activity counters.
+type Stats struct {
+	SmallSends    uint64
+	SmallBytes    uint64
+	PageSends     uint64
+	PageBytes     uint64
+	RDMAWrites    uint64
+	Registrations uint64
+	MemcpyBytes   uint64
+	SendPoolWaits uint64
+	RecvRNRStalls uint64
+	SinkWaits     uint64
+}
+
+// Network is the simulated interconnect connecting Params.Nodes nodes with a
+// full mesh of RC connections.
+type Network struct {
+	eng      *sim.Engine
+	params   Params
+	conns    [][]*conn // conns[src][dst]
+	handlers []Handler
+	stats    Stats
+}
+
+// conn is one directed connection src -> dst.
+type conn struct {
+	link      *sim.Bus
+	sendPool  *sim.Semaphore
+	sinkPool  *sim.Semaphore
+	posted    int
+	rnrQueue  []pending
+	deliverAt time.Duration // enforces in-order delivery per connection
+}
+
+type pending struct {
+	src int
+	m   Message
+}
+
+// New creates a network. It panics on invalid parameters, since those are
+// programming errors in experiment setup.
+func New(eng *sim.Engine, p Params) *Network {
+	if p.Nodes < 1 {
+		panic("fabric: need at least one node")
+	}
+	if p.ChunkSize <= 0 || p.SendPoolChunks <= 0 || p.RecvPoolSlots <= 0 || p.SinkChunks <= 0 {
+		panic("fabric: buffer pool parameters must be positive")
+	}
+	if p.Mode == 0 {
+		p.Mode = HybridSink
+	}
+	n := &Network{
+		eng:      eng,
+		params:   p,
+		conns:    make([][]*conn, p.Nodes),
+		handlers: make([]Handler, p.Nodes),
+	}
+	for src := 0; src < p.Nodes; src++ {
+		n.conns[src] = make([]*conn, p.Nodes)
+		for dst := 0; dst < p.Nodes; dst++ {
+			if src == dst {
+				continue
+			}
+			name := fmt.Sprintf("link%d->%d", src, dst)
+			n.conns[src][dst] = &conn{
+				link:     sim.NewBus(eng, name, p.LinkBandwidth),
+				sendPool: sim.NewSemaphore("sendpool "+name, p.SendPoolChunks),
+				sinkPool: sim.NewSemaphore("sink "+name, p.SinkChunks),
+				posted:   p.RecvPoolSlots,
+			}
+		}
+	}
+	return n
+}
+
+// Params returns the network configuration.
+func (n *Network) Params() Params { return n.params }
+
+// Stats returns a snapshot of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetHandler installs the message handler for a node. It must be set before
+// any message is sent to that node.
+func (n *Network) SetHandler(node int, h Handler) { n.handlers[node] = h }
+
+func (n *Network) conn(src, dst int) *conn {
+	if src == dst {
+		panic(fmt.Sprintf("fabric: self-send on node %d", src))
+	}
+	c := n.conns[src][dst]
+	if c == nil {
+		panic(fmt.Sprintf("fabric: no connection %d->%d", src, dst))
+	}
+	return c
+}
+
+// Send transmits a small (VERB) message from src to dst, charging the
+// calling task the posting cost and blocking it if the send buffer pool is
+// exhausted. Delivery is asynchronous: Send returns once the message is
+// posted, and the destination handler runs after serialization, propagation,
+// and receive-completion costs.
+func (n *Network) Send(t *sim.Task, src, dst int, m Message) {
+	c := n.conn(src, dst)
+	t.Sleep(n.params.SendCPU)
+	chunks := n.chunksFor(m.Size())
+	n.acquireSendChunks(t, c, chunks)
+	n.stats.SmallSends++
+	n.stats.SmallBytes += uint64(m.Size())
+	serDone := c.link.Occupy(m.Size())
+	// The DMA-ready buffer is reclaimed by the pool when the send completes.
+	n.eng.After(serDone-n.eng.Now(), func() {
+		for i := 0; i < chunks; i++ {
+			c.sendPool.Release()
+		}
+	})
+	n.deliverAt(c, serDone+n.params.LinkLatency, src, dst, m)
+}
+
+func (n *Network) chunksFor(size int) int {
+	chunks := (size + n.params.ChunkSize - 1) / n.params.ChunkSize
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}
+
+func (n *Network) acquireSendChunks(t *sim.Task, c *conn, chunks int) {
+	for i := 0; i < chunks; i++ {
+		if !c.sendPool.TryAcquire() {
+			n.stats.SendPoolWaits++
+			c.sendPool.Acquire(t)
+		}
+	}
+}
+
+// deliverAt schedules handler execution at the destination no earlier than
+// `at`, preserving per-connection FIFO ordering and modeling receiver-not-
+// ready stalls when the posted-receive pool is empty.
+func (n *Network) deliverAt(c *conn, at time.Duration, src, dst int, m Message) {
+	if at < c.deliverAt {
+		at = c.deliverAt
+	}
+	c.deliverAt = at
+	n.eng.After(at-n.eng.Now(), func() { n.arrive(c, src, dst, m) })
+}
+
+func (n *Network) arrive(c *conn, src, dst int, m Message) {
+	if c.posted == 0 {
+		n.stats.RecvRNRStalls++
+		c.rnrQueue = append(c.rnrQueue, pending{src: src, m: m})
+		return
+	}
+	c.posted--
+	n.eng.After(n.params.RecvCPU, func() {
+		h := n.handlers[dst]
+		if h == nil {
+			panic(fmt.Sprintf("fabric: no handler on node %d for message from %d", dst, src))
+		}
+		h(src, m)
+		// Recycle the DMA-ready receive buffer by reposting it, draining
+		// any message stalled on receiver-not-ready.
+		c.posted++
+		if len(c.rnrQueue) > 0 {
+			p := c.rnrQueue[0]
+			c.rnrQueue = c.rnrQueue[1:]
+			n.arrive(c, p.src, dst, p.m)
+		}
+	})
+}
+
+// PageRecv is a prepared landing zone for one incoming page-sized transfer.
+// The requester prepares it before asking a peer for data, passes its Handle
+// in the request, and either Claims the data after the reply or Releases the
+// reservation if the peer replied without data.
+type PageRecv struct {
+	net  *Network
+	conn *conn // connection peer->self, whose sink the buffer came from
+	mode PageMode
+	data []byte
+	used bool
+}
+
+// PreparePageRecv reserves receive-side resources at node `self` for a page
+// transfer from node `peer`, blocking the task if the sink pool is
+// exhausted. In PerPageReg mode it charges the dynamic registration cost;
+// in VerbOnly mode it is free.
+func (n *Network) PreparePageRecv(t *sim.Task, peer, self int) *PageRecv {
+	pr := &PageRecv{net: n, mode: n.params.Mode}
+	switch n.params.Mode {
+	case HybridSink:
+		c := n.conn(peer, self)
+		pr.conn = c
+		if !c.sinkPool.TryAcquire() {
+			n.stats.SinkWaits++
+			c.sinkPool.Acquire(t)
+		}
+	case PerPageReg:
+		n.stats.Registrations++
+		t.Sleep(n.params.RegisterCost)
+	case VerbOnly:
+		// Page data will ride the VERB path; nothing to reserve.
+	default:
+		panic("fabric: unknown page mode")
+	}
+	return pr
+}
+
+// SendPage transmits page data plus a reply message from src to dst
+// according to the configured mode. The data lands in the PageRecv the
+// requester prepared (identified by the reply routing in the protocol
+// layer); reply is delivered to dst's handler strictly after the data. The
+// calling task is charged posting and staging costs.
+func (n *Network) SendPage(t *sim.Task, src, dst int, pr *PageRecv, data []byte, reply Message) {
+	if pr == nil {
+		panic("fabric: SendPage requires a prepared PageRecv")
+	}
+	c := n.conn(src, dst)
+	n.stats.PageSends++
+	n.stats.PageBytes += uint64(len(data))
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	switch pr.mode {
+	case HybridSink, PerPageReg:
+		n.stats.RDMAWrites++
+		t.Sleep(n.params.RDMAPostCPU)
+		done := c.link.Occupy(len(data))
+		n.eng.After(done+n.params.LinkLatency-n.eng.Now(), func() { pr.data = buf })
+		n.Send(t, src, dst, reply) // same link: FIFO after the RDMA write
+	case VerbOnly:
+		t.Sleep(n.memcpyCost(len(data))) // stage into send chunks
+		n.stats.MemcpyBytes += uint64(len(data))
+		chunks := n.chunksFor(len(data) + reply.Size())
+		n.acquireSendChunks(t, c, chunks)
+		t.Sleep(n.params.SendCPU)
+		n.stats.SmallSends++
+		n.stats.SmallBytes += uint64(len(data) + reply.Size())
+		done := c.link.Occupy(len(data) + reply.Size())
+		n.eng.After(done-n.eng.Now(), func() {
+			for i := 0; i < chunks; i++ {
+				c.sendPool.Release()
+			}
+		})
+		pr.data = buf // visible once the reply is handled
+		n.deliverAt(c, done+n.params.LinkLatency, src, dst, reply)
+	}
+}
+
+// Claim returns the received page data, charging the mode's finalization
+// cost (sink memcpy for HybridSink, receive-side staging copy for VerbOnly)
+// and releasing receive-side resources. It must be called at the destination
+// after the reply message has been handled.
+func (pr *PageRecv) Claim(t *sim.Task) []byte {
+	if pr.used {
+		panic("fabric: PageRecv reused")
+	}
+	pr.used = true
+	if pr.data == nil {
+		panic("fabric: Claim before page data arrived")
+	}
+	switch pr.mode {
+	case HybridSink:
+		t.Sleep(pr.net.memcpyCost(len(pr.data)))
+		pr.net.stats.MemcpyBytes += uint64(len(pr.data))
+		pr.conn.sinkPool.Release()
+	case PerPageReg:
+		// Zero copy: RDMA wrote straight into the registered page.
+	case VerbOnly:
+		t.Sleep(pr.net.memcpyCost(len(pr.data)))
+		pr.net.stats.MemcpyBytes += uint64(len(pr.data))
+	}
+	return pr.data
+}
+
+// Release frees the reservation when the peer replied without page data
+// (e.g. an ownership-only grant).
+func (pr *PageRecv) Release() {
+	if pr.used {
+		return
+	}
+	pr.used = true
+	if pr.mode == HybridSink {
+		pr.conn.sinkPool.Release()
+	}
+}
+
+func (n *Network) memcpyCost(bytes int) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / n.params.MemcpyBandwidth * float64(time.Second))
+}

@@ -1,0 +1,95 @@
+// Package futex implements the origin-side futex wait queues DeX relies on
+// for distributed thread synchronization (§III-A): every synchronization
+// primitive in the process compiles down to futex waits and wakes, which are
+// delegated to the origin node and handled there against a single table —
+// exactly as a local futex call would be.
+package futex
+
+import (
+	"dex/internal/mem"
+	"dex/internal/sim"
+)
+
+// Table holds per-address wait queues. It is keyed by the futex word's
+// virtual address and serves one process.
+type Table struct {
+	queues map[mem.Addr][]*Waiter
+}
+
+// NewTable returns an empty futex table.
+func NewTable() *Table {
+	return &Table{queues: make(map[mem.Addr][]*Waiter)}
+}
+
+// Waiter is one blocked futex waiter.
+type Waiter struct {
+	table *Table
+	addr  mem.Addr
+	task  *sim.Task
+	woken bool
+}
+
+// Enqueue registers t as a waiter on addr. The caller decides whether to
+// block (after its atomic value check) by calling Block, or abandons the
+// wait with Cancel.
+func (tb *Table) Enqueue(t *sim.Task, addr mem.Addr) *Waiter {
+	w := &Waiter{table: tb, addr: addr, task: t}
+	tb.queues[addr] = append(tb.queues[addr], w)
+	return w
+}
+
+// Block parks the task until a Wake targets this waiter. Spurious unparks
+// are absorbed.
+func (w *Waiter) Block() {
+	for !w.woken {
+		w.task.Park("futex wait " + w.addr.String())
+	}
+}
+
+// Cancel removes the waiter from its queue without waking it. It is a no-op
+// if the waiter was already woken.
+func (w *Waiter) Cancel() {
+	if w.woken {
+		return
+	}
+	w.woken = true
+	w.table.remove(w)
+}
+
+// Wake wakes up to n waiters queued on addr in FIFO order and returns how
+// many it woke.
+func (tb *Table) Wake(addr mem.Addr, n int) int {
+	q := tb.queues[addr]
+	woken := 0
+	for woken < n && len(q) > 0 {
+		w := q[0]
+		q = q[1:]
+		w.woken = true
+		w.task.Unpark()
+		woken++
+	}
+	if len(q) == 0 {
+		delete(tb.queues, addr)
+	} else {
+		tb.queues[addr] = q
+	}
+	return woken
+}
+
+// Waiting reports how many waiters are queued on addr.
+func (tb *Table) Waiting(addr mem.Addr) int { return len(tb.queues[addr]) }
+
+func (tb *Table) remove(w *Waiter) {
+	q := tb.queues[w.addr]
+	for i, x := range q {
+		if x == w {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(tb.queues, w.addr)
+	} else {
+		tb.queues[w.addr] = q
+	}
+}

@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(1, 1000, 8000)
+	if g.N != 1024 {
+		t.Fatalf("N = %d, want 1024 (power of two)", g.N)
+	}
+	if g.M() != 8000 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if len(g.Offsets) != g.N+1 {
+		t.Fatalf("Offsets length %d", len(g.Offsets))
+	}
+	if g.Offsets[0] != 0 || g.Offsets[g.N] != uint64(g.M()) {
+		t.Fatalf("offsets endpoints: %d, %d", g.Offsets[0], g.Offsets[g.N])
+	}
+	total := 0
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			t.Fatalf("offsets not monotone at %d", v)
+		}
+		total += g.Degree(v)
+		for _, w := range g.Neighbors(v) {
+			if int(w) >= g.N {
+				t.Fatalf("edge target %d out of range", w)
+			}
+		}
+	}
+	if total != g.M() {
+		t.Fatalf("degree sum %d != M %d", total, g.M())
+	}
+}
+
+func TestRMATSkewed(t *testing.T) {
+	g := RMAT(2, 4096, 40000)
+	// Graph500 parameters produce a heavily skewed degree distribution:
+	// the max-degree vertex should hold far more than the mean.
+	mean := float64(g.M()) / float64(g.N)
+	maxDeg := g.Degree(g.MaxDegreeVertex())
+	if float64(maxDeg) < 10*mean {
+		t.Fatalf("max degree %d not skewed vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(7, 512, 4096)
+	b := RMAT(7, 512, 4096)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := RMAT(8, 512, 4096)
+	same := true
+	for i := range a.Edges {
+		if a.Edges[i] != c.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestVertexRangesCoverExactly(t *testing.T) {
+	g := RMAT(3, 1000, 5000)
+	for _, parts := range []int{1, 3, 8} {
+		rs := g.VertexRanges(parts)
+		if rs[0].Lo != 0 || rs[len(rs)-1].Hi != g.N {
+			t.Fatalf("parts=%d ranges don't span: %v", parts, rs)
+		}
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Lo != rs[i-1].Hi {
+				t.Fatalf("parts=%d gap/overlap at %d: %v", parts, i, rs)
+			}
+		}
+	}
+}
+
+func TestEdgeBalancedRanges(t *testing.T) {
+	g := RMAT(4, 4096, 50000)
+	for _, parts := range []int{2, 4, 8} {
+		rs := g.EdgeBalancedRanges(parts)
+		if rs[0].Lo != 0 || rs[len(rs)-1].Hi != g.N {
+			t.Fatalf("ranges don't span: %v", rs)
+		}
+		edgeCounts := make([]int, parts)
+		for i, r := range rs {
+			if r.Hi < r.Lo {
+				t.Fatalf("inverted range %v", r)
+			}
+			if i > 0 && rs[i-1].Hi != r.Lo {
+				t.Fatalf("gap at %d: %v", i, rs)
+			}
+			edgeCounts[i] = int(g.Offsets[r.Hi] - g.Offsets[r.Lo])
+		}
+		// Each part should hold a reasonable share (within 3x of fair).
+		fair := g.M() / parts
+		for i, ec := range edgeCounts {
+			if ec > 3*fair {
+				t.Errorf("parts=%d part %d holds %d edges (fair %d)", parts, i, ec, fair)
+			}
+		}
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	// Hand-built graph: 0->1->2, 0->3, 4 isolated.
+	g := &CSR{
+		N:       5,
+		Offsets: []uint64{0, 2, 3, 3, 3, 3},
+		Edges:   []uint32{1, 3, 2},
+	}
+	levels := BFSLevels(g, 0)
+	want := []int32{0, 1, 2, 1, -1}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", levels, want)
+		}
+	}
+}
+
+func TestBFSOnRMAT(t *testing.T) {
+	g := RMAT(5, 2048, 20000)
+	src := g.MaxDegreeVertex()
+	levels := BFSLevels(g, src)
+	if levels[src] != 0 {
+		t.Fatal("source level != 0")
+	}
+	reached := 0
+	for v := 0; v < g.N; v++ {
+		l := levels[v]
+		if l == 0 && v != src {
+			t.Fatalf("vertex %d at level 0", v)
+		}
+		if l > 0 {
+			reached++
+			// Some in-neighbor must be at level l-1: verify by scanning.
+			ok := false
+			for u := 0; u < g.N && !ok; u++ {
+				if levels[u] != l-1 {
+					continue
+				}
+				for _, w := range g.Neighbors(u) {
+					if int(w) == v {
+						ok = true
+						break
+					}
+				}
+			}
+			if !ok {
+				t.Fatalf("vertex %d at level %d has no predecessor at level %d", v, l, l-1)
+			}
+		}
+	}
+	if reached < g.N/20 {
+		t.Fatalf("BFS from hub reached only %d vertices", reached)
+	}
+}
+
+func TestPropagateRefConverges(t *testing.T) {
+	g := RMAT(6, 1024, 10000)
+	beliefs, iters := PropagateRef(g, 64, 0.5, 1e-9)
+	if iters == 0 || iters > 64 {
+		t.Fatalf("iters = %d", iters)
+	}
+	for v, b := range beliefs {
+		if b < 0 || b != b /* NaN */ {
+			t.Fatalf("belief[%d] = %v", v, b)
+		}
+	}
+	// Deterministic across runs.
+	b2, i2 := PropagateRef(g, 64, 0.5, 1e-9)
+	if i2 != iters {
+		t.Fatalf("iteration counts differ: %d vs %d", iters, i2)
+	}
+	for v := range beliefs {
+		if beliefs[v] != b2[v] {
+			t.Fatal("beliefs differ across runs")
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := RMAT(9, 512, 4000)
+	tr := g.Transpose()
+	if tr.N != g.N || tr.M() != g.M() {
+		t.Fatalf("transpose shape: %d/%d vs %d/%d", tr.N, tr.M(), g.N, g.M())
+	}
+	// Every edge v->w in g must appear as w->v in tr, with multiplicity.
+	count := func(c *CSR, src int, dst uint32) int {
+		n := 0
+		for _, x := range c.Neighbors(src) {
+			if x == dst {
+				n++
+			}
+		}
+		return n
+	}
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			if count(g, v, w) != count(tr, int(w), uint32(v)) {
+				t.Fatalf("edge %d->%d multiplicity mismatch in transpose", v, w)
+			}
+		}
+	}
+	// Double transpose restores the edge multiset.
+	tt := tr.Transpose()
+	for v := 0; v < g.N; v++ {
+		a, b := g.Neighbors(v), tt.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("double transpose degree mismatch at %d", v)
+		}
+	}
+}

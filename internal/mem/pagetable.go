@@ -1,0 +1,105 @@
+package mem
+
+import "dex/internal/radix"
+
+// PTE is a software page-table entry on one node. Present pages hold a
+// local frame with real bytes; Writable distinguishes shared (read
+// replicated) from exclusively owned pages.
+type PTE struct {
+	Present  bool
+	Writable bool
+	Frame    []byte
+}
+
+// PageTable is one node's view of a process address space: the set of pages
+// it currently has mapped, with their access rights.
+type PageTable struct {
+	tree radix.Tree[*PTE]
+}
+
+// Lookup returns the PTE for vpn, or nil if the page is not tracked here.
+func (pt *PageTable) Lookup(vpn uint64) *PTE {
+	pte, ok := pt.tree.Get(vpn)
+	if !ok {
+		return nil
+	}
+	return pte
+}
+
+// Ensure returns the PTE for vpn, creating a non-present entry if needed.
+func (pt *PageTable) Ensure(vpn uint64) *PTE {
+	pte, _ := pt.tree.GetOrCreate(vpn, func() *PTE { return &PTE{} })
+	return pte
+}
+
+// Map installs a present mapping for vpn with the given frame and rights.
+func (pt *PageTable) Map(vpn uint64, frame []byte, writable bool) *PTE {
+	pte := pt.Ensure(vpn)
+	pte.Present = true
+	pte.Writable = writable
+	pte.Frame = frame
+	return pte
+}
+
+// Invalidate clears the mapping for vpn (the frame is dropped), reporting
+// whether a present mapping existed.
+func (pt *PageTable) Invalidate(vpn uint64) bool {
+	pte, ok := pt.tree.Get(vpn)
+	if !ok || !pte.Present {
+		return false
+	}
+	pte.Present = false
+	pte.Writable = false
+	pte.Frame = nil
+	return true
+}
+
+// Downgrade removes write permission from vpn, reporting whether the page
+// was present and writable.
+func (pt *PageTable) Downgrade(vpn uint64) bool {
+	pte, ok := pt.tree.Get(vpn)
+	if !ok || !pte.Present || !pte.Writable {
+		return false
+	}
+	pte.Writable = false
+	return true
+}
+
+// InvalidateRange clears all present mappings with lo <= vpn <= hi and
+// returns how many were dropped.
+func (pt *PageTable) InvalidateRange(lo, hi uint64) int {
+	var victims []uint64
+	pt.tree.ForRange(lo, hi, func(vpn uint64, pte *PTE) bool {
+		if pte.Present {
+			victims = append(victims, vpn)
+		}
+		return true
+	})
+	for _, vpn := range victims {
+		pt.Invalidate(vpn)
+	}
+	return len(victims)
+}
+
+// Present reports how many pages are currently mapped present.
+func (pt *PageTable) Present() int {
+	n := 0
+	pt.tree.ForEach(func(_ uint64, pte *PTE) bool {
+		if pte.Present {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// NewFrame allocates a zeroed page frame.
+func NewFrame() []byte { return make([]byte, PageSize) }
+
+// CloneFrame returns a copy of src as a fresh frame. A nil src yields a
+// zeroed frame (zero-page semantics).
+func CloneFrame(src []byte) []byte {
+	f := NewFrame()
+	copy(f, src)
+	return f
+}

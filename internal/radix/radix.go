@@ -1,0 +1,184 @@
+// Package radix implements the per-process radix tree DeX uses at the origin
+// to index per-page protocol state by virtual page number (§III-B: "the list
+// of owners and page state is maintained in a per-process radix tree which
+// indexes the information by the virtual page address").
+//
+// The layout mirrors the Linux radix tree / x86 page-table shape: four
+// levels of 9 bits each, covering the 36-bit page-number space of a 48-bit
+// virtual address space with 4 KB pages.
+package radix
+
+import "fmt"
+
+const (
+	bitsPerLevel = 9
+	fanout       = 1 << bitsPerLevel
+	levels       = 4
+	// MaxKey is the largest key the tree can index (36 bits).
+	MaxKey = 1<<(bitsPerLevel*levels) - 1
+)
+
+// Tree maps uint64 keys (virtual page numbers) to values of type V. The
+// zero value is an empty tree ready for use.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	children [fanout]*node[V]
+	values   [fanout]*V
+	count    int // populated slots (children or values)
+}
+
+func index(key uint64, level int) int {
+	shift := uint(bitsPerLevel * (levels - 1 - level))
+	return int(key>>shift) & (fanout - 1)
+}
+
+func checkKey(key uint64) {
+	if key > MaxKey {
+		panic(fmt.Sprintf("radix: key %#x exceeds %d-bit key space", key, bitsPerLevel*levels))
+	}
+}
+
+// Len reports the number of keys present.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Get returns the value stored at key.
+func (t *Tree[V]) Get(key uint64) (V, bool) {
+	var zero V
+	checkKey(key)
+	n := t.root
+	for level := 0; level < levels-1; level++ {
+		if n == nil {
+			return zero, false
+		}
+		n = n.children[index(key, level)]
+	}
+	if n == nil {
+		return zero, false
+	}
+	v := n.values[index(key, levels-1)]
+	if v == nil {
+		return zero, false
+	}
+	return *v, true
+}
+
+// Set stores value at key, replacing any existing value.
+func (t *Tree[V]) Set(key uint64, value V) {
+	checkKey(key)
+	if t.root == nil {
+		t.root = &node[V]{}
+	}
+	n := t.root
+	for level := 0; level < levels-1; level++ {
+		i := index(key, level)
+		if n.children[i] == nil {
+			n.children[i] = &node[V]{}
+			n.count++
+		}
+		n = n.children[i]
+	}
+	i := index(key, levels-1)
+	if n.values[i] == nil {
+		n.count++
+		t.size++
+	}
+	v := value
+	n.values[i] = &v
+}
+
+// GetOrCreate returns the value at key, calling mk to create and store one
+// if absent. It reports whether the value already existed.
+func (t *Tree[V]) GetOrCreate(key uint64, mk func() V) (V, bool) {
+	if v, ok := t.Get(key); ok {
+		return v, true
+	}
+	v := mk()
+	t.Set(key, v)
+	return v, false
+}
+
+// Delete removes key, reporting whether it was present. Interior nodes left
+// empty by the removal are pruned.
+func (t *Tree[V]) Delete(key uint64) bool {
+	checkKey(key)
+	if t.root == nil {
+		return false
+	}
+	var path [levels]*node[V]
+	n := t.root
+	for level := 0; level < levels-1; level++ {
+		path[level] = n
+		n = n.children[index(key, level)]
+		if n == nil {
+			return false
+		}
+	}
+	path[levels-1] = n
+	i := index(key, levels-1)
+	if n.values[i] == nil {
+		return false
+	}
+	n.values[i] = nil
+	n.count--
+	t.size--
+	for level := levels - 1; level > 0; level-- {
+		if path[level].count > 0 {
+			break
+		}
+		parent := path[level-1]
+		parent.children[index(key, level-1)] = nil
+		parent.count--
+	}
+	if t.root.count == 0 {
+		t.root = nil
+	}
+	return true
+}
+
+// ForEach visits all entries in ascending key order until fn returns false.
+func (t *Tree[V]) ForEach(fn func(key uint64, value V) bool) {
+	t.ForRange(0, MaxKey, fn)
+}
+
+// ForRange visits entries with lo <= key <= hi in ascending key order until
+// fn returns false.
+func (t *Tree[V]) ForRange(lo, hi uint64, fn func(key uint64, value V) bool) {
+	checkKey(lo)
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	if t.root == nil || lo > hi {
+		return
+	}
+	t.walk(t.root, 0, 0, lo, hi, fn)
+}
+
+func (t *Tree[V]) walk(n *node[V], level int, prefix uint64, lo, hi uint64, fn func(uint64, V) bool) bool {
+	shift := uint(bitsPerLevel * (levels - 1 - level))
+	for i := 0; i < fanout; i++ {
+		base := prefix | uint64(i)<<shift
+		// Skip subtrees wholly outside [lo, hi].
+		span := uint64(1)<<shift - 1
+		if base+span < lo || base > hi {
+			continue
+		}
+		if level == levels-1 {
+			if v := n.values[i]; v != nil {
+				if !fn(base, *v) {
+					return false
+				}
+			}
+			continue
+		}
+		if c := n.children[i]; c != nil {
+			if !t.walk(c, level+1, base, lo, hi, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}

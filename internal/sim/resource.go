@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Semaphore is a FIFO counting semaphore for simulated tasks. It models a
+// pool of identical resources such as the CPU cores of a node. Waiters are
+// served strictly in arrival order (hand-off semantics: a released unit goes
+// directly to the oldest waiter).
+type Semaphore struct {
+	name    string
+	total   int
+	avail   int
+	waiters []*Task
+}
+
+// NewSemaphore creates a semaphore with n units.
+func NewSemaphore(name string, n int) *Semaphore {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: semaphore %q must have at least one unit, got %d", name, n))
+	}
+	return &Semaphore{name: name, total: n, avail: n}
+}
+
+// Acquire takes one unit, blocking the task in FIFO order if none are free.
+func (s *Semaphore) Acquire(t *Task) {
+	if s.avail > 0 && len(s.waiters) == 0 {
+		s.avail--
+		return
+	}
+	s.waiters = append(s.waiters, t)
+	for {
+		t.Park("semaphore " + s.name)
+		// A hand-off marks us as no longer waiting; a stray token does not.
+		if !s.isWaiting(t) {
+			return
+		}
+	}
+}
+
+// TryAcquire takes a unit without blocking; it reports whether it succeeded.
+func (s *Semaphore) TryAcquire() bool {
+	if s.avail > 0 && len(s.waiters) == 0 {
+		s.avail--
+		return true
+	}
+	return false
+}
+
+// Release returns one unit. If tasks are waiting, the unit is handed to the
+// oldest waiter without becoming generally available.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.Unpark()
+		return
+	}
+	if s.avail == s.total {
+		panic(fmt.Sprintf("sim: semaphore %q released above capacity", s.name))
+	}
+	s.avail++
+}
+
+// InUse reports how many units are currently held.
+func (s *Semaphore) InUse() int { return s.total - s.avail }
+
+// Waiting reports how many tasks are queued.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+func (s *Semaphore) isWaiting(t *Task) bool {
+	for _, w := range s.waiters {
+		if w == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Bus models a shared FIFO bandwidth server, e.g. a node's memory channels
+// or a network link. Transfers are serialized: a transfer arriving while the
+// bus is busy starts when the bus frees up. An optional congestion factor
+// models the super-linear slowdown of real memory controllers under
+// multi-stream interference (bank conflicts, row-buffer misses): each
+// concurrent outstanding transfer inflates service time by alpha.
+type Bus struct {
+	eng        *Engine
+	name       string
+	bytesPerS  float64
+	congestion float64
+	active     int
+	freeAt     time.Duration
+	busyTime   time.Duration
+	bytes      uint64
+}
+
+// NewBus creates a bus with the given bandwidth in bytes per second.
+func NewBus(eng *Engine, name string, bytesPerSecond float64) *Bus {
+	if bytesPerSecond <= 0 {
+		panic(fmt.Sprintf("sim: bus %q must have positive bandwidth", name))
+	}
+	return &Bus{eng: eng, name: name, bytesPerS: bytesPerSecond}
+}
+
+// SetCongestion sets the per-concurrent-transfer service-time inflation
+// factor (0 disables congestion modeling).
+func (b *Bus) SetCongestion(alpha float64) { b.congestion = alpha }
+
+// Occupy reserves the bus for transferring n bytes and returns the virtual
+// time at which the transfer completes, without blocking the caller. Use it
+// from event context (e.g. a message handler).
+func (b *Bus) Occupy(n int) time.Duration {
+	start := b.eng.now
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	d := b.duration(n)
+	if d == 0 {
+		return start
+	}
+	if b.congestion > 0 && b.active > 0 {
+		d += time.Duration(float64(d) * b.congestion * float64(b.active))
+	}
+	finish := start + d
+	b.active++
+	b.eng.After(finish-b.eng.now, func() { b.active-- })
+	b.freeAt = finish
+	b.busyTime += d
+	b.bytes += uint64(n)
+	return finish
+}
+
+// Transfer blocks the task until n bytes have moved across the bus.
+func (b *Bus) Transfer(t *Task, n int) {
+	t.SleepUntil(b.Occupy(n))
+}
+
+// BusyTime reports the cumulative time the bus has spent transferring.
+func (b *Bus) BusyTime() time.Duration { return b.busyTime }
+
+// Bytes reports the cumulative bytes transferred.
+func (b *Bus) Bytes() uint64 { return b.bytes }
+
+func (b *Bus) duration(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / b.bytesPerS * float64(time.Second))
+}
+
+// Mailbox is an unbounded FIFO queue connecting simulation participants.
+// Any number of tasks may block in Recv; senders never block.
+type Mailbox[T any] struct {
+	name  string
+	queue []T
+	recvQ []*Task
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox[T any](name string) *Mailbox[T] {
+	return &Mailbox[T]{name: name}
+}
+
+// Send enqueues v and wakes the oldest blocked receiver, if any. It may be
+// called from event context or task context.
+func (m *Mailbox[T]) Send(v T) {
+	m.queue = append(m.queue, v)
+	if len(m.recvQ) > 0 {
+		r := m.recvQ[0]
+		m.recvQ = m.recvQ[1:]
+		r.Unpark()
+	}
+}
+
+// Recv dequeues the oldest message, blocking the task until one is available.
+func (m *Mailbox[T]) Recv(t *Task) T {
+	for len(m.queue) == 0 {
+		m.recvQ = append(m.recvQ, t)
+		t.Park("mailbox " + m.name)
+		m.dropReceiver(t)
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v
+}
+
+// TryRecv dequeues a message without blocking.
+func (m *Mailbox[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(m.queue) == 0 {
+		return zero, false
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v, true
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox[T]) Len() int { return len(m.queue) }
+
+func (m *Mailbox[T]) dropReceiver(t *Task) {
+	for i, r := range m.recvQ {
+		if r == t {
+			m.recvQ = append(m.recvQ[:i], m.recvQ[i+1:]...)
+			return
+		}
+	}
+}

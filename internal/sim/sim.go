@@ -1,0 +1,261 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock over a priority queue of events. Tasks
+// are cooperative coroutines implemented as goroutines: exactly one goroutine
+// (the engine or a single task) runs at any moment, so simulation state needs
+// no locking and runs are bit-for-bit reproducible for a given seed.
+//
+// Virtual time is expressed as time.Duration since the start of the run.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrDeadlock is returned by Run when no events remain but live tasks are
+// still parked. Use errors.Is to match it; the returned error describes the
+// stuck tasks.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// ErrEventLimit is returned by Run when the configured event budget is
+// exhausted, which usually indicates a livelock in the simulated system.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	yielded chan struct{}
+	current *Task
+	tasks   map[*Task]struct{}
+	rng     *rand.Rand
+	failure error
+	limit   uint64
+	nEvents uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yielded: make(chan struct{}),
+		tasks:   make(map[*Task]struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation context (events or tasks).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetEventLimit caps the number of events Run will process; 0 means no cap.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Events reports how many events have been processed so far.
+func (e *Engine) Events() uint64 { return e.nEvents }
+
+// After schedules fn to run at Now()+d in event context. fn must not block;
+// to perform blocking work, spawn a task from within fn.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// Run processes events until none remain, a task fails, or the event limit
+// is hit. It returns the first task failure, a deadlock error if parked
+// tasks remain with an empty queue, or nil on clean completion.
+func (e *Engine) Run() error {
+	for e.queue.Len() > 0 {
+		if e.failure != nil {
+			return e.failure
+		}
+		if e.limit != 0 && e.nEvents >= e.limit {
+			return fmt.Errorf("%w (%d events, now=%v)", ErrEventLimit, e.nEvents, e.now)
+		}
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		e.nEvents++
+		ev.fn()
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if parked := e.parkedTasks(); len(parked) > 0 {
+		return fmt.Errorf("%w: %d task(s) parked forever at %v: %s",
+			ErrDeadlock, len(parked), e.now, strings.Join(parked, ", "))
+	}
+	return nil
+}
+
+func (e *Engine) parkedTasks() []string {
+	var names []string
+	for t := range e.tasks {
+		if !t.done {
+			names = append(names, fmt.Sprintf("%s (parked at %q)", t.name, t.parkReason))
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Task is a simulated thread of control. Task methods must only be called by
+// the goroutine running the task itself, except Unpark, which may be called
+// from any simulation context.
+type Task struct {
+	eng        *Engine
+	name       string
+	resume     chan struct{}
+	started    bool
+	done       bool
+	parked     bool
+	wakeToken  bool
+	parkReason string
+}
+
+// Spawn creates a task running fn, scheduled to start at the current virtual
+// time (after already-queued events at this instant).
+func (e *Engine) Spawn(name string, fn func(*Task)) *Task {
+	return e.SpawnAfter(name, 0, fn)
+}
+
+// SpawnAfter creates a task running fn, scheduled to start after delay d.
+func (e *Engine) SpawnAfter(name string, d time.Duration, fn func(*Task)) *Task {
+	t := &Task{eng: e, name: name, resume: make(chan struct{})}
+	e.tasks[t] = struct{}{}
+	e.After(d, func() { e.startTask(t, fn) })
+	return t
+}
+
+func (e *Engine) startTask(t *Task, fn func(*Task)) {
+	t.started = true
+	go func() {
+		<-t.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if e.failure == nil {
+					e.failure = fmt.Errorf("sim: task %q panicked: %v\n%s", t.name, r, debug.Stack())
+				}
+			}
+			t.done = true
+			delete(e.tasks, t)
+			e.yielded <- struct{}{}
+		}()
+		fn(t)
+	}()
+	e.dispatch(t)
+}
+
+// dispatch hands control to t and blocks until it yields (sleeps, parks, or
+// finishes). It must be called from event context.
+func (e *Engine) dispatch(t *Task) {
+	prev := e.current
+	e.current = t
+	t.resume <- struct{}{}
+	<-e.yielded
+	e.current = prev
+}
+
+// yield returns control to the engine and blocks until re-dispatched.
+func (t *Task) yield() {
+	t.eng.yielded <- struct{}{}
+	<-t.resume
+}
+
+// Name returns the task's diagnostic name.
+func (t *Task) Name() string { return t.name }
+
+// Engine returns the engine that owns this task.
+func (t *Task) Engine() *Engine { return t.eng }
+
+// Now returns the current virtual time.
+func (t *Task) Now() time.Duration { return t.eng.now }
+
+// Sleep advances the task past d of virtual time. Other events run meanwhile.
+func (t *Task) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.eng.After(d, func() { t.eng.dispatch(t) })
+	t.yield()
+}
+
+// SleepUntil sleeps until the absolute virtual time at (a no-op if at is in
+// the past).
+func (t *Task) SleepUntil(at time.Duration) {
+	t.Sleep(at - t.eng.now)
+}
+
+// Park blocks the task until another simulation participant calls Unpark.
+// If an Unpark token is already pending, Park consumes it and returns
+// immediately. reason is reported in deadlock diagnostics.
+func (t *Task) Park(reason string) {
+	if t.wakeToken {
+		t.wakeToken = false
+		return
+	}
+	t.parked = true
+	t.parkReason = reason
+	t.yield()
+	t.parkReason = ""
+}
+
+// Unpark makes a parked task runnable at the current virtual time. If the
+// task is not parked, a wake token is recorded so its next Park returns
+// immediately (binary-semaphore semantics; extra tokens are not accumulated).
+// Unpark must be called from simulation context (an event or another task).
+func (t *Task) Unpark() {
+	if t.done {
+		return
+	}
+	if !t.parked {
+		t.wakeToken = true
+		return
+	}
+	t.parked = false
+	t.eng.After(0, func() { t.eng.dispatch(t) })
+}
+
+// Parked reports whether the task is currently parked.
+func (t *Task) Parked() bool { return t.parked }
+
+// Done reports whether the task function has returned.
+func (t *Task) Done() bool { return t.done }

@@ -1,0 +1,59 @@
+// Package textgen generates deterministic English-like corpora for the
+// string-match workload (GRP). It stands in for the paper's 8 GB Wikipedia
+// text: read-only streaming input divided into per-thread partitions, with
+// known ground-truth occurrence counts for the search keys.
+package textgen
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// Vocabulary of filler words (none of which can contain a search key,
+// because generated keys always include a digit).
+var words = []string{
+	"the", "of", "and", "a", "in", "to", "is", "was", "it", "for",
+	"with", "he", "be", "on", "i", "that", "by", "at", "you", "are",
+	"his", "this", "from", "or", "had", "an", "they", "which", "one", "were",
+	"all", "we", "when", "there", "can", "been", "has", "their", "more", "if",
+	"system", "network", "page", "memory", "thread", "node", "data", "process",
+	"kernel", "fault", "cluster", "machine", "protocol", "latency", "bandwidth",
+}
+
+// DefaultKeys returns search keys shaped like the paper's (7 to 10 bytes
+// each); the embedded digits guarantee they never occur accidentally in the
+// filler text.
+func DefaultKeys() []string {
+	return []string{"popcorn7", "infini9and", "migrat3d", "rackscal1"}
+}
+
+// Corpus generates approximately size bytes of text, planting the keys at
+// the given rate (expected keys per 1000 words). It returns the text and
+// the exact occurrence count of each key.
+func Corpus(seed int64, size int, keys []string, perMille int) ([]byte, map[string]int) {
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	buf.Grow(size + 16)
+	counts := make(map[string]int, len(keys))
+	for buf.Len() < size {
+		if len(keys) > 0 && rng.Intn(1000) < perMille {
+			k := keys[rng.Intn(len(keys))]
+			buf.WriteString(k)
+			counts[k]++
+		} else {
+			buf.WriteString(words[rng.Intn(len(words))])
+		}
+		buf.WriteByte(' ')
+	}
+	return buf.Bytes(), counts
+}
+
+// CountOccurrences is the reference (single-machine) string match: it
+// counts non-overlapping occurrences of each key in text.
+func CountOccurrences(text []byte, keys []string) map[string]int {
+	out := make(map[string]int, len(keys))
+	for _, k := range keys {
+		out[k] = bytes.Count(text, []byte(k))
+	}
+	return out
+}

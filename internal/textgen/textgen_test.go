@@ -1,0 +1,57 @@
+package textgen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCorpusGroundTruth(t *testing.T) {
+	keys := DefaultKeys()
+	text, counts := Corpus(1, 100_000, keys, 10)
+	if len(text) < 100_000 {
+		t.Fatalf("corpus too small: %d", len(text))
+	}
+	ref := CountOccurrences(text, keys)
+	total := 0
+	for _, k := range keys {
+		if counts[k] != ref[k] {
+			t.Fatalf("key %q: planted %d, counted %d", k, counts[k], ref[k])
+		}
+		total += counts[k]
+	}
+	if total == 0 {
+		t.Fatal("no keys planted")
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a, _ := Corpus(42, 10_000, DefaultKeys(), 5)
+	b, _ := Corpus(42, 10_000, DefaultKeys(), 5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	c, _ := Corpus(43, 10_000, DefaultKeys(), 5)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestKeysNeverAccidental(t *testing.T) {
+	// With zero plant rate, keys must not occur at all.
+	text, counts := Corpus(7, 200_000, DefaultKeys(), 0)
+	if len(counts) != 0 {
+		t.Fatalf("counts = %v with zero rate", counts)
+	}
+	for k, n := range CountOccurrences(text, DefaultKeys()) {
+		if n != 0 {
+			t.Fatalf("key %q occurs %d times accidentally", k, n)
+		}
+	}
+}
+
+func TestZeroKeys(t *testing.T) {
+	text, counts := Corpus(1, 1000, nil, 100)
+	if len(text) < 1000 || len(counts) != 0 {
+		t.Fatalf("len=%d counts=%v", len(text), counts)
+	}
+}

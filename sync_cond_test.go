@@ -1,0 +1,315 @@
+package dex
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCondProducerConsumer(t *testing.T) {
+	cluster := NewCluster(3)
+	_, err := cluster.Run(func(th *Thread) error {
+		mu, err := NewMutex(th)
+		if err != nil {
+			return err
+		}
+		cond, err := NewCond(th, mu)
+		if err != nil {
+			return err
+		}
+		queue, err := th.Mmap(PageSize, ProtRead|ProtWrite, "queue-depth")
+		if err != nil {
+			return err
+		}
+		consumed, err := th.Mmap(PageSize, ProtRead|ProtWrite, "consumed")
+		if err != nil {
+			return err
+		}
+		const items = 12
+		var ws []*Thread
+		for c := 0; c < 2; c++ {
+			c := c
+			w, err := th.Spawn(func(w *Thread) error {
+				if err := w.Migrate(1 + c); err != nil {
+					return err
+				}
+				for {
+					if err := mu.Lock(w); err != nil {
+						return err
+					}
+					for {
+						depth, err := w.ReadUint32(queue)
+						if err != nil {
+							return err
+						}
+						done, err := w.ReadUint32(consumed)
+						if err != nil {
+							return err
+						}
+						if depth > 0 || done >= items {
+							break
+						}
+						if err := cond.Wait(w); err != nil {
+							return err
+						}
+					}
+					depth, err := w.ReadUint32(queue)
+					if err != nil {
+						return err
+					}
+					done, err := w.ReadUint32(consumed)
+					if err != nil {
+						return err
+					}
+					if depth == 0 && done >= items {
+						if err := mu.Unlock(w); err != nil {
+							return err
+						}
+						return w.MigrateBack()
+					}
+					if err := w.WriteUint32(queue, depth-1); err != nil {
+						return err
+					}
+					if err := w.WriteUint32(consumed, done+1); err != nil {
+						return err
+					}
+					if err := mu.Unlock(w); err != nil {
+						return err
+					}
+					w.Compute(20 * time.Microsecond)
+				}
+			})
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+		// Producer at the origin.
+		for i := 0; i < items; i++ {
+			if err := mu.Lock(th); err != nil {
+				return err
+			}
+			depth, err := th.ReadUint32(queue)
+			if err != nil {
+				return err
+			}
+			if err := th.WriteUint32(queue, depth+1); err != nil {
+				return err
+			}
+			if err := cond.Signal(th); err != nil {
+				return err
+			}
+			if err := mu.Unlock(th); err != nil {
+				return err
+			}
+			th.Compute(10 * time.Microsecond)
+		}
+		// Wake any consumer still waiting so it can observe completion.
+		for {
+			done, err := th.ReadUint32(consumed)
+			if err != nil {
+				return err
+			}
+			if done >= items {
+				break
+			}
+			th.Compute(50 * time.Microsecond)
+		}
+		if err := mu.Lock(th); err != nil {
+			return err
+		}
+		if err := cond.Broadcast(th); err != nil {
+			return err
+		}
+		if err := mu.Unlock(th); err != nil {
+			return err
+		}
+		for _, w := range ws {
+			th.Join(w)
+		}
+		done, err := th.ReadUint32(consumed)
+		if err != nil {
+			return err
+		}
+		if done != items {
+			t.Errorf("consumed = %d, want %d", done, items)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	cluster := NewCluster(2)
+	_, err := cluster.Run(func(th *Thread) error {
+		mu, err := NewMutex(th)
+		if err != nil {
+			return err
+		}
+		cond, err := NewCond(th, mu)
+		if err != nil {
+			return err
+		}
+		gate, err := th.Mmap(PageSize, ProtRead|ProtWrite, "gate")
+		if err != nil {
+			return err
+		}
+		const waiters = 6
+		var ws []*Thread
+		for i := 0; i < waiters; i++ {
+			i := i
+			w, err := th.Spawn(func(w *Thread) error {
+				if err := w.Migrate(1 - i%2); err != nil {
+					return err
+				}
+				if err := mu.Lock(w); err != nil {
+					return err
+				}
+				for {
+					g, err := w.ReadUint32(gate)
+					if err != nil {
+						return err
+					}
+					if g == 1 {
+						break
+					}
+					if err := cond.Wait(w); err != nil {
+						return err
+					}
+				}
+				if err := mu.Unlock(w); err != nil {
+					return err
+				}
+				return w.Migrate(0)
+			})
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+		th.Compute(3 * time.Millisecond) // let everyone block
+		if err := mu.Lock(th); err != nil {
+			return err
+		}
+		if err := th.WriteUint32(gate, 1); err != nil {
+			return err
+		}
+		if err := cond.Broadcast(th); err != nil {
+			return err
+		}
+		if err := mu.Unlock(th); err != nil {
+			return err
+		}
+		for _, w := range ws {
+			th.Join(w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphoreBoundsConcurrency(t *testing.T) {
+	cluster := NewCluster(3)
+	_, err := cluster.Run(func(th *Thread) error {
+		sem, err := NewSemaphore(th, 2)
+		if err != nil {
+			return err
+		}
+		inside, err := th.Mmap(PageSize, ProtRead|ProtWrite, "inside")
+		if err != nil {
+			return err
+		}
+		maxSeen, err := th.Mmap(PageSize, ProtRead|ProtWrite, "max")
+		if err != nil {
+			return err
+		}
+		var ws []*Thread
+		for i := 0; i < 6; i++ {
+			i := i
+			w, err := th.Spawn(func(w *Thread) error {
+				if err := w.Migrate(i % 3); err != nil {
+					return err
+				}
+				for k := 0; k < 3; k++ {
+					if err := sem.Acquire(w); err != nil {
+						return err
+					}
+					n, err := w.AddUint64(inside, 1)
+					if err != nil {
+						return err
+					}
+					cur, err := w.ReadUint64(maxSeen)
+					if err != nil {
+						return err
+					}
+					if n > cur {
+						if err := w.WriteUint64(maxSeen, n); err != nil {
+							return err
+						}
+					}
+					w.Compute(30 * time.Microsecond)
+					if _, err := w.AddUint64(inside, ^uint64(0)); err != nil {
+						return err
+					}
+					if err := sem.Release(w); err != nil {
+						return err
+					}
+				}
+				return w.Migrate(0)
+			})
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+		for _, w := range ws {
+			th.Join(w)
+		}
+		mx, err := th.ReadUint64(maxSeen)
+		if err != nil {
+			return err
+		}
+		if mx == 0 || mx > 2 {
+			t.Errorf("max concurrent holders = %d, want 1..2", mx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	cluster := NewCluster(1)
+	_, err := cluster.Run(func(th *Thread) error {
+		sem, err := NewSemaphore(th, 1)
+		if err != nil {
+			return err
+		}
+		ok, err := sem.TryAcquire(th)
+		if err != nil || !ok {
+			t.Errorf("first TryAcquire = %v, %v", ok, err)
+		}
+		ok, err = sem.TryAcquire(th)
+		if err != nil || ok {
+			t.Errorf("second TryAcquire = %v, %v", ok, err)
+		}
+		if err := sem.Release(th); err != nil {
+			return err
+		}
+		ok, err = sem.TryAcquire(th)
+		if err != nil || !ok {
+			t.Errorf("TryAcquire after release = %v, %v", ok, err)
+		}
+		if _, err := NewSemaphore(th, -1); err == nil {
+			t.Error("negative initial count accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
