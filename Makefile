@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench artifacts
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the whole suite under the race detector; the parallel
+# experiment harness (internal/exper cell runner, cmd/dexbench) must stay
+# clean here.
+race:
+	$(GO) test -race ./...
+
+# check is the gate CI runs: build, vet, plain tests, then the race run.
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$
+
+# artifacts regenerates the paper tables at full scale (EXPERIMENTS.md data).
+artifacts:
+	$(GO) run ./cmd/dexbench -size full

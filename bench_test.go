@@ -27,7 +27,9 @@ func benchExperiment(b *testing.B, id string) exper.Table {
 	}
 	var table exper.Table
 	for i := 0; i < b.N; i++ {
-		table = e.Run(apps.SizeTest)
+		// A fresh runner per iteration: memoized cells would otherwise make
+		// every iteration after the first free.
+		table = e.Run(exper.NewRunner(0), apps.SizeTest)
 	}
 	return table
 }

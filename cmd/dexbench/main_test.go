@@ -1,21 +1,60 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestBenchList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "table2") {
+		t.Fatalf("listing missing experiments:\n%s", out.String())
 	}
 }
 
 func TestBenchSingleExperiment(t *testing.T) {
-	if err := run([]string{"-exp", "table2"}); err != nil {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table2"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table II") {
+		t.Fatalf("missing table:\n%s", out.String())
 	}
 }
 
 func TestBenchUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-exp", "nope"}); err == nil {
+	if err := run([]string{"-exp", "nope"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestBenchParallelOutputByteIdentical is the harness-level determinism
+// guarantee: the tables on stdout are byte-for-byte the same whatever the
+// worker-pool width. Experiments that share memoized cells (table2/figure3)
+// and multi-cell ablations cover the interesting interleavings; stderr
+// (progress, timing) is the only place allowed to differ.
+func TestBenchParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments twice")
+	}
+	outputs := make([]string, 0, 2)
+	for _, par := range []string{"1", "8"} {
+		var out bytes.Buffer
+		if err := run([]string{"-parallel", par, "-quiet"}, &out, io.Discard); err != nil {
+			t.Fatalf("-parallel %s: %v", par, err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("stdout differs between -parallel 1 and -parallel 8:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s",
+			outputs[0], outputs[1])
+	}
+	if !strings.Contains(outputs[0], "Table II") {
+		t.Fatalf("unexpected output:\n%s", outputs[0])
 	}
 }

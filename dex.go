@@ -143,6 +143,20 @@ func WithRawParams(params core.Params) Option {
 	})
 }
 
+// ParamsFingerprint returns a stable digest of the fully resolved cluster
+// parameters for a node count and option set. Two configurations with equal
+// fingerprints build identical clusters, so experiment harnesses can use the
+// fingerprint to key memoized simulation cells. Options carrying process
+// state (e.g. WithTrace) embed the hook's identity, which keeps traced
+// configurations from ever sharing a cell.
+func ParamsFingerprint(nodes int, opts ...Option) string {
+	params := core.DefaultParams(nodes)
+	for _, o := range opts {
+		o.apply(&params)
+	}
+	return fmt.Sprintf("%+v", params)
+}
+
 // Cluster is a simulated rack of machines running DeX.
 type Cluster struct {
 	machine *core.Machine

@@ -93,6 +93,12 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
+// Normalized returns cfg with every defaulted field resolved to its
+// effective value — the same resolution Run applies. Two configurations
+// with equal normalized forms describe the same run, which lets experiment
+// harnesses key memoized cells on them.
+func (cfg Config) Normalized() Config { return cfg.withDefaults() }
+
 func (cfg Config) threads() int { return cfg.ThreadsPerNode * cfg.Nodes }
 
 func (cfg Config) cluster() *dex.Cluster {

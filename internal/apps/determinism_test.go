@@ -1,0 +1,44 @@
+package apps_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dex/internal/apps"
+)
+
+// TestSameSeedDeterminism runs every application in every variant twice
+// with identical configurations and requires bit-identical results —
+// elapsed virtual time, answer digest, and the full report including every
+// protocol and interconnect counter. This is the property the parallel
+// experiment harness builds on: a simulation cell is a pure function of
+// its configuration, so memoizing and reordering cells cannot change any
+// table.
+func TestSameSeedDeterminism(t *testing.T) {
+	for _, app := range apps.All() {
+		for _, variant := range []apps.Variant{apps.Baseline, apps.Initial, apps.Optimized} {
+			app, variant := app, variant
+			t.Run(app.Name+"/"+variant.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := apps.Config{Nodes: 2, Variant: variant, Size: apps.SizeTest, Seed: 7}
+				first, err := app.Run(cfg)
+				if err != nil {
+					t.Fatalf("first run: %v", err)
+				}
+				second, err := app.Run(cfg)
+				if err != nil {
+					t.Fatalf("second run: %v", err)
+				}
+				if first.Check != second.Check {
+					t.Fatalf("answer digest differs: %q vs %q", first.Check, second.Check)
+				}
+				if first.Elapsed != second.Elapsed {
+					t.Fatalf("elapsed differs: %v vs %v", first.Elapsed, second.Elapsed)
+				}
+				if !reflect.DeepEqual(first, second) {
+					t.Fatalf("results differ:\nfirst:  %+v\nsecond: %+v", first, second)
+				}
+			})
+		}
+	}
+}

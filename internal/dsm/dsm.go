@@ -282,14 +282,22 @@ func (m *Manager) EnsurePage(t *sim.Task, ctx Ctx, addr mem.Addr, write bool) *m
 	ns := m.nodes[ctx.Node]
 	vpn := addr.VPN()
 	key := fkey{vpn: vpn, write: write}
+	var joined *faultGroup
 	for {
 		if pte := m.Lookup(ctx.Node, vpn, write); pte != nil {
 			return pte
 		}
 		if g, ok := ns.faults[key]; ok && !m.params.DisableCoalescing {
-			// Follower: wait for the leader, then resume with its PTE.
-			m.stats.FollowerJoins++
-			g.followers = append(g.followers, t)
+			// Follower: wait for the leader, then resume with its PTE. A
+			// task joins (and is counted against) a given fault group at
+			// most once: a spurious wakeup that lands the task back on the
+			// same in-flight group must not re-register it or inflate
+			// FollowerJoins.
+			if g != joined {
+				m.stats.FollowerJoins++
+				g.followers = append(g.followers, t)
+				joined = g
+			}
 			t.Park("fault follower " + addr.String())
 			t.Sleep(m.params.FollowerWake)
 			continue

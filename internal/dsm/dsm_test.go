@@ -203,6 +203,43 @@ func TestLeaderFollowerCoalescing(t *testing.T) {
 	}
 }
 
+// TestFollowerJoinCountedOncePerGroup pins the A1 ablation counter: a task
+// that parks on an in-flight fault group, is woken spuriously (e.g. by a
+// stray futex wake delivered as an Unpark token), and re-parks on the same
+// group must count as ONE follower join, not one per park.
+func TestFollowerJoinCountedOncePerGroup(t *testing.T) {
+	e := newEnv(t, 2, DefaultParams(), nil)
+	var follower *sim.Task
+	e.eng.Spawn("setup", func(tk *sim.Task) {
+		e.write(tk, 0, testAddr, 9)
+		e.eng.Spawn("leader", func(tk *sim.Task) {
+			if got := e.read(tk, 1, testAddr); got != 9 {
+				t.Errorf("leader read %d, want 9", got)
+			}
+		})
+		follower = e.eng.Spawn("follower", func(tk *sim.Task) {
+			// Start after the leader so the fault group is in flight.
+			tk.Sleep(2 * time.Microsecond)
+			if got := e.read(tk, 1, testAddr); got != 9 {
+				t.Errorf("follower read %d, want 9", got)
+			}
+		})
+		// Spurious wake while the leader's protocol (~19µs) is still
+		// running: the follower re-parks on the same fault group.
+		e.eng.SpawnAfter("poker", 5*time.Microsecond, func(tk *sim.Task) {
+			follower.Unpark()
+		})
+	})
+	e.run(t)
+	st := e.m.Stats()
+	if st.ReadFaults != 1 {
+		t.Fatalf("ReadFaults = %d, want 1 (coalesced)", st.ReadFaults)
+	}
+	if st.FollowerJoins != 1 {
+		t.Fatalf("FollowerJoins = %d, want exactly 1 for one follower", st.FollowerJoins)
+	}
+}
+
 func TestCoalescingDisabledAblation(t *testing.T) {
 	p := DefaultParams()
 	p.DisableCoalescing = true

@@ -21,264 +21,329 @@ func runMachine(params core.Params, main func(*core.Thread) error) core.Report {
 	return p.Report()
 }
 
-// AblationCoalescing (A1) measures the leader/follower fault coalescing of
-// §III-C: many threads on one remote node touching the same fresh pages.
-func AblationCoalescing(apps.Size) Table {
-	run := func(disable bool) (time.Duration, uint64, uint64, uint64) {
-		params := core.DefaultParams(2)
-		params.DSM.DisableCoalescing = disable
-		var span time.Duration
-		rep := runMachine(params, func(th *core.Thread) error {
-			const pages = 64
-			const threads = 8
-			addr, err := th.Mmap(pages*mem.PageSize, mem.ProtRead|mem.ProtWrite, "hot")
+// coalescingResult is the value of one A1 cell.
+type coalescingResult struct {
+	Span          time.Duration
+	Faults, Joins uint64
+	Nacks         uint64
+}
+
+func runCoalescing(disable bool) coalescingResult {
+	params := core.DefaultParams(2)
+	params.DSM.DisableCoalescing = disable
+	var span time.Duration
+	rep := runMachine(params, func(th *core.Thread) error {
+		const pages = 64
+		const threads = 8
+		addr, err := th.Mmap(pages*mem.PageSize, mem.ProtRead|mem.ProtWrite, "hot")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < pages; i++ {
+			if err := th.WriteUint64(addr+mem.Addr(i*mem.PageSize), uint64(i)); err != nil {
+				return err
+			}
+		}
+		start := time.Duration(0)
+		var ws []*core.Thread
+		for i := 0; i < threads; i++ {
+			w, err := th.Spawn(func(w *core.Thread) error {
+				if err := w.Migrate(1); err != nil {
+					return err
+				}
+				if start == 0 {
+					start = w.Now()
+				}
+				// All threads sweep the same pages: with coalescing one
+				// leader fetches each page; without it every thread
+				// runs the protocol.
+				for i := 0; i < pages; i++ {
+					if _, err := w.ReadUint64(addr + mem.Addr(i*mem.PageSize)); err != nil {
+						return err
+					}
+				}
+				return w.MigrateBack()
+			})
 			if err != nil {
 				return err
 			}
-			for i := 0; i < pages; i++ {
-				if err := th.WriteUint64(addr+mem.Addr(i*mem.PageSize), uint64(i)); err != nil {
-					return err
-				}
-			}
-			start := time.Duration(0)
-			var ws []*core.Thread
-			for i := 0; i < threads; i++ {
-				w, err := th.Spawn(func(w *core.Thread) error {
-					if err := w.Migrate(1); err != nil {
-						return err
-					}
-					if start == 0 {
-						start = w.Now()
-					}
-					// All threads sweep the same pages: with coalescing one
-					// leader fetches each page; without it every thread
-					// runs the protocol.
-					for i := 0; i < pages; i++ {
-						if _, err := w.ReadUint64(addr + mem.Addr(i*mem.PageSize)); err != nil {
-							return err
-						}
-					}
-					return w.MigrateBack()
-				})
-				if err != nil {
-					return err
-				}
-				ws = append(ws, w)
-			}
-			for _, w := range ws {
-				th.Join(w)
-			}
-			span = th.Now() - start
-			return nil
+			ws = append(ws, w)
+		}
+		for _, w := range ws {
+			th.Join(w)
+		}
+		span = th.Now() - start
+		return nil
+	})
+	return coalescingResult{span, rep.DSM.Faults(), rep.DSM.FollowerJoins, rep.DSM.Nacks}
+}
+
+// AblationCoalescing (A1) measures the leader/follower fault coalescing of
+// §III-C: many threads on one remote node touching the same fresh pages.
+func AblationCoalescing(r *Runner, _ apps.Size) Table {
+	r = ensure(r)
+	configs := []bool{false, true}
+	cells := make([]*Cell, len(configs))
+	for i, disable := range configs {
+		disable := disable
+		cells[i] = r.Submit(fmt.Sprintf("ablation/coalescing/disable=%t", disable), func() any {
+			return runCoalescing(disable)
 		})
-		return span, rep.DSM.Faults(), rep.DSM.FollowerJoins, rep.DSM.Nacks
 	}
 	t := Table{
 		ID:     "A1",
 		Title:  "leader/follower fault coalescing (8 threads sweeping 64 shared pages)",
 		Header: []string{"config", "span", "lead-faults", "follower-joins", "nacks"},
 	}
-	for _, disable := range []bool{false, true} {
-		span, faults, joins, nacks := run(disable)
+	for i, disable := range configs {
+		res := cells[i].Wait().(coalescingResult)
 		name := "coalescing on (paper design)"
 		if disable {
 			name = "coalescing off"
 		}
-		t.Rows = append(t.Rows, []string{name, span.Round(time.Microsecond).String(),
-			fmt.Sprint(faults), fmt.Sprint(joins), fmt.Sprint(nacks)})
+		t.Rows = append(t.Rows, []string{name, res.Span.Round(time.Microsecond).String(),
+			fmt.Sprint(res.Faults), fmt.Sprint(res.Joins), fmt.Sprint(res.Nacks)})
 	}
 	t.Notes = append(t.Notes,
 		"without coalescing every thread runs the protocol itself: redundant transactions are NACKed and retried")
 	return t
 }
 
+// rdmaResult is the value of one A2 cell.
+type rdmaResult struct {
+	Span  time.Duration
+	Stats fabric.Stats
+}
+
+func runRDMA(mode fabric.PageMode) rdmaResult {
+	params := core.DefaultParams(2)
+	params.Fabric.Mode = mode
+	var span time.Duration
+	rep := runMachine(params, func(th *core.Thread) error {
+		const pages = 512
+		addr, err := th.Mmap(pages*mem.PageSize, mem.ProtRead|mem.ProtWrite, "bulk")
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, pages*mem.PageSize)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		if err := th.Write(addr, buf); err != nil {
+			return err
+		}
+		if err := th.Migrate(1); err != nil {
+			return err
+		}
+		start := th.Now()
+		if err := th.Read(addr, buf); err != nil {
+			return err
+		}
+		span = th.Now() - start
+		return th.MigrateBack()
+	})
+	return rdmaResult{span, rep.Net}
+}
+
 // AblationRDMA (A2) compares the hybrid RDMA sink (§III-E) against per-page
 // dynamic registration and the VERB-only path on a page-transfer stress.
-func AblationRDMA(apps.Size) Table {
-	run := func(mode fabric.PageMode) (time.Duration, fabric.Stats) {
-		params := core.DefaultParams(2)
-		params.Fabric.Mode = mode
-		var span time.Duration
-		rep := runMachine(params, func(th *core.Thread) error {
-			const pages = 512
-			addr, err := th.Mmap(pages*mem.PageSize, mem.ProtRead|mem.ProtWrite, "bulk")
-			if err != nil {
-				return err
-			}
-			buf := make([]byte, pages*mem.PageSize)
-			for i := range buf {
-				buf[i] = byte(i)
-			}
-			if err := th.Write(addr, buf); err != nil {
-				return err
-			}
-			if err := th.Migrate(1); err != nil {
-				return err
-			}
-			start := th.Now()
-			if err := th.Read(addr, buf); err != nil {
-				return err
-			}
-			span = th.Now() - start
-			return th.MigrateBack()
+func AblationRDMA(r *Runner, _ apps.Size) Table {
+	r = ensure(r)
+	modes := []fabric.PageMode{fabric.HybridSink, fabric.PerPageReg, fabric.VerbOnly}
+	cells := make([]*Cell, len(modes))
+	for i, mode := range modes {
+		mode := mode
+		cells[i] = r.Submit(fmt.Sprintf("ablation/rdma/mode=%s", mode), func() any {
+			return runRDMA(mode)
 		})
-		return span, rep.Net
 	}
 	t := Table{
 		ID:     "A2",
 		Title:  "page-transfer strategies: pulling 512 pages (2 MB) to a remote node",
 		Header: []string{"mode", "span", "per-page", "memcpy-bytes", "registrations"},
 	}
-	for _, mode := range []fabric.PageMode{fabric.HybridSink, fabric.PerPageReg, fabric.VerbOnly} {
-		span, st := run(mode)
+	for i, mode := range modes {
+		res := cells[i].Wait().(rdmaResult)
 		t.Rows = append(t.Rows, []string{
-			mode.String(), span.Round(time.Microsecond).String(),
-			(span / 512).Round(100 * time.Nanosecond).String(),
-			fmt.Sprint(st.MemcpyBytes), fmt.Sprint(st.Registrations),
+			mode.String(), res.Span.Round(time.Microsecond).String(),
+			(res.Span / 512).Round(100 * time.Nanosecond).String(),
+			fmt.Sprint(res.Stats.MemcpyBytes), fmt.Sprint(res.Stats.Registrations),
 		})
 	}
 	t.Notes = append(t.Notes, "the paper's hybrid sink trades one memcpy for avoiding per-page registration (§III-E)")
 	return t
 }
 
+// vmaResult is the value of one A3 cell.
+type vmaResult struct {
+	Span       time.Duration
+	Queries    uint64
+	SmallSends uint64
+}
+
+func runVMA(eager bool) vmaResult {
+	params := core.DefaultParams(4)
+	params.EagerVMASync = eager
+	var span time.Duration
+	rep := runMachine(params, func(th *core.Thread) error {
+		// Expand to every node first so workers exist.
+		var ws []*core.Thread
+		for n := 1; n < 4; n++ {
+			n := n
+			w, err := th.Spawn(func(w *core.Thread) error {
+				if err := w.Migrate(n); err != nil {
+					return err
+				}
+				return w.MigrateBack()
+			})
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+		for _, w := range ws {
+			th.Join(w)
+		}
+		// The origin maps many regions; remote threads touch only one.
+		const regions = 128
+		addrs := make([]mem.Addr, regions)
+		start := th.Now()
+		for i := range addrs {
+			a, err := th.Mmap(mem.PageSize, mem.ProtRead|mem.ProtWrite, "region")
+			if err != nil {
+				return err
+			}
+			addrs[i] = a
+			if err := th.WriteUint64(a, uint64(i)); err != nil {
+				return err
+			}
+		}
+		ws = ws[:0]
+		for n := 1; n < 4; n++ {
+			n := n
+			w, err := th.Spawn(func(w *core.Thread) error {
+				if err := w.Migrate(n); err != nil {
+					return err
+				}
+				if _, err := w.ReadUint64(addrs[n]); err != nil {
+					return err
+				}
+				return w.MigrateBack()
+			})
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+		for _, w := range ws {
+			th.Join(w)
+		}
+		span = th.Now() - start
+		return nil
+	})
+	return vmaResult{span, rep.VMAQueries, rep.Net.SmallSends}
+}
+
 // AblationVMA (A3) compares on-demand VMA synchronization (§III-D) against
 // eager broadcast on an mmap-heavy workload where remote nodes touch only a
 // few of the mappings.
-func AblationVMA(apps.Size) Table {
-	run := func(eager bool) (time.Duration, uint64, uint64) {
-		params := core.DefaultParams(4)
-		params.EagerVMASync = eager
-		var span time.Duration
-		var queries uint64
-		rep := runMachine(params, func(th *core.Thread) error {
-			// Expand to every node first so workers exist.
-			var ws []*core.Thread
-			for n := 1; n < 4; n++ {
-				n := n
-				w, err := th.Spawn(func(w *core.Thread) error {
-					if err := w.Migrate(n); err != nil {
-						return err
-					}
-					return w.MigrateBack()
-				})
-				if err != nil {
-					return err
-				}
-				ws = append(ws, w)
-			}
-			for _, w := range ws {
-				th.Join(w)
-			}
-			// The origin maps many regions; remote threads touch only one.
-			const regions = 128
-			addrs := make([]mem.Addr, regions)
-			start := th.Now()
-			for i := range addrs {
-				a, err := th.Mmap(mem.PageSize, mem.ProtRead|mem.ProtWrite, "region")
-				if err != nil {
-					return err
-				}
-				addrs[i] = a
-				if err := th.WriteUint64(a, uint64(i)); err != nil {
-					return err
-				}
-			}
-			ws = ws[:0]
-			for n := 1; n < 4; n++ {
-				n := n
-				w, err := th.Spawn(func(w *core.Thread) error {
-					if err := w.Migrate(n); err != nil {
-						return err
-					}
-					if _, err := w.ReadUint64(addrs[n]); err != nil {
-						return err
-					}
-					return w.MigrateBack()
-				})
-				if err != nil {
-					return err
-				}
-				ws = append(ws, w)
-			}
-			for _, w := range ws {
-				th.Join(w)
-			}
-			span = th.Now() - start
-			return nil
+func AblationVMA(r *Runner, _ apps.Size) Table {
+	r = ensure(r)
+	configs := []bool{false, true}
+	cells := make([]*Cell, len(configs))
+	for i, eager := range configs {
+		eager := eager
+		cells[i] = r.Submit(fmt.Sprintf("ablation/vma/eager=%t", eager), func() any {
+			return runVMA(eager)
 		})
-		queries = rep.VMAQueries
-		return span, queries, rep.Net.SmallSends
 	}
 	t := Table{
 		ID:     "A3",
 		Title:  "VMA synchronization: 128 mmaps at the origin, 3 remote nodes touching one region each",
 		Header: []string{"policy", "span", "on-demand-queries", "small-messages"},
 	}
-	for _, eager := range []bool{false, true} {
-		span, q, msgs := run(eager)
+	for i, eager := range configs {
+		res := cells[i].Wait().(vmaResult)
 		name := "on-demand (paper design)"
 		if eager {
 			name = "eager broadcast"
 		}
-		t.Rows = append(t.Rows, []string{name, span.Round(time.Microsecond).String(),
-			fmt.Sprint(q), fmt.Sprint(msgs)})
+		t.Rows = append(t.Rows, []string{name, res.Span.Round(time.Microsecond).String(),
+			fmt.Sprint(res.Queries), fmt.Sprint(res.SmallSends)})
 	}
 	return t
+}
+
+// upgradeResult is the value of one A4 cell.
+type upgradeResult struct {
+	Span      time.Duration
+	Grants    uint64
+	PageBytes uint64
+}
+
+func runUpgrade(alwaysSend bool) upgradeResult {
+	params := core.DefaultParams(2)
+	params.DSM.AlwaysSendData = alwaysSend
+	var span time.Duration
+	rep := runMachine(params, func(th *core.Thread) error {
+		const pages = 256
+		addr, err := th.Mmap(pages*mem.PageSize, mem.ProtRead|mem.ProtWrite, "rw")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < pages; i++ {
+			if err := th.WriteUint64(addr+mem.Addr(i*mem.PageSize), 1); err != nil {
+				return err
+			}
+		}
+		if err := th.Migrate(1); err != nil {
+			return err
+		}
+		start := th.Now()
+		// Read-then-write each page: the write is an upgrade of a
+		// fresh copy.
+		for i := 0; i < pages; i++ {
+			a := addr + mem.Addr(i*mem.PageSize)
+			v, err := th.ReadUint64(a)
+			if err != nil {
+				return err
+			}
+			if err := th.WriteUint64(a, v+1); err != nil {
+				return err
+			}
+		}
+		span = th.Now() - start
+		return th.MigrateBack()
+	})
+	return upgradeResult{span, rep.DSM.OwnershipGrants, rep.Net.PageBytes}
 }
 
 // AblationUpgrade (A4) measures ownership-only grants (§III-B): a remote
 // node that read a page and then writes it should not receive the data
 // again.
-func AblationUpgrade(apps.Size) Table {
-	run := func(alwaysSend bool) (time.Duration, uint64, uint64) {
-		params := core.DefaultParams(2)
-		params.DSM.AlwaysSendData = alwaysSend
-		var span time.Duration
-		rep := runMachine(params, func(th *core.Thread) error {
-			const pages = 256
-			addr, err := th.Mmap(pages*mem.PageSize, mem.ProtRead|mem.ProtWrite, "rw")
-			if err != nil {
-				return err
-			}
-			for i := 0; i < pages; i++ {
-				if err := th.WriteUint64(addr+mem.Addr(i*mem.PageSize), 1); err != nil {
-					return err
-				}
-			}
-			if err := th.Migrate(1); err != nil {
-				return err
-			}
-			start := th.Now()
-			// Read-then-write each page: the write is an upgrade of a
-			// fresh copy.
-			for i := 0; i < pages; i++ {
-				a := addr + mem.Addr(i*mem.PageSize)
-				v, err := th.ReadUint64(a)
-				if err != nil {
-					return err
-				}
-				if err := th.WriteUint64(a, v+1); err != nil {
-					return err
-				}
-			}
-			span = th.Now() - start
-			return th.MigrateBack()
+func AblationUpgrade(r *Runner, _ apps.Size) Table {
+	r = ensure(r)
+	configs := []bool{false, true}
+	cells := make([]*Cell, len(configs))
+	for i, always := range configs {
+		always := always
+		cells[i] = r.Submit(fmt.Sprintf("ablation/upgrade/always-send=%t", always), func() any {
+			return runUpgrade(always)
 		})
-		return span, rep.DSM.OwnershipGrants, rep.Net.PageBytes
 	}
 	t := Table{
 		ID:     "A4",
 		Title:  "write upgrades of fresh replicas: 256 read-then-write pages from a remote node",
 		Header: []string{"config", "span", "ownership-only-grants", "page-bytes-on-wire"},
 	}
-	for _, always := range []bool{false, true} {
-		span, grants, bytes := run(always)
+	for i, always := range configs {
+		res := cells[i].Wait().(upgradeResult)
 		name := "ownership-only grants (paper design)"
 		if always {
 			name = "always resend data"
 		}
-		t.Rows = append(t.Rows, []string{name, span.Round(time.Microsecond).String(),
-			fmt.Sprint(grants), fmt.Sprint(bytes)})
+		t.Rows = append(t.Rows, []string{name, res.Span.Round(time.Microsecond).String(),
+			fmt.Sprint(res.Grants), fmt.Sprint(res.PageBytes)})
 	}
 	return t
 }

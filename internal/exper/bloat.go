@@ -23,7 +23,7 @@ import (
 // objects into its own page-aligned run (the paper's approach); blanket
 // gives every object its own page, which removes the false sharing too but
 // balloons the resident set and pays a cold fault per object.
-func AblationAlignment(apps.Size) Table {
+func AblationAlignment(r *Runner, _ apps.Size) Table {
 	const (
 		perThread = 64 // small private counters per thread
 		updates   = 300
@@ -37,6 +37,10 @@ func AblationAlignment(apps.Size) Table {
 		selective
 		blanket
 	)
+	type alignResult struct {
+		Span  time.Duration
+		Pages int
+	}
 	run := func(l layout) (time.Duration, int) {
 		params := core.DefaultParams(4)
 		m := core.NewMachine(params)
@@ -106,23 +110,33 @@ func AblationAlignment(apps.Size) Table {
 		}
 		return span, p.Report().TotalResidentPages()
 	}
+	r = ensure(r)
 	t := Table{
 		ID:     "A5",
 		Title:  "object alignment strategies (§IV-B): 512 private objects, 8 threads on 4 nodes",
 		Header: []string{"layout", "span", "resident-pages", "resident-bytes"},
 	}
-	for _, l := range []struct {
-		name string
-		v    layout
+	layouts := []struct {
+		name, key string
+		v         layout
 	}{
-		{"packed (maximal false sharing)", packed},
-		{"selective alignment (paper design)", selective},
-		{"blanket page alignment", blanket},
-	} {
-		span, pages := run(l.v)
+		{"packed (maximal false sharing)", "packed", packed},
+		{"selective alignment (paper design)", "selective", selective},
+		{"blanket page alignment", "blanket", blanket},
+	}
+	cells := make([]*Cell, len(layouts))
+	for i, l := range layouts {
+		l := l
+		cells[i] = r.Submit("ablation/alignment/layout="+l.key, func() any {
+			span, pages := run(l.v)
+			return alignResult{span, pages}
+		})
+	}
+	for i, l := range layouts {
+		res := cells[i].Wait().(alignResult)
 		t.Rows = append(t.Rows, []string{
-			l.name, span.Round(time.Microsecond).String(),
-			fmt.Sprint(pages), fmt.Sprint(pages * mem.PageSize),
+			l.name, res.Span.Round(time.Microsecond).String(),
+			fmt.Sprint(res.Pages), fmt.Sprint(res.Pages * mem.PageSize),
 		})
 	}
 	t.Notes = append(t.Notes,

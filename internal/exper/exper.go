@@ -2,6 +2,13 @@
 // evaluation (§V), plus the ablation studies DESIGN.md calls out. Each
 // experiment returns a Table with the same rows/series the paper reports;
 // cmd/dexbench prints them and bench_test.go wraps them as benchmarks.
+//
+// Experiments are structured as submit-then-assemble over a shared Runner
+// (see cell.go): each first submits every simulation cell it needs, then
+// builds its table by waiting on the cells in a fixed order. The table text
+// therefore never depends on the pool width, and cells shared between
+// experiments (Table II and Figure 3 read the same migration
+// microbenchmark) run once per harness invocation.
 package exper
 
 import (
@@ -61,11 +68,13 @@ func (t Table) Render() string {
 	return sb.String()
 }
 
-// Experiment couples an id with its runner.
+// Experiment couples an id with its runner. Run submits its cells to r
+// (a nil r gets a private sequential runner) and assembles the table; a
+// single Runner shared across experiments memoizes common cells.
 type Experiment struct {
 	ID   string
 	Desc string
-	Run  func(size apps.Size) Table
+	Run  func(r *Runner, size apps.Size) Table
 }
 
 // All returns every experiment in evaluation order.
@@ -99,23 +108,32 @@ func ByID(id string) (Experiment, bool) {
 // on a single scale-up machine with many cores, completion times are
 // inversely proportional to the thread count, confirming the applications
 // are inherently scalable.
-func ScaleUp(size apps.Size) Table {
+func ScaleUp(r *Runner, size apps.Size) Table {
+	r = ensure(r)
 	t := Table{
 		ID:     "E0",
 		Title:  "inherent scalability on a 32-core scale-up node (completion time vs threads)",
 		Header: []string{"app", "t=1", "t=2", "t=4", "t=8", "t=16", "t=32", "speedup(32)"},
 	}
-	// The paper's scale-up box is an 8-socket machine: memory bandwidth
-	// scales with the sockets, so the 32-core node gets four single-socket
-	// buses' worth.
-	for _, app := range apps.All() {
-		row := []string{app.Name}
-		var t1, t32 time.Duration
-		for _, threads := range []int{1, 2, 4, 8, 16, 32} {
-			res, err := app.Run(apps.Config{
+	threadCounts := []int{1, 2, 4, 8, 16, 32}
+	all := apps.All()
+	cells := make([][]*Cell, len(all))
+	for i, app := range all {
+		for _, threads := range threadCounts {
+			// The paper's scale-up box is an 8-socket machine: memory
+			// bandwidth scales with the sockets, so the 32-core node gets
+			// four single-socket buses' worth.
+			cells[i] = append(cells[i], r.SubmitApp(app, apps.Config{
 				Nodes: 1, ThreadsPerNode: threads, Variant: apps.Baseline, Size: size,
 				Opts: []dex.Option{dex.WithCoresPerNode(32), dex.WithMemBandwidth(48e9)},
-			})
+			}))
+		}
+	}
+	for i, app := range all {
+		row := []string{app.Name}
+		var t1, t32 time.Duration
+		for j, threads := range threadCounts {
+			res, err := WaitApp(cells[i][j])
 			if err != nil {
 				row = append(row, "err:"+err.Error())
 				continue
@@ -142,7 +160,8 @@ func ScaleUp(size apps.Size) Table {
 // paper counts changed source lines; this reproduction counts the DeX API
 // call sites each port requires — the direct analogue of inserted lines —
 // and validates the per-thread migration structure against a live run.
-func Table1(size apps.Size) Table {
+func Table1(r *Runner, size apps.Size) Table {
+	r = ensure(r)
 	t := Table{
 		ID:    "E1",
 		Title: "adaptation complexity (DeX API call sites; paper counts changed LoC)",
@@ -169,9 +188,13 @@ func Table1(size apps.Size) Table {
 		{"bfs", "pthread+NUMA", 1, 2, 9},
 		{"bp", "pthread+NUMA", 1, 2, 8},
 	}
-	for _, e := range entries {
+	cells := make([]*Cell, len(entries))
+	for i, e := range entries {
 		app, _ := apps.ByName(e.name)
-		res, err := app.Run(apps.Config{Nodes: 2, Variant: apps.Initial, Size: apps.SizeTest})
+		cells[i] = r.SubmitApp(app, apps.Config{Nodes: 2, Variant: apps.Initial, Size: apps.SizeTest})
+	}
+	for i, e := range entries {
+		res, err := WaitApp(cells[i])
 		measured := "err"
 		if err == nil {
 			measured = fmt.Sprintf("%d (%d threads x %d)",
@@ -195,23 +218,38 @@ func Table1(size apps.Size) Table {
 // Figure2 reproduces Figure 2: performance of every application on 1-8
 // nodes, Initial and Optimized, normalized to the unmodified application on
 // a single node.
-func Figure2(size apps.Size) Table {
+func Figure2(r *Runner, size apps.Size) Table {
+	r = ensure(r)
 	t := Table{
 		ID:     "E2",
 		Title:  "application scalability normalized to single-node unmodified (Figure 2)",
 		Header: []string{"app", "variant", "n=1", "n=2", "n=4", "n=8"},
 	}
 	nodes := []int{1, 2, 4, 8}
-	for _, app := range apps.All() {
-		base, err := app.Run(apps.Config{Variant: apps.Baseline, Size: size})
+	variants := []apps.Variant{apps.Initial, apps.Optimized}
+	all := apps.All()
+	baseCells := make([]*Cell, len(all))
+	varCells := make(map[int]map[apps.Variant][]*Cell, len(all))
+	for i, app := range all {
+		baseCells[i] = r.SubmitApp(app, apps.Config{Variant: apps.Baseline, Size: size})
+		varCells[i] = make(map[apps.Variant][]*Cell, len(variants))
+		for _, variant := range variants {
+			for _, n := range nodes {
+				varCells[i][variant] = append(varCells[i][variant],
+					r.SubmitApp(app, apps.Config{Nodes: n, Variant: variant, Size: size}))
+			}
+		}
+	}
+	for i, app := range all {
+		base, err := WaitApp(baseCells[i])
 		if err != nil {
 			t.Rows = append(t.Rows, []string{app.Name, "baseline", "err: " + err.Error()})
 			continue
 		}
-		for _, variant := range []apps.Variant{apps.Initial, apps.Optimized} {
+		for _, variant := range variants {
 			row := []string{app.Name, variant.String()}
-			for _, n := range nodes {
-				res, err := app.Run(apps.Config{Nodes: n, Variant: variant, Size: size})
+			for j := range nodes {
+				res, err := WaitApp(varCells[i][variant][j])
 				if err != nil {
 					row = append(row, "err")
 					continue
@@ -251,10 +289,21 @@ func migrationMachine(trips int) []core.MigrationRecord {
 	return p.Report().MigrationRecords
 }
 
+// submitMigration memoizes the migration microbenchmark; Table II and
+// Figure 3 both read this one cell. Ten round trips cover Table II's warm
+// average, and the records of the first trips — all Figure 3 needs — are a
+// deterministic prefix, so a shorter run would add nothing.
+func submitMigration(r *Runner) *Cell {
+	return r.Submit("micro/migration-machine/nodes=2/trips=10", func() any {
+		return migrationMachine(10)
+	})
+}
+
 // Table2 reproduces Table II: migration latency for the first and second
 // forward and backward migrations.
-func Table2(apps.Size) Table {
-	recs := migrationMachine(10)
+func Table2(r *Runner, _ apps.Size) Table {
+	r = ensure(r)
+	recs := submitMigration(r).Wait().([]core.MigrationRecord)
 	t := Table{
 		ID:     "E3",
 		Title:  "thread migration latency in microseconds (Table II)",
@@ -301,8 +350,9 @@ func Table2(apps.Size) Table {
 
 // Figure3 reproduces Figure 3: the phase breakdown of migration latency at
 // the remote node.
-func Figure3(apps.Size) Table {
-	recs := migrationMachine(3)
+func Figure3(r *Runner, _ apps.Size) Table {
+	r = ensure(r)
+	recs := submitMigration(r).Wait().([]core.MigrationRecord)
 	t := Table{
 		ID:     "E4",
 		Title:  "migration latency breakdown at the remote node in microseconds (Figure 3)",
@@ -328,10 +378,10 @@ func Figure3(apps.Size) Table {
 	return t
 }
 
-// FaultHandling reproduces the §V-D page-fault microbenchmark: two threads
-// on different nodes continually update one global variable, producing a
-// bimodal fault-latency distribution.
-func FaultHandling(apps.Size) Table {
+// faultPingPong runs the §V-D page-fault microbenchmark machine: two
+// threads on different nodes continually update one global variable. It
+// returns the recorded per-fault protocol latencies.
+func faultPingPong() []time.Duration {
 	params := core.DefaultParams(2)
 	params.DSM.RecordLatency = true
 	m := core.NewMachine(params)
@@ -395,7 +445,21 @@ func FaultHandling(apps.Size) Table {
 	if err := m.Run(); err != nil {
 		panic(fmt.Sprintf("exper: fault microbenchmark failed: %v", err))
 	}
-	lat := p.Manager().Latencies()
+	return p.Manager().Latencies()
+}
+
+// FaultHandling reproduces the §V-D page-fault microbenchmark: two threads
+// on different nodes continually update one global variable, producing a
+// bimodal fault-latency distribution.
+func FaultHandling(r *Runner, _ apps.Size) Table {
+	r = ensure(r)
+	pingPong := r.Submit("micro/fault-pingpong/nodes=2/iters=20000", func() any {
+		return faultPingPong()
+	})
+	rawFetch := r.Submit("micro/raw-fetch/nodes=2", func() any {
+		return measureRawFetch()
+	})
+	lat := pingPong.Wait().([]time.Duration)
 	var fast, slow int
 	var fastSum, slowSum time.Duration
 	for _, l := range lat {
@@ -423,7 +487,7 @@ func FaultHandling(apps.Size) Table {
 		[]string{"fast-path faults", fmt.Sprintf("%d (%.1f%%)", fast, 100*float64(fast)/float64(len(lat))), "27.5%"},
 		[]string{"fast-path avg latency", avg(fastSum, fast), "19.3µs"},
 		[]string{"retried (contended) avg latency", avg(slowSum, slow), "158.8µs"},
-		[]string{"raw 4KB page retrieval (messaging layer)", measureRawFetch().String(), "13.6µs"},
+		[]string{"raw 4KB page retrieval (messaging layer)", rawFetch.Wait().(time.Duration).String(), "13.6µs"},
 	)
 	return t
 }

@@ -36,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestTable2MatchesPaper(t *testing.T) {
-	tb := Table2(apps.SizeTest)
+	tb := Table2(nil, apps.SizeTest)
 	if len(tb.Rows) < 4 {
 		t.Fatalf("rows = %v", tb.Rows)
 	}
@@ -63,7 +63,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 }
 
 func TestFigure3WorkerDominatesFirst(t *testing.T) {
-	tb := Figure3(apps.SizeTest)
+	tb := Figure3(nil, apps.SizeTest)
 	if len(tb.Rows) < 2 {
 		t.Fatalf("rows = %v", tb.Rows)
 	}
@@ -78,7 +78,7 @@ func TestFigure3WorkerDominatesFirst(t *testing.T) {
 }
 
 func TestFaultHandlingBimodal(t *testing.T) {
-	tb := FaultHandling(apps.SizeTest)
+	tb := FaultHandling(nil, apps.SizeTest)
 	var fastPct float64
 	var raw time.Duration
 	for _, row := range tb.Rows {
@@ -108,7 +108,7 @@ func TestFaultHandlingBimodal(t *testing.T) {
 }
 
 func TestAblationCoalescingReducesProtocolWork(t *testing.T) {
-	tb := AblationCoalescing(apps.SizeTest)
+	tb := AblationCoalescing(nil, apps.SizeTest)
 	onFaults, _ := strconv.Atoi(tb.Rows[0][2])
 	onJoins, _ := strconv.Atoi(tb.Rows[0][3])
 	offFaults, _ := strconv.Atoi(tb.Rows[1][2])
@@ -145,10 +145,10 @@ func TestAblationsFavorPaperDesign(t *testing.T) {
 			t.Errorf("%s: paper design (%v) not faster than alternative (%v)", name, on, off)
 		}
 	}
-	check("vma", AblationVMA(apps.SizeTest))
-	check("upgrade", AblationUpgrade(apps.SizeTest))
+	check("vma", AblationVMA(nil, apps.SizeTest))
+	check("upgrade", AblationUpgrade(nil, apps.SizeTest))
 	// RDMA: hybrid must beat both alternatives.
-	tb := AblationRDMA(apps.SizeTest)
+	tb := AblationRDMA(nil, apps.SizeTest)
 	hybrid, _ := time.ParseDuration(tb.Rows[0][1])
 	perpage, _ := time.ParseDuration(tb.Rows[1][1])
 	verb, _ := time.ParseDuration(tb.Rows[2][1])
@@ -158,7 +158,7 @@ func TestAblationsFavorPaperDesign(t *testing.T) {
 }
 
 func TestAblationAlignmentTradeoff(t *testing.T) {
-	tb := AblationAlignment(apps.SizeTest)
+	tb := AblationAlignment(nil, apps.SizeTest)
 	if len(tb.Rows) != 3 {
 		t.Fatalf("rows = %v", tb.Rows)
 	}
@@ -186,7 +186,7 @@ func TestAblationAlignmentTradeoff(t *testing.T) {
 }
 
 func TestTable1Structure(t *testing.T) {
-	tb := Table1(apps.SizeTest)
+	tb := Table1(nil, apps.SizeTest)
 	if len(tb.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}

@@ -151,9 +151,15 @@ type conn struct {
 	deliverAt time.Duration // enforces in-order delivery per connection
 }
 
+// pending is one in-order connection event: either a VERB message awaiting
+// delivery (and possibly a posted receive), or an RDMA data placement. Both
+// kinds flow through the same per-connection ordering point, because an RC
+// queue pair executes its work queue strictly in order — an RDMA write
+// posted after a send may not complete at the receiver before it.
 type pending struct {
-	src int
-	m   Message
+	src  int
+	m    Message
+	data func() // non-nil for an RDMA data placement
 }
 
 // New creates a network. It panics on invalid parameters, since those are
@@ -232,7 +238,7 @@ func (n *Network) Send(t *sim.Task, src, dst int, m Message) {
 			c.sendPool.Release()
 		}
 	})
-	n.deliverAt(c, serDone+n.params.LinkLatency, src, dst, m)
+	n.deliverAt(c, serDone+n.params.LinkLatency, dst, pending{src: src, m: m})
 }
 
 func (n *Network) chunksFor(size int) int {
@@ -252,37 +258,59 @@ func (n *Network) acquireSendChunks(t *sim.Task, c *conn, chunks int) {
 	}
 }
 
-// deliverAt schedules handler execution at the destination no earlier than
-// `at`, preserving per-connection FIFO ordering and modeling receiver-not-
-// ready stalls when the posted-receive pool is empty.
-func (n *Network) deliverAt(c *conn, at time.Duration, src, dst int, m Message) {
+// deliverAt is the single per-connection ordering point: it schedules a
+// connection event (VERB delivery or RDMA data placement) at the destination
+// no earlier than `at`, preserving per-connection FIFO across both event
+// kinds and modeling receiver-not-ready stalls when the posted-receive pool
+// is empty.
+func (n *Network) deliverAt(c *conn, at time.Duration, dst int, p pending) {
 	if at < c.deliverAt {
 		at = c.deliverAt
 	}
 	c.deliverAt = at
-	n.eng.After(at-n.eng.Now(), func() { n.arrive(c, src, dst, m) })
+	n.eng.After(at-n.eng.Now(), func() { n.arrive(c, dst, p) })
 }
 
-func (n *Network) arrive(c *conn, src, dst int, m Message) {
-	if c.posted == 0 {
-		n.stats.RecvRNRStalls++
-		c.rnrQueue = append(c.rnrQueue, pending{src: src, m: m})
+func (n *Network) arrive(c *conn, dst int, p pending) {
+	if len(c.rnrQueue) > 0 || (p.data == nil && c.posted == 0) {
+		// Either the receiver is not ready, or earlier events are already
+		// stalled behind it. An RC connection replays its stream in order
+		// after an RNR NAK, so even an RDMA placement may not pass a
+		// stalled send.
+		if p.data == nil {
+			n.stats.RecvRNRStalls++
+		}
+		c.rnrQueue = append(c.rnrQueue, p)
+		return
+	}
+	n.accept(c, dst, p)
+}
+
+// accept consumes one connection event whose turn has come.
+func (n *Network) accept(c *conn, dst int, p pending) {
+	if p.data != nil {
+		p.data()
 		return
 	}
 	c.posted--
 	n.eng.After(n.params.RecvCPU, func() {
 		h := n.handlers[dst]
 		if h == nil {
-			panic(fmt.Sprintf("fabric: no handler on node %d for message from %d", dst, src))
+			panic(fmt.Sprintf("fabric: no handler on node %d for message from %d", dst, p.src))
 		}
-		h(src, m)
-		// Recycle the DMA-ready receive buffer by reposting it, draining
-		// any message stalled on receiver-not-ready.
+		h(p.src, p.m)
+		// Recycle the DMA-ready receive buffer by reposting it, then drain
+		// stalled events in order: data placements need no buffer; the next
+		// message consumes the reposted buffer and its own completion
+		// continues the drain, so nothing queued behind it can pass it.
 		c.posted++
-		if len(c.rnrQueue) > 0 {
-			p := c.rnrQueue[0]
+		for len(c.rnrQueue) > 0 {
+			q := c.rnrQueue[0]
 			c.rnrQueue = c.rnrQueue[1:]
-			n.arrive(c, p.src, dst, p.m)
+			n.accept(c, dst, q)
+			if q.data == nil {
+				break
+			}
 		}
 	})
 }
@@ -329,6 +357,11 @@ func (n *Network) PreparePageRecv(t *sim.Task, peer, self int) *PageRecv {
 // requester prepared (identified by the reply routing in the protocol
 // layer); reply is delivered to dst's handler strictly after the data. The
 // calling task is charged posting and staging costs.
+//
+// Accounting: the page payload is always counted under PageSends/PageBytes,
+// whatever path carries it; SmallSends/SmallBytes count VERB messages with
+// only their non-page bytes, so PageBytes+SmallBytes equals the bytes the
+// links actually carried in every mode.
 func (n *Network) SendPage(t *sim.Task, src, dst int, pr *PageRecv, data []byte, reply Message) {
 	if pr == nil {
 		panic("fabric: SendPage requires a prepared PageRecv")
@@ -343,8 +376,10 @@ func (n *Network) SendPage(t *sim.Task, src, dst int, pr *PageRecv, data []byte,
 		n.stats.RDMAWrites++
 		t.Sleep(n.params.RDMAPostCPU)
 		done := c.link.Occupy(len(data))
-		n.eng.After(done+n.params.LinkLatency-n.eng.Now(), func() { pr.data = buf })
-		n.Send(t, src, dst, reply) // same link: FIFO after the RDMA write
+		// Route the placement through the connection's ordering point so
+		// page data and VERB messages keep one per-connection FIFO.
+		n.deliverAt(c, done+n.params.LinkLatency, dst, pending{data: func() { pr.data = buf }})
+		n.Send(t, src, dst, reply) // same connection: FIFO after the RDMA write
 	case VerbOnly:
 		t.Sleep(n.memcpyCost(len(data))) // stage into send chunks
 		n.stats.MemcpyBytes += uint64(len(data))
@@ -352,7 +387,7 @@ func (n *Network) SendPage(t *sim.Task, src, dst int, pr *PageRecv, data []byte,
 		n.acquireSendChunks(t, c, chunks)
 		t.Sleep(n.params.SendCPU)
 		n.stats.SmallSends++
-		n.stats.SmallBytes += uint64(len(data) + reply.Size())
+		n.stats.SmallBytes += uint64(reply.Size()) // page payload counted above
 		done := c.link.Occupy(len(data) + reply.Size())
 		n.eng.After(done-n.eng.Now(), func() {
 			for i := 0; i < chunks; i++ {
@@ -360,7 +395,7 @@ func (n *Network) SendPage(t *sim.Task, src, dst int, pr *PageRecv, data []byte,
 			}
 		})
 		pr.data = buf // visible once the reply is handled
-		n.deliverAt(c, done+n.params.LinkLatency, src, dst, reply)
+		n.deliverAt(c, done+n.params.LinkLatency, dst, pending{src: src, m: reply})
 	}
 }
 

@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"dex/internal/sim"
+)
+
+// TestPageAccountingConservation pins the canonical byte accounting across
+// all three page modes: the page payload is counted once, under
+// PageSends/PageBytes, and SmallSends/SmallBytes carry only the non-page
+// message bytes, so PageBytes+SmallBytes equals the bytes the links carried.
+// (The VerbOnly path used to count the page payload under both PageBytes and
+// SmallBytes, double-counting it in the A2 ablation.)
+func TestPageAccountingConservation(t *testing.T) {
+	const (
+		requestBytes = 64
+		replyBytes   = 48
+		pageBytes    = 4096
+	)
+	for _, mode := range []PageMode{HybridSink, PerPageReg, VerbOnly} {
+		_, got, st := fetchOnce(t, mode, true)
+		if len(got) != pageBytes {
+			t.Fatalf("%v: page data len = %d", mode, len(got))
+		}
+		if st.PageSends != 1 || st.PageBytes != pageBytes {
+			t.Errorf("%v: page accounting = %d sends / %d bytes, want 1 / %d",
+				mode, st.PageSends, st.PageBytes, pageBytes)
+		}
+		if st.SmallSends != 2 || st.SmallBytes != requestBytes+replyBytes {
+			t.Errorf("%v: small accounting = %d sends / %d bytes, want 2 / %d",
+				mode, st.SmallSends, st.SmallBytes, requestBytes+replyBytes)
+		}
+		wire := st.SmallBytes + st.PageBytes
+		if want := uint64(requestBytes + replyBytes + pageBytes); wire != want {
+			t.Errorf("%v: bytes not conserved: SmallBytes+PageBytes = %d, want %d",
+				mode, wire, want)
+		}
+	}
+}
+
+// TestPageDataCannotOvertakeStalledMessage pins per-connection FIFO between
+// VERB messages and RDMA page data: page data posted after a small message
+// must not become visible before that message is delivered, even when the
+// message is stalled on receiver-not-ready. (The HybridSink path used to
+// schedule the data arrival with a raw engine timer that bypassed the
+// connection's ordering point.)
+func TestPageDataCannotOvertakeStalledMessage(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := testParams(2)
+	p.RecvPoolSlots = 1
+	p.RecvCPU = 50 * time.Microsecond // hold the only receive buffer long
+	net := New(eng, p)
+
+	page := make([]byte, 4096)
+	var pr *PageRecv
+	var order []string
+	var dataAtM2, dataAtReply bool
+	net.SetHandler(0, func(src int, m Message) {})
+	net.SetHandler(1, func(src int, m Message) {
+		tag := m.(testMsg).tag
+		order = append(order, tag)
+		switch tag {
+		case "m2":
+			dataAtM2 = pr.data != nil
+		case "reply":
+			dataAtReply = pr.data != nil
+		}
+	})
+
+	eng.Spawn("receiver-prep", func(tk *sim.Task) {
+		pr = net.PreparePageRecv(tk, 0, 1)
+	})
+	eng.Spawn("sender", func(tk *sim.Task) {
+		tk.Sleep(time.Microsecond) // run after the receiver prepared pr
+		// m1 consumes the only receive buffer; m2 stalls on RNR; the page
+		// transfer is posted last and must stay behind both.
+		net.Send(tk, 0, 1, testMsg{size: 64, tag: "m1"})
+		net.Send(tk, 0, 1, testMsg{size: 64, tag: "m2"})
+		net.SendPage(tk, 0, 1, pr, page, testMsg{size: 48, tag: "reply"})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"m1", "m2", "reply"}
+	if len(order) != len(want) {
+		t.Fatalf("deliveries = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order = %v, want %v", order, want)
+		}
+	}
+	if net.Stats().RecvRNRStalls == 0 {
+		t.Fatal("scenario did not exercise receiver-not-ready stalls")
+	}
+	if dataAtM2 {
+		t.Fatal("page data overtook a small message stalled ahead of it")
+	}
+	if !dataAtReply {
+		t.Fatal("page data not visible when its reply was handled")
+	}
+}
