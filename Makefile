@@ -22,8 +22,12 @@ race:
 # check is the gate CI runs: build, vet, plain tests, then the race run.
 check: build vet test race
 
+# bench runs the Go benchmarks, then regenerates BENCH_hotpath.json (the
+# machine-readable hot-path record; speedups are computed against the
+# baseline section embedded in the existing file).
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) run ./cmd/dexhotpath -out BENCH_hotpath.json
 
 # artifacts regenerates the paper tables at full scale (EXPERIMENTS.md data).
 artifacts:

@@ -1,0 +1,138 @@
+// Command dexhotpath runs the simulator hot-path micro-benchmarks
+// (internal/bench) through testing.Benchmark and writes a machine-readable
+// JSON record so the repo keeps a perf trajectory across PRs.
+//
+// Usage:
+//
+//	go run ./cmd/dexhotpath -out BENCH_hotpath.json
+//
+// By default the tool preserves the "baseline" section already embedded in
+// the output file (the numbers captured at the seed commit), recomputing
+// the speedup of the fresh run against it. Pass -baseline <file> to adopt a
+// previous run's "benchmarks" section as the new baseline, or -baseline
+// none to drop it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"dex/internal/bench"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Speedup is baseline ns/op divided by this run's ns/op (present only
+	// when a baseline holds the same benchmark).
+	Speedup float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// File is the on-disk layout of BENCH_hotpath.json.
+type File struct {
+	Note       string   `json:"note"`
+	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Benchmarks []Result `json:"benchmarks"`
+	// Baseline holds the reference numbers (captured at the seed commit of
+	// the hot-path overhaul) that Speedup is computed against.
+	Baseline []Result `json:"baseline,omitempty"`
+	// BaselineNote records where the baseline numbers came from.
+	BaselineNote string `json:"baseline_note,omitempty"`
+}
+
+var benches = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"FaultFastPath", bench.FaultFastPath},
+	{"FaultSlowPath", bench.FaultSlowPath},
+	{"EventDispatch", bench.EventDispatch},
+	{"Experiment", bench.Experiment},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "output file")
+	baseline := flag.String("baseline", "keep",
+		`baseline source: "keep" (reuse the out file's baseline), "none", or a JSON file whose benchmarks become the baseline`)
+	note := flag.String("note", "", "free-form note stored with the baseline when -baseline is a file")
+	flag.Parse()
+
+	f := File{
+		Note:       "DeX simulator hot-path benchmarks; regenerate with: make bench (or go run ./cmd/dexhotpath)",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	switch *baseline {
+	case "none":
+	case "keep":
+		if prev, err := readFile(*out); err == nil {
+			f.Baseline = prev.Baseline
+			f.BaselineNote = prev.BaselineNote
+		}
+	default:
+		prev, err := readFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dexhotpath: reading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		f.Baseline = prev.Benchmarks
+		f.BaselineNote = *note
+	}
+
+	base := make(map[string]Result, len(f.Baseline))
+	for _, r := range f.Baseline {
+		base[r.Name] = r
+	}
+	for _, bm := range benches {
+		res := testing.Benchmark(bm.fn)
+		r := Result{
+			Name:        bm.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if b, ok := base[r.Name]; ok && r.NsPerOp > 0 {
+			r.Speedup = round2(b.NsPerOp / r.NsPerOp)
+		}
+		f.Benchmarks = append(f.Benchmarks, r)
+		fmt.Printf("%-16s %12.1f ns/op %8d allocs/op %10d B/op", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		if r.Speedup > 0 {
+			fmt.Printf("   %.2fx vs baseline", r.Speedup)
+		}
+		fmt.Println()
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dexhotpath: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dexhotpath: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func readFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	err = json.Unmarshal(data, &f)
+	return f, err
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

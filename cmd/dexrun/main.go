@@ -83,6 +83,11 @@ func run(args []string) error {
 	fmt.Printf("fabric:       %d small msgs (%d B), %d page sends (%d B), %d RDMA writes\n",
 		n.SmallSends, n.SmallBytes, n.PageSends, n.PageBytes, n.RDMAWrites)
 	fmt.Printf("delegations:  %d   vma queries: %d\n", res.Report.Delegations, res.Report.VMAQueries)
+	tlb := res.Report.TLB
+	fmt.Printf("tlb:          %d hits, %d misses (%.1f%% hit rate), %d shootdown flushes\n",
+		tlb.Hits, tlb.Misses, 100*tlb.HitRate(), tlb.Flushes)
+	fmt.Printf("frames:       %d recycled, %d allocated\n",
+		res.Report.FramesRecycled, res.Report.FrameAllocs)
 	return nil
 }
 

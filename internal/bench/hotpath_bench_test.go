@@ -1,0 +1,12 @@
+package bench
+
+import "testing"
+
+// The Benchmark* wrappers make the shared hot-path benchmarks visible to
+// `go test -bench` (and the CI -benchtime=1x smoke run); cmd/dexhotpath
+// runs the same bodies through testing.Benchmark to emit BENCH_hotpath.json.
+
+func BenchmarkFaultFastPath(b *testing.B) { FaultFastPath(b) }
+func BenchmarkFaultSlowPath(b *testing.B) { FaultSlowPath(b) }
+func BenchmarkEventDispatch(b *testing.B) { EventDispatch(b) }
+func BenchmarkExperiment(b *testing.B)    { Experiment(b) }

@@ -19,6 +19,7 @@ import (
 
 	"dex/internal/dsm"
 	"dex/internal/fabric"
+	"dex/internal/mem"
 	"dex/internal/sim"
 )
 
@@ -226,6 +227,13 @@ type Report struct {
 	// DSM and Net are protocol and interconnect counters.
 	DSM dsm.Stats
 	Net fabric.Stats
+	// TLB aggregates the per-node software-TLB counters (hits, misses,
+	// shootdown flushes) of the process's page tables.
+	TLB mem.TLBStats
+	// FramesRecycled / FrameAllocs count page frames served from the
+	// process free list versus freshly allocated.
+	FramesRecycled uint64
+	FrameAllocs    uint64
 	// Migrations counts completed thread migrations (both directions).
 	Migrations int
 	// MigrationRecords holds per-migration phase timings (Figure 3).

@@ -114,11 +114,15 @@ func (p *Process) Report() Report {
 	for n := range resident {
 		resident[n] = p.mgr.PageTable(n).Present()
 	}
+	recycled, allocs := p.mgr.FrameStats()
 	return Report{
 		ResidentPages:    resident,
 		Elapsed:          p.finishedAt - p.startedAt,
 		DSM:              p.mgr.Stats(),
 		Net:              p.m.net.Stats(),
+		TLB:              p.mgr.TLBStats(),
+		FramesRecycled:   recycled,
+		FrameAllocs:      allocs,
 		Migrations:       p.migrations,
 		MigrationRecords: p.migrationRecords,
 		VMAQueries:       p.vmaQueries,
@@ -329,7 +333,7 @@ func (p *Process) munmapAt(t *sim.Task, addr mem.Addr, size uint64) error {
 		if err := p.vmaCache[node].Carve(addr, length); err != nil {
 			panic(fmt.Sprintf("core: VMA shrink broadcast failed: %v", err))
 		}
-		p.mgr.PageTable(node).InvalidateRange(lo, hi)
+		p.mgr.ReclaimRange(node, lo, hi)
 	})
 	return p.mgr.DropDirectoryRange(t, lo, hi)
 }

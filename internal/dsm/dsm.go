@@ -204,6 +204,13 @@ type Manager struct {
 	hook   Hook
 	stats  Stats
 
+	// frames recycles page frames across the whole process: a frame dropped
+	// by a revocation or unmap re-emerges as the staging buffer of a later
+	// page transfer or as a demand-zero frame, so the steady-state transfer
+	// path allocates nothing. Frames are returned only at the points where
+	// the protocol can prove no reference remains (see freeFrame callers).
+	frames mem.FramePool
+
 	reqSeq      uint64
 	revokeSeq   uint64
 	revokeWait  map[uint64]*revokeWaiter
@@ -264,13 +271,39 @@ func (m *Manager) Latencies() []time.Duration { return m.latencies }
 func (m *Manager) PageTable(node int) *mem.PageTable { return &m.nodes[node].pt }
 
 // Lookup returns the PTE if node already holds the page with the required
-// access (the no-fault fast path), or nil.
+// access (the no-fault fast path), or nil. It resolves through the node's
+// software TLB: the common case is one direct-mapped probe, no radix walk.
 func (m *Manager) Lookup(node int, vpn uint64, write bool) *mem.PTE {
-	pte := m.nodes[node].pt.Lookup(vpn)
-	if pte == nil || !pte.Present || (write && !pte.Writable) {
-		return nil
+	return m.nodes[node].pt.LookupFast(vpn, write)
+}
+
+// TLBStats returns the software-TLB counters summed over all nodes.
+func (m *Manager) TLBStats() mem.TLBStats {
+	var s mem.TLBStats
+	for _, ns := range m.nodes {
+		s.Add(ns.pt.TLBStats())
 	}
-	return pte
+	return s
+}
+
+// FrameStats reports frame free-list activity: frames served from the pool
+// and frames that fell through to a fresh allocation.
+func (m *Manager) FrameStats() (recycled, allocs uint64) {
+	return m.frames.Recycled(), m.frames.Allocs()
+}
+
+// freeFrame returns an orphaned frame to the process free list. Callers
+// must guarantee the frame is no longer mapped in any page table and not
+// captured by an in-flight transfer (SendPage snapshots its payload before
+// yielding, so a frame is safe to free as soon as the send call returns).
+func (m *Manager) freeFrame(f []byte) { m.frames.Put(f) }
+
+// ReclaimRange invalidates all present mappings of node in [lo, hi] and
+// recycles the dropped frames. The caller must have quiesced protocol
+// activity on the range (as munmap does: VMAs are carved first and busy
+// directory entries waited out).
+func (m *Manager) ReclaimRange(node int, lo, hi uint64) int {
+	return m.nodes[node].pt.ReclaimRange(lo, hi, m.freeFrame)
 }
 
 // EnsurePage makes the page containing addr accessible at ctx.Node with the
@@ -411,6 +444,12 @@ func (m *Manager) remoteFault(t *sim.Task, node int, vpn uint64, write bool) int
 			frame = pte.Frame
 		}
 		t.Sleep(m.params.PTEInstall)
+		// A grant that carries data over an existing local copy (the
+		// AlwaysSendData ablation's read-to-write upgrade) orphans the old
+		// frame: recycle it.
+		if old := ns.pt.Lookup(vpn); old != nil && old.Frame != nil && &old.Frame[0] != &frame[0] {
+			m.freeFrame(old.Frame)
+		}
 		ns.pt.Map(vpn, frame, write)
 		req.installed = true
 		delete(ns.outstanding, token)
@@ -459,7 +498,7 @@ func (m *Manager) entry(vpn uint64) (*dirEntry, bool) {
 	created := false
 	de, _ := m.dir.GetOrCreate(vpn, func() *dirEntry {
 		created = true
-		m.nodes[m.origin].pt.Map(vpn, mem.NewFrame(), true)
+		m.nodes[m.origin].pt.Map(vpn, m.frames.GetZeroed(), true)
 		return &dirEntry{owners: 1 << uint(m.origin), writer: m.origin}
 	})
 	return de, created
@@ -621,7 +660,7 @@ func (m *Manager) DropDirectoryRange(t *sim.Task, lo, hi uint64) error {
 			for _, vpn := range victims {
 				m.dir.Delete(vpn)
 			}
-			m.nodes[m.origin].pt.InvalidateRange(lo, hi)
+			m.ReclaimRange(m.origin, lo, hi)
 			return nil
 		}
 		if attempt >= 50 {

@@ -165,7 +165,13 @@ func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest) {
 	ack := &revokeWaiter{task: t}
 	m.installWait[req.token] = ack
 	if withData {
-		m.net.SendPage(t, m.origin, req.node, req.pr, data, reply)
+		m.net.SendPageBuf(t, m.origin, req.node, req.pr, data, reply, m.frames.Get())
+		if req.write {
+			// A write grant revoked the origin's own copy inside serveWrite,
+			// so data is now an orphan; the send above snapshotted it before
+			// yielding. Recycle it.
+			m.freeFrame(data)
+		}
 	} else {
 		m.net.Send(t, m.origin, req.node, reply)
 	}
@@ -204,10 +210,11 @@ func (m *Manager) applyRevoke(node int, msg *revokeMsg) {
 		if pte != nil {
 			frame = pte.Frame
 		}
+		dropped := false
 		if msg.downgrade {
 			ns.pt.Downgrade(msg.vpn)
 		} else {
-			ns.pt.Invalidate(msg.vpn)
+			dropped = ns.pt.Invalidate(msg.vpn)
 		}
 		m.emitInvalidate(node, msg.vpn)
 		ack := &revokeAck{pid: m.pid, seq: msg.seq}
@@ -215,9 +222,14 @@ func (m *Manager) applyRevoke(node int, msg *revokeMsg) {
 			if frame == nil {
 				panic(fmt.Sprintf("dsm: revoke needs data for vpn %#x but node %d has no frame", msg.vpn, node))
 			}
-			m.net.SendPage(t, node, m.origin, msg.pr, frame, ack)
+			m.net.SendPageBuf(t, node, m.origin, msg.pr, frame, ack, m.frames.Get())
 		} else {
 			m.net.Send(t, node, m.origin, ack)
+		}
+		if dropped {
+			// The invalidation orphaned this node's frame; any outbound copy
+			// was snapshotted by the send above. Recycle it.
+			m.freeFrame(frame)
 		}
 	})
 }

@@ -150,7 +150,8 @@ func (m *Manager) servePrefetch(t *sim.Task, req *prefetchRequest) {
 			needAck = true
 			m.installWait[ackToken] = acked
 		}
-		m.net.SendPage(t, m.origin, req.node, req.prs[i], data, &pageReply{pid: m.pid, token: token, withData: true})
+		m.net.SendPageBuf(t, m.origin, req.node, req.prs[i], data,
+			&pageReply{pid: m.pid, token: token, withData: true}, m.frames.Get())
 	}
 	if needAck {
 		m.waitRevokes(t, []*revokeWaiter{acked})

@@ -363,13 +363,26 @@ func (n *Network) PreparePageRecv(t *sim.Task, peer, self int) *PageRecv {
 // only their non-page bytes, so PageBytes+SmallBytes equals the bytes the
 // links actually carried in every mode.
 func (n *Network) SendPage(t *sim.Task, src, dst int, pr *PageRecv, data []byte, reply Message) {
+	n.SendPageBuf(t, src, dst, pr, data, reply, nil)
+}
+
+// SendPageBuf is SendPage with a caller-provided staging buffer: buf (which
+// must be len(data) bytes, or nil to allocate) receives the snapshot of data
+// that travels to the receiver and is handed over by Claim. The protocol
+// layer passes recycled page frames here so the transfer path does not
+// allocate per page. The snapshot is taken synchronously, before SendPageBuf
+// first yields, so the caller may drop or reuse data as soon as the call
+// returns.
+func (n *Network) SendPageBuf(t *sim.Task, src, dst int, pr *PageRecv, data []byte, reply Message, buf []byte) {
 	if pr == nil {
 		panic("fabric: SendPage requires a prepared PageRecv")
 	}
 	c := n.conn(src, dst)
 	n.stats.PageSends++
 	n.stats.PageBytes += uint64(len(data))
-	buf := make([]byte, len(data))
+	if len(buf) != len(data) {
+		buf = make([]byte, len(data))
+	}
 	copy(buf, data)
 	switch pr.mode {
 	case HybridSink, PerPageReg:

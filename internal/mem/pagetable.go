@@ -12,9 +12,15 @@ type PTE struct {
 }
 
 // PageTable is one node's view of a process address space: the set of pages
-// it currently has mapped, with their access rights.
+// it currently has mapped, with their access rights. A direct-mapped
+// software TLB (tlb.go) caches present translations in front of the tree;
+// every mutation of rights below must keep it coherent via tlbShootdown or
+// tlbFill.
 type PageTable struct {
-	tree radix.Tree[*PTE]
+	tree     radix.Tree[*PTE]
+	tlb      []tlbEntry
+	tlbStats TLBStats
+	present  int // count of present entries, maintained incrementally
 }
 
 // Lookup returns the PTE for vpn, or nil if the page is not tracked here.
@@ -35,9 +41,13 @@ func (pt *PageTable) Ensure(vpn uint64) *PTE {
 // Map installs a present mapping for vpn with the given frame and rights.
 func (pt *PageTable) Map(vpn uint64, frame []byte, writable bool) *PTE {
 	pte := pt.Ensure(vpn)
+	if !pte.Present {
+		pt.present++
+	}
 	pte.Present = true
 	pte.Writable = writable
 	pte.Frame = frame
+	pt.tlbFill(vpn, pte)
 	return pte
 }
 
@@ -51,6 +61,8 @@ func (pt *PageTable) Invalidate(vpn uint64) bool {
 	pte.Present = false
 	pte.Writable = false
 	pte.Frame = nil
+	pt.present--
+	pt.tlbShootdown(vpn)
 	return true
 }
 
@@ -62,36 +74,42 @@ func (pt *PageTable) Downgrade(vpn uint64) bool {
 		return false
 	}
 	pte.Writable = false
+	pt.tlbShootdown(vpn)
 	return true
 }
 
 // InvalidateRange clears all present mappings with lo <= vpn <= hi and
 // returns how many were dropped.
 func (pt *PageTable) InvalidateRange(lo, hi uint64) int {
-	var victims []uint64
+	return pt.ReclaimRange(lo, hi, nil)
+}
+
+// ReclaimRange is InvalidateRange handing each dropped frame to reclaim
+// (when non-nil) for recycling. The caller must guarantee no other
+// reference to the dropped frames remains — in-flight transfers included.
+func (pt *PageTable) ReclaimRange(lo, hi uint64, reclaim func([]byte)) int {
+	type victim struct {
+		vpn   uint64
+		frame []byte
+	}
+	var victims []victim
 	pt.tree.ForRange(lo, hi, func(vpn uint64, pte *PTE) bool {
 		if pte.Present {
-			victims = append(victims, vpn)
+			victims = append(victims, victim{vpn: vpn, frame: pte.Frame})
 		}
 		return true
 	})
-	for _, vpn := range victims {
-		pt.Invalidate(vpn)
+	for _, v := range victims {
+		pt.Invalidate(v.vpn)
+		if reclaim != nil {
+			reclaim(v.frame)
+		}
 	}
 	return len(victims)
 }
 
 // Present reports how many pages are currently mapped present.
-func (pt *PageTable) Present() int {
-	n := 0
-	pt.tree.ForEach(func(_ uint64, pte *PTE) bool {
-		if pte.Present {
-			n++
-		}
-		return true
-	})
-	return n
-}
+func (pt *PageTable) Present() int { return pt.present }
 
 // NewFrame allocates a zeroed page frame.
 func NewFrame() []byte { return make([]byte, PageSize) }
