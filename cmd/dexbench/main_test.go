@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -30,6 +31,30 @@ func TestBenchSingleExperiment(t *testing.T) {
 func TestBenchUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "nope"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestBenchGoldenBytes pins the full test-size table set to committed
+// golden bytes: any change to simulation behaviour — including one caused
+// by wiring the observability layer through the hot paths — shows up as a
+// diff here. Regenerate with:
+//
+//	go run ./cmd/dexbench -quiet > cmd/dexbench/testdata/golden.txt
+func TestBenchGoldenBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	golden, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-quiet"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Fatalf("dexbench output diverged from testdata/golden.txt (%d vs %d bytes); regenerate only if the change is intended",
+			out.Len(), len(golden))
 	}
 }
 

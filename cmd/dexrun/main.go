@@ -4,15 +4,25 @@
 // Usage:
 //
 //	dexrun -app kmn -nodes 8 -variant optimized -size full
+//	dexrun -app bfs -nodes 4 -trace out.json -metrics
+//	dexrun -app kmn -json
 //	dexrun -list
+//
+// -trace writes a Chrome/Perfetto trace-event JSON file of the run
+// (inspect with https://ui.perfetto.dev or cmd/dextrace); -metrics prints
+// latency histogram summaries; -json replaces the human-readable report
+// with a machine-readable JSON document including the per-node TLB
+// breakdown.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"dex"
 	"dex/internal/apps"
 )
 
@@ -26,13 +36,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dexrun", flag.ContinueOnError)
 	var (
-		appName = fs.String("app", "", "application to run (see -list)")
-		nodes   = fs.Int("nodes", 2, "cluster size")
-		threads = fs.Int("threads", 8, "threads per node")
-		variant = fs.String("variant", "optimized", "baseline | initial | optimized")
-		size    = fs.String("size", "test", "test | full")
-		seed    = fs.Int64("seed", 1, "simulation seed")
-		list    = fs.Bool("list", false, "list available applications")
+		appName  = fs.String("app", "", "application to run (see -list)")
+		nodes    = fs.Int("nodes", 2, "cluster size")
+		threads  = fs.Int("threads", 8, "threads per node")
+		variant  = fs.String("variant", "optimized", "baseline | initial | optimized")
+		size     = fs.String("size", "test", "test | full")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		list     = fs.Bool("list", false, "list available applications")
+		traceOut = fs.String("trace", "", "write Perfetto trace-event JSON to this file")
+		metrics  = fs.Bool("metrics", false, "print latency histogram summaries after the run")
+		jsonOut  = fs.Bool("json", false, "emit the run report as JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +61,11 @@ func run(args []string) error {
 		return fmt.Errorf("unknown application %q (use -list)", *appName)
 	}
 	cfg := apps.Config{Nodes: *nodes, ThreadsPerNode: *threads, Seed: *seed}
+	var rec *dex.Recorder
+	if *traceOut != "" || *metrics {
+		rec = dex.NewRecorder()
+		cfg.Opts = append(cfg.Opts, dex.WithObserver(rec))
+	}
 	switch *variant {
 	case "baseline":
 		cfg.Variant = apps.Baseline
@@ -71,6 +89,41 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		out := jsonReport{
+			App:     res.App,
+			Variant: res.Variant.String(),
+			Nodes:   res.Nodes,
+			Threads: res.Threads,
+			Elapsed: res.Elapsed,
+			Check:   res.Check,
+			Report:  res.Report,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+		if *metrics {
+			if err := rec.WriteMetrics(os.Stderr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	fmt.Printf("app:          %s (%s, %d nodes x %d threads)\n", res.App, res.Variant, res.Nodes, res.Threads/maxInt(res.Nodes, 1))
 	fmt.Printf("elapsed:      %v (virtual, region of interest)\n", res.Elapsed)
 	fmt.Printf("wall clock:   %v\n", time.Since(start).Round(time.Millisecond))
@@ -88,7 +141,32 @@ func run(args []string) error {
 		tlb.Hits, tlb.Misses, 100*tlb.HitRate(), tlb.Flushes)
 	fmt.Printf("frames:       %d recycled, %d allocated\n",
 		res.Report.FramesRecycled, res.Report.FrameAllocs)
+	for n, s := range res.Report.TLBPerNode {
+		if s.Hits == 0 && s.Misses == 0 && s.Flushes == 0 {
+			continue
+		}
+		fmt.Printf("tlb node %-4d %d hits, %d misses (%.1f%% hit rate), %d shootdown flushes\n",
+			n, s.Hits, s.Misses, 100*s.HitRate(), s.Flushes)
+	}
+	if *metrics {
+		fmt.Println()
+		if err := rec.WriteMetrics(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// jsonReport is the -json output document: run identity plus the full
+// core.Report (per-node TLB breakdown included).
+type jsonReport struct {
+	App     string        `json:"app"`
+	Variant string        `json:"variant"`
+	Nodes   int           `json:"nodes"`
+	Threads int           `json:"threads"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	Check   string        `json:"check"`
+	Report  dex.Report    `json:"report"`
 }
 
 func maxInt(a, b int) int {

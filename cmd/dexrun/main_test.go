@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -11,6 +17,78 @@ func TestRunList(t *testing.T) {
 func TestRunApp(t *testing.T) {
 	if err := run([]string{"-app", "ep", "-nodes", "2", "-variant", "initial", "-size", "test"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		buf.ReadFrom(r)
+		done <- buf.Bytes()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	captureStdout(t, func() error {
+		return run([]string{"-app", "ep", "-nodes", "2", "-trace", path, "-metrics"})
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("-trace output has no events")
+	}
+}
+
+func TestRunJSONFlag(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-app", "ep", "-nodes", "2", "-json"})
+	})
+	var doc struct {
+		App    string `json:"app"`
+		Nodes  int    `json:"nodes"`
+		Report struct {
+			TLBPerNode []struct {
+				Hits    uint64
+				Misses  uint64
+				Flushes uint64
+			}
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.App != "ep" || doc.Nodes != 2 {
+		t.Fatalf("unexpected identity: %+v", doc)
+	}
+	if len(doc.Report.TLBPerNode) != 2 {
+		t.Fatalf("TLBPerNode has %d entries, want 2", len(doc.Report.TLBPerNode))
 	}
 }
 

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const sampleTrace = `{"displayTimeUnit":"ns","traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"node 0"}},
+{"name":"fault.read","cat":"dsm","ph":"X","ts":2.000,"dur":8.000,"pid":0,"tid":3,"args":{"addr":"0x1000"}},
+{"name":"fault.read","cat":"dsm","ph":"X","ts":12.000,"dur":20.500,"pid":0,"tid":4},
+{"name":"fault.write","cat":"dsm","ph":"X","ts":40.000,"dur":15.000,"pid":1,"tid":3},
+{"name":"msg.small","cat":"fabric","ph":"X","ts":1.000,"dur":5.300,"pid":1,"tid":1000,"args":{"bytes":"64"}},
+{"name":"resident_pages","ph":"C","ts":100.000,"pid":0,"args":{"value":42}}
+]}
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(sampleTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoad(t *testing.T) {
+	path := writeSample(t)
+	tf, spans, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) != 6 {
+		t.Fatalf("got %d events", len(tf.TraceEvents))
+	}
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	// Fixed-point µs fields convert back to exact ns.
+	if spans[0].start != 2*time.Microsecond || spans[0].dur != 8*time.Microsecond {
+		t.Fatalf("span 0 timing: start=%v dur=%v", spans[0].start, spans[0].dur)
+	}
+	if spans[1].dur != 20500*time.Nanosecond {
+		t.Fatalf("span 1 dur: %v", spans[1].dur)
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	path := writeSample(t)
+	for _, args := range [][]string{
+		{"-validate", path},
+		{path},
+		{"-top", "2", path},
+		{"-timeline", "0", path},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeSample(t)
+	if err := run([]string{}); err == nil {
+		t.Error("no file accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if err := run([]string{"-validate", bad}); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if err := run([]string{"-timeline", "9", path}); err == nil {
+		t.Error("timeline for absent node accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	ds := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(ds, 0.5); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := quantile(ds, 0.95); got != 10 {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := quantile(ds, 1); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}

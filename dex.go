@@ -43,8 +43,10 @@ import (
 	"time"
 
 	"dex/internal/core"
+	"dex/internal/dsm"
 	"dex/internal/fabric"
 	"dex/internal/mem"
+	"dex/internal/obs"
 	"dex/internal/profile"
 )
 
@@ -67,6 +69,11 @@ type (
 	Prot = mem.Prot
 	// Trace is the page-fault profiler (§IV-A of the paper).
 	Trace = profile.Trace
+	// Recorder is the observability recorder: spans, latency histograms,
+	// and gauge time series for a whole cluster run. Attach one with
+	// WithObserver, then export with WriteTrace (Perfetto JSON) or
+	// WriteMetrics (text summary).
+	Recorder = obs.Recorder
 )
 
 // PageSize is the consistency granularity (4 KB, as in the paper).
@@ -87,6 +94,10 @@ var (
 
 // NewTrace returns an empty page-fault trace to pass to WithTrace.
 func NewTrace() *Trace { return profile.NewTrace() }
+
+// NewRecorder returns an empty observability recorder to pass to
+// WithObserver.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
 
 // Option configures a Cluster.
 type Option interface {
@@ -113,9 +124,22 @@ func WithSeed(seed int64) Option {
 	return optionFunc(func(p *core.Params) { p.Seed = seed })
 }
 
-// WithTrace attaches a page-fault profiler to the cluster.
+// WithTrace attaches a page-fault profiler to the cluster. It composes with
+// any hook already installed (and with WithObserver's recorder), so the
+// profiler and the observability layer share the single fault-event stream
+// instead of competing for the hook slot.
 func WithTrace(tr *Trace) Option {
-	return optionFunc(func(p *core.Params) { p.Hook = tr.Hook() })
+	return optionFunc(func(p *core.Params) { p.Hook = dsm.Fanout(p.Hook, tr.Hook()) })
+}
+
+// WithObserver attaches an observability recorder to the cluster: every
+// layer (fabric, DSM protocol, migration) emits spans and latency
+// observations into it, and a periodic sampler records gauge time series.
+// A nil recorder is allowed and disables recording. Tracing never perturbs
+// the simulation: with the recorder attached, simulated outcomes (reports,
+// stats, results) are identical to an untraced run of the same seed.
+func WithObserver(rec *Recorder) Option {
+	return optionFunc(func(p *core.Params) { p.Obs = rec })
 }
 
 // WithPageTransferMode selects the page-transfer strategy of the messaging

@@ -20,6 +20,7 @@ import (
 	"dex/internal/dsm"
 	"dex/internal/fabric"
 	"dex/internal/mem"
+	"dex/internal/obs"
 	"dex/internal/sim"
 )
 
@@ -97,6 +98,12 @@ type Params struct {
 	// Hook receives DSM fault events (the page-fault profiler attaches
 	// here).
 	Hook dsm.Hook
+	// Obs, when non-nil, records spans, histograms, and gauge samples for
+	// the whole cluster (fabric messages, DSM protocol phases, thread
+	// migrations). The recorder adds pure bookkeeping on already-scheduled
+	// events — it never schedules simulation work of its own except the
+	// gauge sampler tick — so enabling it cannot change simulated outcomes.
+	Obs *obs.Recorder
 	// Seed seeds the deterministic simulation.
 	Seed int64
 }
@@ -153,6 +160,10 @@ func NewMachine(params Params) *Machine {
 		net:    fabric.New(eng, params.Fabric),
 		params: params,
 		nodes:  make([]*Node, params.Nodes),
+	}
+	if params.Obs != nil {
+		params.Obs.SetClock(eng.Now)
+		m.net.SetRecorder(params.Obs)
 	}
 	for i := range m.nodes {
 		m.nodes[i] = &Node{
@@ -228,8 +239,10 @@ type Report struct {
 	DSM dsm.Stats
 	Net fabric.Stats
 	// TLB aggregates the per-node software-TLB counters (hits, misses,
-	// shootdown flushes) of the process's page tables.
-	TLB mem.TLBStats
+	// shootdown flushes) of the process's page tables; TLBPerNode is the
+	// same breakdown before aggregation, indexed by node.
+	TLB        mem.TLBStats
+	TLBPerNode []mem.TLBStats
 	// FramesRecycled / FrameAllocs count page frames served from the
 	// process free list versus freshly allocated.
 	FramesRecycled uint64

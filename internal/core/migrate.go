@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dex/internal/obs"
 	"dex/internal/sim"
 )
 
@@ -88,6 +89,23 @@ func (th *Thread) migrateForward(to int) {
 	mg.record.Total = th.task.Now() - start
 	p.migrations++
 	p.migrationRecords = append(p.migrationRecords, mg.record)
+
+	if rec := p.m.params.Obs; rec != nil {
+		from := mg.record.From
+		end := start + mg.record.Total
+		first := "false"
+		if mg.record.First {
+			first = "true"
+		}
+		rec.SpanAt("core", "migrate.forward", from, th.id, start, mg.record.Total,
+			obs.Int("to", int64(to)), obs.String("first", first))
+		// Phase sub-spans: context pack at the source, context flight on the
+		// wire, and remote-side reconstruction (worker/fork/ctx/sched).
+		rec.SpanAt("core", "migrate.pack", from, th.id, start, mg.record.Origin)
+		rec.SpanAt("core", "migrate.wire", from, th.id, mg.sentAt, mg.record.Transfer)
+		rec.SpanAt("core", "migrate.dispatch", to, th.id, mg.arrivedAt, end-mg.arrivedAt)
+		rec.Observe("migrate.forward", mg.record.Total)
+	}
 }
 
 // serveFork runs in the destination worker's context: it charges the
@@ -150,4 +168,10 @@ func (th *Thread) migrateBackward() {
 	record.Total = th.task.Now() - start
 	p.migrations++
 	p.migrationRecords = append(p.migrationRecords, record)
+
+	if rec := p.m.params.Obs; rec != nil {
+		rec.SpanAt("core", "migrate.backward", from, th.id, start, record.Total,
+			obs.Int("to", int64(p.origin)))
+		rec.Observe("migrate.backward", record.Total)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"dex/internal/dsm"
 	"dex/internal/futex"
 	"dex/internal/mem"
+	"dex/internal/obs"
 	"dex/internal/sim"
 )
 
@@ -86,11 +87,55 @@ func (m *Machine) NewProcess(origin int, main func(*Thread) error) *Process {
 		workers:  make(map[int]*remoteWorker),
 		vmaCache: make(map[int]*mem.VMASet),
 	}
-	p.mgr = dsm.New(m.eng, m.net, m.params.DSM, pid, origin, m.params.Nodes, m.params.Hook)
+	hook := dsm.Fanout(dsm.ObsFaultHook(m.params.Obs), m.params.Hook)
+	p.mgr = dsm.New(m.eng, m.net, m.params.DSM, pid, origin, m.params.Nodes, hook)
+	p.mgr.SetRecorder(m.params.Obs)
 	m.procs = append(m.procs, p)
 	p.startedAt = m.eng.Now()
+	if m.params.Obs != nil {
+		p.registerGauges(m.params.Obs)
+		p.startSampler(m.params.Obs)
+	}
 	p.newThread(origin, main, nil)
 	return p
+}
+
+// registerGauges wires the process's instantaneous metrics into the
+// recorder's periodic time series: per-node resident pages and TLB hit
+// rate, plus the process-wide in-flight fault count.
+func (p *Process) registerGauges(rec *obs.Recorder) {
+	for n := 0; n < p.m.params.Nodes; n++ {
+		n := n
+		rec.AddNodeGauge("resident_pages", n, func() float64 {
+			return float64(p.mgr.PageTable(n).Present())
+		})
+		rec.AddNodeGauge("tlb_hit_rate", n, func() float64 {
+			return p.mgr.TLBStatsNode(n).HitRate()
+		})
+	}
+	rec.AddGauge("inflight_faults", func() float64 {
+		return float64(p.mgr.InFlightFaults())
+	})
+}
+
+// startSampler schedules the periodic gauge sampler as a self-rescheduling
+// simulation event. The tick stops once the process has no live threads so
+// the engine can drain its queue and terminate; sampler events shift event
+// sequence numbers but carry no side effects, so all other events keep
+// their relative order and the simulated outcome is unchanged.
+func (p *Process) startSampler(rec *obs.Recorder) {
+	period := rec.SamplePeriod()
+	if period <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		rec.SampleNow()
+		if p.liveCount > 0 {
+			p.m.eng.After(period, tick)
+		}
+	}
+	p.m.eng.After(period, tick)
 }
 
 // PID returns the process id.
@@ -111,8 +156,10 @@ func (p *Process) Err() error { return p.firstErr }
 // Report summarizes the run. Call it after Machine.Run returns.
 func (p *Process) Report() Report {
 	resident := make([]int, p.m.params.Nodes)
+	tlbPerNode := make([]mem.TLBStats, p.m.params.Nodes)
 	for n := range resident {
 		resident[n] = p.mgr.PageTable(n).Present()
+		tlbPerNode[n] = p.mgr.TLBStatsNode(n)
 	}
 	recycled, allocs := p.mgr.FrameStats()
 	return Report{
@@ -121,6 +168,7 @@ func (p *Process) Report() Report {
 		DSM:              p.mgr.Stats(),
 		Net:              p.m.net.Stats(),
 		TLB:              p.mgr.TLBStats(),
+		TLBPerNode:       tlbPerNode,
 		FramesRecycled:   recycled,
 		FrameAllocs:      allocs,
 		Migrations:       p.migrations,

@@ -25,6 +25,7 @@ import (
 
 	"dex/internal/fabric"
 	"dex/internal/mem"
+	"dex/internal/obs"
 	"dex/internal/radix"
 	"dex/internal/sim"
 )
@@ -217,6 +218,13 @@ type Manager struct {
 	installWait map[uint64]*revokeWaiter
 
 	latencies []time.Duration
+
+	// rec is the observability recorder; nil (the default) disables every
+	// interior span with a single branch, like the hook.
+	rec *obs.Recorder
+	// inflight counts lead faults currently inside the protocol; the
+	// sampler exposes it as a gauge.
+	inflight int
 }
 
 type revokeWaiter struct {
@@ -253,6 +261,15 @@ func New(eng *sim.Engine, net *fabric.Network, params Params, pid, origin, nodes
 	return m
 }
 
+// SetRecorder attaches the observability recorder for interior protocol
+// spans (ownership requests, PTE installs, revocations). The fault-level
+// span and histograms ride the hook (ObsFaultHook).
+func (m *Manager) SetRecorder(rec *obs.Recorder) { m.rec = rec }
+
+// InFlightFaults returns the number of lead faults currently being handled
+// across all nodes (the sampler's in-flight gauge).
+func (m *Manager) InFlightFaults() int { return m.inflight }
+
 // PID returns the process id this manager serves.
 func (m *Manager) PID() int { return m.pid }
 
@@ -276,6 +293,9 @@ func (m *Manager) PageTable(node int) *mem.PageTable { return &m.nodes[node].pt 
 func (m *Manager) Lookup(node int, vpn uint64, write bool) *mem.PTE {
 	return m.nodes[node].pt.LookupFast(vpn, write)
 }
+
+// TLBStatsNode returns the software-TLB counters of one node's page table.
+func (m *Manager) TLBStatsNode(node int) mem.TLBStats { return m.nodes[node].pt.TLBStats() }
 
 // TLBStats returns the software-TLB counters summed over all nodes.
 func (m *Manager) TLBStats() mem.TLBStats {
@@ -331,16 +351,26 @@ func (m *Manager) EnsurePage(t *sim.Task, ctx Ctx, addr mem.Addr, write bool) *m
 				g.followers = append(g.followers, t)
 				joined = g
 			}
+			var parkedAt time.Duration
+			if m.rec != nil {
+				parkedAt = m.eng.Now()
+			}
 			t.Park("fault follower " + addr.String())
 			t.Sleep(m.params.FollowerWake)
+			if m.rec != nil {
+				m.rec.Span("dsm", "fault.follower", ctx.Node, ctx.Task, parkedAt,
+					obs.Hex("vpn", vpn))
+			}
 			continue
 		}
 		g := &faultGroup{}
 		ns.faults[key] = g
+		m.inflight++
 		start := t.Now()
 		t.Sleep(m.params.FaultEntry)
-		retries, protocol := m.leadFault(t, ctx.Node, vpn, write)
+		retries, protocol := m.leadFault(t, ctx, vpn, write)
 		delete(ns.faults, key)
+		m.inflight--
 		for _, f := range g.followers {
 			f.Unpark()
 		}
@@ -382,11 +412,11 @@ func (m *Manager) recordFault(ctx Ctx, addr mem.Addr, write bool, latency time.D
 // leadFault runs the protocol for one lead fault. It reports the number of
 // NACK retries and whether the consistency protocol was actually involved
 // (a first-touch demand-zero fault at the origin is not a protocol fault).
-func (m *Manager) leadFault(t *sim.Task, node int, vpn uint64, write bool) (retries int, protocol bool) {
-	if node == m.origin {
+func (m *Manager) leadFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) (retries int, protocol bool) {
+	if ctx.Node == m.origin {
 		return m.originFault(t, vpn, write)
 	}
-	return m.remoteFault(t, node, vpn, write), true
+	return m.remoteFault(t, ctx, vpn, write), true
 }
 
 func (m *Manager) backoff(t *sim.Task, attempt int) {
@@ -398,9 +428,14 @@ func (m *Manager) backoff(t *sim.Task, attempt int) {
 }
 
 // remoteFault implements the requester side at a non-origin node.
-func (m *Manager) remoteFault(t *sim.Task, node int, vpn uint64, write bool) int {
+func (m *Manager) remoteFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int {
+	node := ctx.Node
 	ns := m.nodes[node]
 	for attempt := 1; ; attempt++ {
+		var reqAt time.Duration
+		if m.rec != nil {
+			reqAt = m.eng.Now()
+		}
 		pr := m.net.PreparePageRecv(t, m.origin, node)
 		m.reqSeq++
 		token := m.reqSeq
@@ -416,6 +451,21 @@ func (m *Manager) remoteFault(t *sim.Task, node int, vpn uint64, write bool) int
 		})
 		for !req.done {
 			t.Park("page reply " + mem.Addr(vpn<<mem.PageShift).String())
+		}
+		if m.rec != nil {
+			outcome := "grant"
+			switch {
+			case req.nack:
+				outcome = "nack"
+			case req.stale:
+				outcome = "stale"
+			case req.withData:
+				outcome = "grant+data"
+			}
+			m.rec.Span("dsm", "fault.request", node, ctx.Task, reqAt,
+				obs.Hex("vpn", vpn),
+				obs.Int("attempt", int64(attempt)),
+				obs.String("outcome", outcome))
 		}
 		if req.nack {
 			delete(ns.outstanding, token)
@@ -433,7 +483,15 @@ func (m *Manager) remoteFault(t *sim.Task, node int, vpn uint64, write bool) int
 		}
 		var frame []byte
 		if req.withData {
+			var claimAt time.Duration
+			if m.rec != nil {
+				claimAt = m.eng.Now()
+			}
 			frame = pr.Claim(t)
+			if m.rec != nil {
+				m.rec.Span("dsm", "fault.transfer", node, ctx.Task, claimAt,
+					obs.Hex("vpn", vpn))
+			}
 		} else {
 			// Ownership-only grant: our existing copy is up to date.
 			pr.Release()
@@ -443,6 +501,10 @@ func (m *Manager) remoteFault(t *sim.Task, node int, vpn uint64, write bool) int
 			}
 			frame = pte.Frame
 		}
+		var installAt time.Duration
+		if m.rec != nil {
+			installAt = m.eng.Now()
+		}
 		t.Sleep(m.params.PTEInstall)
 		// A grant that carries data over an existing local copy (the
 		// AlwaysSendData ablation's read-to-write upgrade) orphans the old
@@ -451,6 +513,10 @@ func (m *Manager) remoteFault(t *sim.Task, node int, vpn uint64, write bool) int
 			m.freeFrame(old.Frame)
 		}
 		ns.pt.Map(vpn, frame, write)
+		if m.rec != nil {
+			m.rec.Span("dsm", "fault.install", node, ctx.Task, installAt,
+				obs.Hex("vpn", vpn))
+		}
 		req.installed = true
 		delete(ns.outstanding, token)
 		m.net.Send(t, node, m.origin, &installAck{pid: m.pid, token: token})

@@ -2,8 +2,10 @@ package dsm
 
 import (
 	"fmt"
+	"time"
 
 	"dex/internal/fabric"
+	"dex/internal/obs"
 	"dex/internal/sim"
 )
 
@@ -145,10 +147,15 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 // in ownership transition for that whole window, and conflicting requests
 // are NACKed — the source of the retried, slow faults of §V-D.
 func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest) {
+	var serveAt time.Duration
+	if m.rec != nil {
+		serveAt = m.eng.Now()
+	}
 	t.Sleep(m.params.OriginDispatch)
 	de, _ := m.entry(req.vpn)
 	if de.busy {
 		m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: req.token, nack: true})
+		m.serveSpan(serveAt, req, "nack")
 		return
 	}
 	if (!req.write && de.has(req.node)) || (req.write && de.writer == req.node) {
@@ -156,6 +163,7 @@ func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest) {
 		// read request racing with the same node's write grant): tell the
 		// requester to re-validate its PTE.
 		m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: req.token, stale: true})
+		m.serveSpan(serveAt, req, "stale")
 		return
 	}
 	de.busy = true
@@ -177,6 +185,29 @@ func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest) {
 	}
 	m.waitRevokes(t, []*revokeWaiter{ack})
 	de.busy = false
+	outcome := "grant"
+	if withData {
+		outcome = "grant+data"
+	}
+	m.serveSpan(serveAt, req, outcome)
+}
+
+// serveSpan records the origin-side span of one page transaction, from
+// dispatch to the point the directory entry is released (or the request is
+// bounced).
+func (m *Manager) serveSpan(start time.Duration, req *pageRequest, outcome string) {
+	if m.rec == nil {
+		return
+	}
+	kind := "read"
+	if req.write {
+		kind = "write"
+	}
+	m.rec.Span("dsm", "origin.serve", m.origin, -1, start,
+		obs.Hex("vpn", req.vpn),
+		obs.String("kind", kind),
+		obs.Int("from", int64(req.node)),
+		obs.String("outcome", outcome))
 }
 
 // handleReply wakes the requester task waiting on the matching token.
@@ -204,6 +235,10 @@ func (m *Manager) applyRevoke(node int, msg *revokeMsg) {
 		return
 	}
 	m.eng.Spawn("dsm-revoke", func(t *sim.Task) {
+		var applyAt time.Duration
+		if m.rec != nil {
+			applyAt = m.eng.Now()
+		}
 		t.Sleep(m.params.InvalidateApply)
 		pte := ns.pt.Lookup(msg.vpn)
 		var frame []byte
@@ -230,6 +265,15 @@ func (m *Manager) applyRevoke(node int, msg *revokeMsg) {
 			// The invalidation orphaned this node's frame; any outbound copy
 			// was snapshotted by the send above. Recycle it.
 			m.freeFrame(frame)
+		}
+		if m.rec != nil {
+			mode := "invalidate"
+			if msg.downgrade {
+				mode = "downgrade"
+			}
+			m.rec.Span("dsm", "revoke.apply", node, -1, applyAt,
+				obs.Hex("vpn", msg.vpn),
+				obs.String("mode", mode))
 		}
 	})
 }

@@ -1,0 +1,55 @@
+package dsm
+
+import (
+	"dex/internal/obs"
+)
+
+// Fanout composes hooks into one: the returned hook dispatches each fault
+// event to every non-nil hook in order. It lets the page-fault profiler and
+// the observability recorder share a single Hook install instead of
+// competing for the slot. Zero or one usable hooks collapse to nil or the
+// hook itself, so the common cases add no indirection.
+func Fanout(hooks ...Hook) Hook {
+	var live []Hook
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(ev FaultEvent) {
+		for _, h := range live {
+			h(ev)
+		}
+	}
+}
+
+// ObsFaultHook adapts the protocol's fault-event stream to the recorder:
+// each completed lead fault becomes a span covering trap entry to PTE
+// install plus a latency observation in the per-kind histogram, and each
+// invalidation becomes an instant marker. Returns nil for a nil recorder,
+// which Fanout then elides.
+func ObsFaultHook(r *obs.Recorder) Hook {
+	if r == nil {
+		return nil
+	}
+	return func(ev FaultEvent) {
+		switch ev.Kind {
+		case KindRead, KindWrite:
+			name := "fault." + ev.Kind.String()
+			r.SpanAt("dsm", name, ev.Node, ev.Task, ev.Time-ev.Latency, ev.Latency,
+				obs.Hex("addr", uint64(ev.Addr)),
+				obs.Int("retries", int64(ev.Retries)),
+				obs.String("site", ev.Site))
+			r.Observe(name, ev.Latency)
+		case KindInvalidate:
+			r.SpanAt("dsm", "invalidate", ev.Node, -1, ev.Time, 0,
+				obs.Hex("addr", uint64(ev.Addr)))
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"dex/internal/obs"
 	"dex/internal/sim"
 )
 
@@ -139,7 +140,17 @@ type Network struct {
 	conns    [][]*conn // conns[src][dst]
 	handlers []Handler
 	stats    Stats
+	rec      *obs.Recorder
 }
+
+// fabricLane offsets the source node into the Perfetto thread id of a
+// message span, so each node's timeline shows one receive lane per peer
+// below its application threads.
+const fabricLane = 1000
+
+// SetRecorder attaches the observability recorder; nil (the default) keeps
+// every instrumentation point on its single disabled branch.
+func (n *Network) SetRecorder(rec *obs.Recorder) { n.rec = rec }
 
 // conn is one directed connection src -> dst.
 type conn struct {
@@ -160,6 +171,23 @@ type pending struct {
 	src  int
 	m    Message
 	data func() // non-nil for an RDMA data placement
+
+	// Tracing state, populated only when a recorder is attached: the
+	// simulated time the sender entered the fabric (span start), the payload
+	// class/size, and the RNR-stall start time once the event queues.
+	sentAt  time.Duration
+	bytes   int
+	page    bool
+	stalled bool
+	stallAt time.Duration
+}
+
+// spanName returns the trace span name for this connection event.
+func (p *pending) spanName() string {
+	if p.page {
+		return "msg.page"
+	}
+	return "msg.small"
 }
 
 // New creates a network. It panics on invalid parameters, since those are
@@ -226,6 +254,11 @@ func (n *Network) conn(src, dst int) *conn {
 // and receive-completion costs.
 func (n *Network) Send(t *sim.Task, src, dst int, m Message) {
 	c := n.conn(src, dst)
+	p := pending{src: src, m: m}
+	if n.rec != nil {
+		p.sentAt = n.eng.Now()
+		p.bytes = m.Size()
+	}
 	t.Sleep(n.params.SendCPU)
 	chunks := n.chunksFor(m.Size())
 	n.acquireSendChunks(t, c, chunks)
@@ -238,7 +271,7 @@ func (n *Network) Send(t *sim.Task, src, dst int, m Message) {
 			c.sendPool.Release()
 		}
 	})
-	n.deliverAt(c, serDone+n.params.LinkLatency, dst, pending{src: src, m: m})
+	n.deliverAt(c, serDone+n.params.LinkLatency, dst, p)
 }
 
 func (n *Network) chunksFor(size int) int {
@@ -280,6 +313,10 @@ func (n *Network) arrive(c *conn, dst int, p pending) {
 		if p.data == nil {
 			n.stats.RecvRNRStalls++
 		}
+		if n.rec != nil {
+			p.stalled = true
+			p.stallAt = n.eng.Now()
+		}
 		c.rnrQueue = append(c.rnrQueue, p)
 		return
 	}
@@ -288,8 +325,17 @@ func (n *Network) arrive(c *conn, dst int, p pending) {
 
 // accept consumes one connection event whose turn has come.
 func (n *Network) accept(c *conn, dst int, p pending) {
+	if n.rec != nil && p.stalled {
+		n.rec.SpanAt("fabric", "rnr.stall", dst, fabricLane+p.src, p.stallAt,
+			n.eng.Now()-p.stallAt, obs.Int("src", int64(p.src)))
+	}
 	if p.data != nil {
 		p.data()
+		if n.rec != nil {
+			n.rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
+				obs.Int("src", int64(p.src)), obs.Int("bytes", int64(p.bytes)))
+			n.rec.Observe(p.spanName(), n.eng.Now()-p.sentAt)
+		}
 		return
 	}
 	c.posted--
@@ -297,6 +343,13 @@ func (n *Network) accept(c *conn, dst int, p pending) {
 		h := n.handlers[dst]
 		if h == nil {
 			panic(fmt.Sprintf("fabric: no handler on node %d for message from %d", dst, p.src))
+		}
+		if n.rec != nil {
+			// The span ends when the receive completion hands the message to
+			// the protocol handler: enqueue → (stall) → deliver.
+			n.rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
+				obs.Int("src", int64(p.src)), obs.Int("bytes", int64(p.bytes)))
+			n.rec.Observe(p.spanName(), n.eng.Now()-p.sentAt)
 		}
 		h(p.src, p.m)
 		// Recycle the DMA-ready receive buffer by reposting it, then drain
@@ -387,13 +440,25 @@ func (n *Network) SendPageBuf(t *sim.Task, src, dst int, pr *PageRecv, data []by
 	switch pr.mode {
 	case HybridSink, PerPageReg:
 		n.stats.RDMAWrites++
+		place := pending{src: src, data: func() { pr.data = buf }}
+		if n.rec != nil {
+			place.sentAt = n.eng.Now()
+			place.bytes = len(data)
+			place.page = true
+		}
 		t.Sleep(n.params.RDMAPostCPU)
 		done := c.link.Occupy(len(data))
 		// Route the placement through the connection's ordering point so
 		// page data and VERB messages keep one per-connection FIFO.
-		n.deliverAt(c, done+n.params.LinkLatency, dst, pending{data: func() { pr.data = buf }})
+		n.deliverAt(c, done+n.params.LinkLatency, dst, place)
 		n.Send(t, src, dst, reply) // same connection: FIFO after the RDMA write
 	case VerbOnly:
+		p := pending{src: src, m: reply}
+		if n.rec != nil {
+			p.sentAt = n.eng.Now()
+			p.bytes = len(data) + reply.Size()
+			p.page = true
+		}
 		t.Sleep(n.memcpyCost(len(data))) // stage into send chunks
 		n.stats.MemcpyBytes += uint64(len(data))
 		chunks := n.chunksFor(len(data) + reply.Size())
@@ -408,7 +473,7 @@ func (n *Network) SendPageBuf(t *sim.Task, src, dst int, pr *PageRecv, data []by
 			}
 		})
 		pr.data = buf // visible once the reply is handled
-		n.deliverAt(c, done+n.params.LinkLatency, dst, pending{src: src, m: reply})
+		n.deliverAt(c, done+n.params.LinkLatency, dst, p)
 	}
 }
 

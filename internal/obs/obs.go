@@ -1,0 +1,242 @@
+// Package obs is the unified observability layer for the DeX simulator: a
+// tracing and metrics recorder keyed to simulated time. The protocol layers
+// (fabric, dsm, core) emit spans — named intervals with a node/task identity
+// and ordered key/value arguments — for the lifecycle of the three macro
+// operations (fault handling, thread migration, fabric messages), plus
+// log-bucketed latency histograms and a periodic time-series of gauges
+// (resident pages, TLB hit rate, in-flight faults).
+//
+// Design rules:
+//
+//   - Zero overhead when disabled. A nil *Recorder is a valid recorder whose
+//     methods do nothing; instrumentation points guard with a single
+//     `if rec != nil` branch, the same pattern as dsm.Hook.
+//   - Simulated clocks only. Every timestamp comes from the engine's virtual
+//     clock (bound with SetClock); wall time never enters the record, so
+//     traces are bit-for-bit reproducible for a fixed seed.
+//   - Deterministic export. Spans are kept in emission order (itself
+//     deterministic), histograms use integer-only power-of-two bucketing,
+//     and the Perfetto writer (perfetto.go) formats every number with
+//     integer arithmetic — two same-seed runs produce byte-identical JSON.
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Arg is one ordered key/value pair attached to a span. Values are kept as
+// pre-rendered strings so export needs no reflection and stays deterministic.
+type Arg struct {
+	Key string
+	Val string
+}
+
+// String builds a string-valued arg.
+func String(key, val string) Arg { return Arg{Key: key, Val: val} }
+
+// Int builds an integer-valued arg.
+func Int(key string, val int64) Arg { return Arg{Key: key, Val: strconv.FormatInt(val, 10)} }
+
+// Hex builds a hexadecimal arg (addresses, VPNs).
+func Hex(key string, val uint64) Arg { return Arg{Key: key, Val: "0x" + strconv.FormatUint(val, 16)} }
+
+// Span is one completed interval on the simulated timeline. Node maps to the
+// Perfetto process (pid) and Task to the thread (tid) so per-node timelines
+// render as process tracks.
+type Span struct {
+	Cat   string // taxonomy: "dsm", "fabric", "core"
+	Name  string // e.g. "fault.write", "msg.small", "migrate.forward"
+	Node  int
+	Task  int
+	Start time.Duration
+	Dur   time.Duration
+	Args  []Arg
+}
+
+// End returns the span's end time.
+func (s Span) End() time.Duration { return s.Start + s.Dur }
+
+// sample is one gauge observation on the time series.
+type sample struct {
+	At    time.Duration
+	Gauge int // index into gauges
+	Val   float64
+}
+
+// gauge is a named instantaneous metric sampled periodically.
+type gauge struct {
+	name string
+	node int // -1 for process-wide gauges
+	fn   func() float64
+}
+
+// DefaultSamplePeriod is the sampler tick used when none is configured.
+const DefaultSamplePeriod = 100 * time.Microsecond
+
+// Recorder accumulates spans, histograms, and samples for one simulated run.
+// The zero value is not used; create one with NewRecorder. A nil *Recorder
+// is the disabled recorder: every method is a no-op.
+type Recorder struct {
+	clock        func() time.Duration
+	spans        []Span
+	hists        map[string]*Histogram
+	histOrder    []string
+	gauges       []gauge
+	samples      []sample
+	samplePeriod time.Duration
+}
+
+// NewRecorder returns an empty recorder. Bind it to a simulation with
+// SetClock before recording (the dex layer does this when the cluster is
+// built).
+func NewRecorder() *Recorder {
+	return &Recorder{
+		hists:        make(map[string]*Histogram),
+		samplePeriod: DefaultSamplePeriod,
+	}
+}
+
+// SetClock binds the recorder to the simulation's virtual clock.
+func (r *Recorder) SetClock(now func() time.Duration) {
+	if r == nil {
+		return
+	}
+	r.clock = now
+}
+
+// Now returns the current simulated time, or 0 before a clock is bound.
+func (r *Recorder) Now() time.Duration {
+	if r == nil || r.clock == nil {
+		return 0
+	}
+	return r.clock()
+}
+
+// SetSamplePeriod sets the gauge sampling interval (0 disables sampling).
+func (r *Recorder) SetSamplePeriod(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.samplePeriod = d
+}
+
+// SamplePeriod returns the gauge sampling interval.
+func (r *Recorder) SamplePeriod() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.samplePeriod
+}
+
+// Span records a completed interval that started at start and ends now.
+func (r *Recorder) Span(cat, name string, node, task int, start time.Duration, args ...Arg) {
+	if r == nil {
+		return
+	}
+	end := r.Now()
+	r.SpanAt(cat, name, node, task, start, end-start, args...)
+}
+
+// SpanAt records a completed interval with an explicit start and duration.
+func (r *Recorder) SpanAt(cat, name string, node, task int, start, dur time.Duration, args ...Arg) {
+	if r == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	r.spans = append(r.spans, Span{
+		Cat:   cat,
+		Name:  name,
+		Node:  node,
+		Task:  task,
+		Start: start,
+		Dur:   dur,
+		Args:  args,
+	})
+}
+
+// Spans returns the recorded spans in emission order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Observe adds one latency observation to the named histogram, creating it
+// on first use.
+func (r *Recorder) Observe(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{Name: name}
+		r.hists[name] = h
+		r.histOrder = append(r.histOrder, name)
+	}
+	h.Observe(d)
+}
+
+// Histogram returns the named histogram, or nil if nothing was observed.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[name]
+}
+
+// Histograms returns all histograms sorted by name.
+func (r *Recorder) Histograms() []*Histogram {
+	if r == nil {
+		return nil
+	}
+	names := append([]string(nil), r.histOrder...)
+	sort.Strings(names)
+	out := make([]*Histogram, len(names))
+	for i, n := range names {
+		out[i] = r.hists[n]
+	}
+	return out
+}
+
+// AddGauge registers a process-wide gauge sampled on every sampler tick.
+func (r *Recorder) AddGauge(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.gauges = append(r.gauges, gauge{name: name, node: -1, fn: fn})
+}
+
+// AddNodeGauge registers a per-node gauge; its samples render on that node's
+// Perfetto process track.
+func (r *Recorder) AddNodeGauge(name string, node int, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.gauges = append(r.gauges, gauge{name: name, node: node, fn: fn})
+}
+
+// SampleNow reads every registered gauge at the current simulated time and
+// appends one row per gauge to the time series. The driver (core's sampler
+// task) calls it on a periodic simulation event.
+func (r *Recorder) SampleNow() {
+	if r == nil {
+		return
+	}
+	at := r.Now()
+	for i := range r.gauges {
+		r.samples = append(r.samples, sample{At: at, Gauge: i, Val: r.gauges[i].fn()})
+	}
+}
+
+// Samples reports how many gauge observations were recorded.
+func (r *Recorder) Samples() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.samples)
+}

@@ -20,15 +20,34 @@ import (
 type Trace struct {
 	events  []dsm.FaultEvent
 	labeler func(mem.Addr) string
+	cap     int
+	dropped uint64
 }
 
 // NewTrace returns an empty trace.
 func NewTrace() *Trace { return &Trace{} }
 
+// SetCap bounds the trace to at most n events; once full, further events
+// are counted in Dropped instead of retained. n <= 0 means unbounded (the
+// default). Long-running simulations produce millions of fault events, and
+// an unbounded trace is the process's largest allocation — the cap keeps
+// the profiler usable as an always-on sampler of the run's prefix.
+func (tr *Trace) SetCap(n int) { tr.cap = n }
+
+// Dropped reports how many events were discarded because the trace was at
+// its cap.
+func (tr *Trace) Dropped() uint64 { return tr.dropped }
+
 // Hook returns the dsm.Hook that records into this trace; install it as the
 // cluster's fault hook.
 func (tr *Trace) Hook() dsm.Hook {
-	return func(ev dsm.FaultEvent) { tr.events = append(tr.events, ev) }
+	return func(ev dsm.FaultEvent) {
+		if tr.cap > 0 && len(tr.events) >= tr.cap {
+			tr.dropped++
+			return
+		}
+		tr.events = append(tr.events, ev)
+	}
 }
 
 // SetLabeler installs a function resolving addresses to program-object

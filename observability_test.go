@@ -1,0 +1,283 @@
+package dex
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// obsWorkload is a small but representative program: it migrates threads to
+// every node, shares pages read-mostly and write-hot, and migrates back —
+// exercising faults (leader and follower), ownership transfers,
+// invalidations, and both migration directions. The futex-gated read at the
+// end releases the co-located workers simultaneously onto a page the main
+// thread owns, so their read faults coalesce (leader/follower).
+func obsWorkload(nodes int) func(*Thread) error {
+	return func(th *Thread) error {
+		addr, err := th.Mmap(10*PageSize, ProtRead|ProtWrite, "shared")
+		if err != nil {
+			return err
+		}
+		flag, hot := addr+8*PageSize, addr+9*PageSize
+		if err := th.WriteUint64(hot, 7); err != nil {
+			return err
+		}
+		var workers []*Thread
+		for n := 1; n < nodes; n++ {
+			// Two workers per node so the gated read coalesces.
+			for k := 0; k < 2; k++ {
+				n := n
+				w, err := th.Spawn(func(w *Thread) error {
+					if err := w.Migrate(n); err != nil {
+						return err
+					}
+					for i := 0; i < 8; i++ {
+						off := Addr(uint64(i) * PageSize)
+						if _, err := w.AddUint64(addr+off, 1); err != nil {
+							return err
+						}
+						if _, err := w.ReadUint64(addr); err != nil {
+							return err
+						}
+					}
+					if _, err := w.FutexWait(flag, 0); err != nil {
+						return err
+					}
+					if _, err := w.ReadUint64(hot); err != nil {
+						return err
+					}
+					return w.MigrateBack()
+				})
+				if err != nil {
+					return err
+				}
+				workers = append(workers, w)
+			}
+		}
+		th.Compute(5 * time.Millisecond) // let every worker reach the futex
+		if err := th.WriteUint32(flag, 1); err != nil {
+			return err
+		}
+		if _, err := th.FutexWake(flag, len(workers)); err != nil {
+			return err
+		}
+		for _, w := range workers {
+			th.Join(w)
+		}
+		return nil
+	}
+}
+
+func runTraced(t *testing.T, seed int64) (Report, *bytes.Buffer) {
+	t.Helper()
+	rec := NewRecorder()
+	cluster := NewCluster(3, WithSeed(seed), WithObserver(rec))
+	report, err := cluster.Run(obsWorkload(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return report, &buf
+}
+
+// TestTraceByteIdenticalSameSeed is the export determinism guarantee: two
+// traced runs of the same seed produce byte-identical Perfetto JSON.
+func TestTraceByteIdenticalSameSeed(t *testing.T) {
+	_, a := runTraced(t, 7)
+	_, b := runTraced(t, 7)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same-seed traces differ (%d vs %d bytes)", a.Len(), b.Len())
+	}
+	if a.Len() < 1000 {
+		t.Fatalf("trace suspiciously small (%d bytes):\n%s", a.Len(), a.String())
+	}
+	// And the JSON is loadable.
+	var doc map[string]any
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatal("traceEvents missing")
+	}
+}
+
+// TestObserverDoesNotPerturbRun is the zero-interference guarantee: the
+// report of a traced run equals the report of an untraced run of the same
+// seed, field for field.
+func TestObserverDoesNotPerturbRun(t *testing.T) {
+	traced, _ := runTraced(t, 11)
+
+	cluster := NewCluster(3, WithSeed(11))
+	plain, err := cluster.Run(obsWorkload(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("observer changed the simulation:\nuntraced: %+v\ntraced:   %+v", plain, traced)
+	}
+}
+
+// TestObserverRecordsEveryLayer checks that fault, migration, and fabric
+// spans plus histograms and gauge samples all appear in one traced run.
+func TestObserverRecordsEveryLayer(t *testing.T) {
+	rec := NewRecorder()
+	cluster := NewCluster(3, WithSeed(3), WithObserver(rec))
+	if _, err := cluster.Run(obsWorkload(3)); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range rec.Spans() {
+		seen[s.Name] = true
+	}
+	for _, want := range []string{
+		"fault.read", "fault.write", "fault.follower", "fault.request",
+		"fault.install", "origin.serve", "invalidate",
+		"migrate.forward", "migrate.pack", "migrate.wire", "migrate.dispatch",
+		"migrate.backward", "msg.small", "msg.page",
+	} {
+		if !seen[want] {
+			t.Errorf("no %q span recorded", want)
+		}
+	}
+	for _, want := range []string{"fault.read", "fault.write", "migrate.forward", "msg.small", "msg.page"} {
+		if h := rec.Histogram(want); h == nil || h.Count == 0 {
+			t.Errorf("no %q histogram observations", want)
+		}
+	}
+	if rec.Samples() == 0 {
+		t.Error("no gauge samples recorded")
+	}
+}
+
+// TestTraceAndObserverShareHookSlot: the page-fault profiler and the
+// observability recorder both see every fault event when installed together
+// (the Fanout composition), and WithTrace no longer clobbers prior hooks.
+func TestTraceAndObserverShareHookSlot(t *testing.T) {
+	tr := NewTrace()
+	rec := NewRecorder()
+	cluster := NewCluster(2, WithSeed(5), WithObserver(rec), WithTrace(tr))
+	if _, err := cluster.Run(obsWorkload(2)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("profiler saw no events")
+	}
+	faultSpans := 0
+	for _, s := range rec.Spans() {
+		switch s.Name {
+		case "fault.read", "fault.write", "invalidate":
+			faultSpans++
+		}
+	}
+	if faultSpans != tr.Len() {
+		t.Fatalf("recorder saw %d fault events, profiler %d — hook fanout broken", faultSpans, tr.Len())
+	}
+}
+
+// TestTraceCap bounds the profiler's memory: beyond the cap events are
+// dropped and counted, and the analyses still work on the retained prefix.
+func TestTraceCap(t *testing.T) {
+	tr := NewTrace()
+	tr.SetCap(10)
+	cluster := NewCluster(2, WithSeed(5), WithTrace(tr))
+	if _, err := cluster.Run(obsWorkload(2)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("retained %d events, cap was 10", tr.Len())
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("no events counted as dropped")
+	}
+	// An uncapped run of the same seed sees cap+dropped events in total.
+	tr2 := NewTrace()
+	cluster2 := NewCluster(2, WithSeed(5), WithTrace(tr2))
+	if _, err := cluster2.Run(obsWorkload(2)); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(tr.Len())+tr.Dropped() != uint64(tr2.Len()) {
+		t.Fatalf("cap accounting: %d retained + %d dropped != %d total",
+			tr.Len(), tr.Dropped(), tr2.Len())
+	}
+}
+
+// TestReportTLBPerNode: the per-node TLB breakdown sums to the aggregate.
+func TestReportTLBPerNode(t *testing.T) {
+	cluster := NewCluster(3, WithSeed(9))
+	report, err := cluster.Run(obsWorkload(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.TLBPerNode) != 3 {
+		t.Fatalf("TLBPerNode has %d entries, want 3", len(report.TLBPerNode))
+	}
+	var hits, misses, flushes uint64
+	for _, s := range report.TLBPerNode {
+		hits += s.Hits
+		misses += s.Misses
+		flushes += s.Flushes
+	}
+	if hits != report.TLB.Hits || misses != report.TLB.Misses || flushes != report.TLB.Flushes {
+		t.Fatalf("per-node TLB stats don't sum to aggregate: %d/%d/%d vs %+v",
+			hits, misses, flushes, report.TLB)
+	}
+}
+
+// TestSamplePeriodConfigurable: halving the sampler period roughly doubles
+// the sample count without changing the simulation outcome.
+func TestSamplePeriodConfigurable(t *testing.T) {
+	run := func(period time.Duration) (Report, int) {
+		rec := NewRecorder()
+		rec.SetSamplePeriod(period)
+		cluster := NewCluster(2, WithSeed(13), WithObserver(rec))
+		rep, err := cluster.Run(obsWorkload(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, rec.Samples()
+	}
+	repCoarse, coarse := run(200 * time.Microsecond)
+	repFine, fine := run(50 * time.Microsecond)
+	if fine <= coarse {
+		t.Fatalf("finer period recorded fewer samples: %d (50µs) vs %d (200µs)", fine, coarse)
+	}
+	if !reflect.DeepEqual(repCoarse, repFine) {
+		t.Fatalf("sample period changed the simulation:\n%+v\n%+v", repCoarse, repFine)
+	}
+}
+
+func ExampleRecorder() {
+	rec := NewRecorder()
+	cluster := NewCluster(2, WithObserver(rec))
+	_, err := cluster.Run(func(th *Thread) error {
+		addr, err := th.Mmap(PageSize, ProtRead|ProtWrite, "x")
+		if err != nil {
+			return err
+		}
+		w, err := th.Spawn(func(w *Thread) error {
+			if err := w.Migrate(1); err != nil {
+				return err
+			}
+			_, err := w.AddUint64(addr, 1)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		th.Join(w)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	h := rec.Histogram("fault.write")
+	fmt.Println("write faults:", h.Count)
+	// Output:
+	// write faults: 1
+}
