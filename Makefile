@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench artifacts
+.PHONY: all build test race vet check bench artifacts chaos-smoke
 
 all: check
 
@@ -32,3 +32,11 @@ bench:
 # artifacts regenerates the paper tables at full scale (EXPERIMENTS.md data).
 artifacts:
 	$(GO) run ./cmd/dexbench -size full
+
+# chaos-smoke runs a small fault-injection campaign twice and compares the
+# outputs byte for byte: same seed + same plan must reproduce exactly.
+chaos-smoke:
+	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -dup 0.2 > chaos1.txt
+	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -dup 0.2 > chaos2.txt
+	cmp chaos1.txt chaos2.txt
+	rm -f chaos1.txt chaos2.txt

@@ -1,0 +1,178 @@
+package dex
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dex/internal/chaos"
+)
+
+// Public-API fault-injection tests: WithChaos plans drive deterministic
+// faults, crashes surface attributably through Join, and an empty plan is
+// indistinguishable from no plan at all.
+
+func chaosCrashPlan(node int, at time.Duration) *ChaosPlan {
+	return &ChaosPlan{Seed: 1, Crashes: []chaos.Crash{{Node: node, At: chaos.Duration(at)}}}
+}
+
+func TestWithChaosCrashSurfacesToJoin(t *testing.T) {
+	cluster := NewCluster(3, WithChaos(chaosCrashPlan(1, 3*time.Millisecond)))
+	var joinErr error
+	rep, err := cluster.Run(func(th *Thread) error {
+		w, err := th.Spawn(func(w *Thread) error {
+			if err := w.Migrate(1); err != nil {
+				return err
+			}
+			w.Compute(20 * time.Millisecond) // never finishes: node 1 dies
+			return w.MigrateBack()
+		})
+		if err != nil {
+			return err
+		}
+		joinErr = th.Join(w)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if joinErr == nil || !strings.Contains(joinErr.Error(), "node 1 crashed") {
+		t.Fatalf("Join = %v, want an error naming node 1", joinErr)
+	}
+	if rep.Chaos == nil || rep.Chaos.ThreadsLost != 1 || rep.Chaos.NodesLost != 1 {
+		t.Fatalf("Report.Chaos = %+v, want 1 node and 1 thread lost", rep.Chaos)
+	}
+}
+
+func TestWithChaosSameSeedAndPlanIdentical(t *testing.T) {
+	plan := &ChaosPlan{
+		Seed: 4,
+		Drop: []chaos.LinkRule{{Src: chaos.Any, Dst: chaos.Any, Prob: 0.3}},
+		Dup:  []chaos.LinkRule{{Src: chaos.Any, Dst: chaos.Any, Prob: 0.3}},
+	}
+	run := func() Report {
+		cluster := NewCluster(3, WithSeed(9), WithChaos(plan))
+		rep, err := cluster.Run(chaosSharedCounterWorkload)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same seed and plan diverged:\n%+v\nvs\n%+v", r1, r2)
+	}
+	if r1.Chaos == nil || r1.Chaos.Injected.Dropped == 0 {
+		t.Fatalf("no faults injected: %+v", r1.Chaos)
+	}
+}
+
+func TestWithChaosEmptyPlanIsNoop(t *testing.T) {
+	run := func(opts ...Option) Report {
+		cluster := NewCluster(3, append([]Option{WithSeed(2)}, opts...)...)
+		rep, err := cluster.Run(chaosSharedCounterWorkload)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rep
+	}
+	base := run()
+	withEmpty := run(WithChaos(&ChaosPlan{Seed: 123}))
+	if !reflect.DeepEqual(base, withEmpty) {
+		t.Fatalf("empty chaos plan changed the run:\n%+v\nvs\n%+v", base, withEmpty)
+	}
+}
+
+// chaosSharedCounterWorkload bounces a shared counter page between the
+// cluster's nodes — enough protocol traffic for drop/dup plans to bite.
+func chaosSharedCounterWorkload(th *Thread) error {
+	addr, err := th.Mmap(PageSize, ProtRead|ProtWrite, "counter")
+	if err != nil {
+		return err
+	}
+	var ws []*Thread
+	for i := 0; i < 4; i++ {
+		i := i
+		w, err := th.Spawn(func(w *Thread) error {
+			if err := w.Migrate(1 + i%2); err != nil {
+				return err
+			}
+			for k := 0; k < 20; k++ {
+				if _, err := w.AddUint64(addr, 1); err != nil {
+					return err
+				}
+				w.Compute(10 * time.Microsecond)
+			}
+			return w.MigrateBack()
+		})
+		if err != nil {
+			return err
+		}
+		ws = append(ws, w)
+	}
+	for _, w := range ws {
+		if err := th.Join(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestParamsFingerprintDistinguishesChaosPlans(t *testing.T) {
+	base := ParamsFingerprint(3)
+	a := ParamsFingerprint(3, WithChaos(&ChaosPlan{Seed: 1, Drop: []chaos.LinkRule{{Src: chaos.Any, Dst: chaos.Any, Prob: 0.1}}}))
+	b := ParamsFingerprint(3, WithChaos(&ChaosPlan{Seed: 1, Drop: []chaos.LinkRule{{Src: chaos.Any, Dst: chaos.Any, Prob: 0.2}}}))
+	a2 := ParamsFingerprint(3, WithChaos(&ChaosPlan{Seed: 1, Drop: []chaos.LinkRule{{Src: chaos.Any, Dst: chaos.Any, Prob: 0.1}}}))
+	if a == base || b == base {
+		t.Fatal("chaos plan did not change the fingerprint")
+	}
+	if a == b {
+		t.Fatal("different plans share a fingerprint")
+	}
+	if a != a2 {
+		t.Fatal("equal plans have different fingerprints")
+	}
+	empty := ParamsFingerprint(3, WithChaos(&ChaosPlan{Seed: 5}))
+	if empty != base {
+		t.Fatal("empty plan changed the fingerprint")
+	}
+}
+
+// TestDeadlockReportNamesNodeAndReason pins the enriched diagnostics: when
+// application threads genuinely deadlock, the error lists each stuck
+// thread's current node and its park reason, so the culprit is readable
+// straight from the failure.
+func TestDeadlockReportNamesNodeAndReason(t *testing.T) {
+	cluster := NewCluster(3)
+	_, err := cluster.Run(func(th *Thread) error {
+		addr, err := th.Mmap(PageSize, ProtRead|ProtWrite, "futex")
+		if err != nil {
+			return err
+		}
+		blocked, err := th.Spawn(func(w *Thread) error {
+			_, err := w.FutexWait(addr, 0) // never woken
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		_, err = th.Spawn(func(w *Thread) error {
+			if err := w.Migrate(2); err != nil {
+				return err
+			}
+			return w.Join(blocked) // joins a thread that never finishes
+		})
+		return err
+	})
+	if err == nil {
+		t.Fatal("deadlocked process did not surface an error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "[node 2]") {
+		t.Fatalf("deadlock report does not name the joiner's node: %v", err)
+	}
+	if !strings.Contains(msg, "join t1") {
+		t.Fatalf("deadlock report does not name the join park reason: %v", err)
+	}
+}

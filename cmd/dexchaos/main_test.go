@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// goldenArgs is the campaign pinned by testdata/golden.txt: a drop sweep
+// with duplication, then a crash campaign. Regenerate with:
+//
+//	go run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1,0.3 -dup 0.2 >  cmd/dexchaos/testdata/golden.txt
+//	go run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0 -crash 3ms      >> cmd/dexchaos/testdata/golden.txt
+var goldenArgs = [][]string{
+	{"-quiet", "-app", "kmn", "-nodes", "3", "-threads", "4", "-drops", "0,0.1,0.3", "-dup", "0.2"},
+	{"-quiet", "-app", "kmn", "-nodes", "3", "-threads", "4", "-drops", "0", "-crash", "3ms"},
+}
+
+func campaign(t *testing.T, extra ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	for _, args := range goldenArgs {
+		if err := run(append(append([]string(nil), args...), extra...), &out, io.Discard); err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+	}
+	return out.String()
+}
+
+// TestChaosGoldenBytes pins the survival/latency tables to committed golden
+// bytes: a change in fault injection, recovery, or protocol behaviour under
+// faults shows up as a diff here.
+func TestChaosGoldenBytes(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := campaign(t)
+	if got != string(golden) {
+		t.Fatalf("dexchaos output diverged from testdata/golden.txt; regenerate only if the change is intended:\n%s", got)
+	}
+}
+
+// TestChaosParallelOutputByteIdentical: the table is byte-for-byte the same
+// whatever the worker-pool width.
+func TestChaosParallelOutputByteIdentical(t *testing.T) {
+	seq := campaign(t, "-parallel", "1")
+	par := campaign(t, "-parallel", "8")
+	if seq != par {
+		t.Fatalf("stdout differs between -parallel 1 and -parallel 8:\n--- 1 ---\n%s\n--- 8 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "status") || !strings.Contains(seq, "FAIL") {
+		t.Fatalf("unexpected campaign output:\n%s", seq)
+	}
+}
+
+func TestChaosBadFlags(t *testing.T) {
+	if err := run([]string{"-app", "nope"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run([]string{"-drops", "x"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("bad drop rate accepted")
+	}
+	if err := run([]string{"-nodes", "1", "-crash", "1ms"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("crash on a 1-node cluster accepted")
+	}
+	if err := run([]string{"-size", "bogus"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown size accepted")
+	}
+}

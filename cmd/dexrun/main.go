@@ -44,6 +44,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		list     = fs.Bool("list", false, "list available applications")
 		traceOut = fs.String("trace", "", "write Perfetto trace-event JSON to this file")
+		chaosFn  = fs.String("chaos", "", "JSON fault-injection plan to run the application under")
 		metrics  = fs.Bool("metrics", false, "print latency histogram summaries after the run")
 		jsonOut  = fs.Bool("json", false, "emit the run report as JSON instead of text")
 	)
@@ -61,6 +62,17 @@ func run(args []string) error {
 		return fmt.Errorf("unknown application %q (use -list)", *appName)
 	}
 	cfg := apps.Config{Nodes: *nodes, ThreadsPerNode: *threads, Seed: *seed}
+	if *chaosFn != "" {
+		data, err := os.ReadFile(*chaosFn)
+		if err != nil {
+			return err
+		}
+		plan, err := dex.ParseChaosPlan(data, *nodes)
+		if err != nil {
+			return fmt.Errorf("chaos plan %s: %w", *chaosFn, err)
+		}
+		cfg.Opts = append(cfg.Opts, dex.WithChaos(plan))
+	}
 	var rec *dex.Recorder
 	if *traceOut != "" || *metrics {
 		rec = dex.NewRecorder()
@@ -141,6 +153,13 @@ func run(args []string) error {
 		tlb.Hits, tlb.Misses, 100*tlb.HitRate(), tlb.Flushes)
 	fmt.Printf("frames:       %d recycled, %d allocated\n",
 		res.Report.FramesRecycled, res.Report.FrameAllocs)
+	if c := res.Report.Chaos; c != nil {
+		fmt.Printf("chaos:        %d dropped, %d duplicated, %d delayed, %d held; %d retransmits, %d dups ignored\n",
+			c.Injected.Dropped, c.Injected.Duplicated, c.Injected.Delayed, c.Injected.Held,
+			res.Report.DSM.Retransmits, res.Report.DSM.DupsIgnored)
+		fmt.Printf("chaos loss:   %d nodes, %d threads, %d pages lost; %d lease suspects\n",
+			c.NodesLost, c.ThreadsLost, res.Report.DSM.PagesLost, c.LeaseSuspects)
+	}
 	for n, s := range res.Report.TLBPerNode {
 		if s.Hits == 0 && s.Misses == 0 && s.Flushes == 0 {
 			continue

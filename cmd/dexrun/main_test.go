@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -101,5 +104,72 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-app", "ep", "-size", "bogus"}); err == nil {
 		t.Fatal("unknown size accepted")
+	}
+}
+
+func TestRunChaosFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	plan := `{"seed": 7, "drop": [{"src": -1, "dst": -1, "prob": 0.1}], "dup": [{"src": -1, "dst": -1, "prob": 0.2}]}`
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"-app", "ep", "-nodes", "2", "-chaos", path})
+	})
+	if !bytes.Contains(out, []byte("chaos:")) {
+		t.Fatalf("report has no chaos summary:\n%s", out)
+	}
+}
+
+func TestRunChaosCrashExitsWithError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 1, "crashes": [{"node": 1, "at": "3ms"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-app", "kmn", "-nodes", "2", "-chaos", path})
+	if err == nil {
+		t.Fatal("crash plan run succeeded, want an error")
+	}
+	if !strings.Contains(err.Error(), "node 1") && !strings.Contains(err.Error(), "crashed") {
+		t.Fatalf("error %q does not attribute the crash", err)
+	}
+}
+
+func TestRunChaosRejectsBadPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	// Node 9 does not exist in a 2-node cluster.
+	if err := os.WriteFile(path, []byte(`{"crashes": [{"node": 9, "at": "1ms"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-app", "ep", "-nodes", "2", "-chaos", path}); err == nil {
+		t.Fatal("out-of-range crash node accepted")
+	}
+}
+
+// TestRunFailureExitCode pins the CLI contract end to end: a failing
+// application run makes the dexrun binary print the error to stderr and
+// exit non-zero. The test re-executes itself as the dexrun main with a
+// crash plan that kills the app.
+func TestRunFailureExitCode(t *testing.T) {
+	if args := os.Getenv("DEXRUN_CHILD_ARGS"); args != "" {
+		os.Args = append([]string{"dexrun"}, strings.Split(args, " ")...)
+		main()
+		return // main exits 1 on failure; reaching here means it succeeded
+	}
+	path := filepath.Join(t.TempDir(), "crash.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 1, "crashes": [{"node": 1, "at": "3ms"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestRunFailureExitCode")
+	cmd.Env = append(os.Environ(), "DEXRUN_CHILD_ARGS=-app kmn -nodes 2 -chaos "+path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() == 0 {
+		t.Fatalf("failing run exited with %v, want non-zero (stderr: %s)", err, stderr.Bytes())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("dexrun:")) {
+		t.Fatalf("stderr does not carry the app error:\n%s", stderr.Bytes())
 	}
 }

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"time"
 
+	"dex/internal/chaos"
 	"dex/internal/core"
 	"dex/internal/dsm"
 	"dex/internal/fabric"
@@ -74,6 +75,13 @@ type (
 	// WithObserver, then export with WriteTrace (Perfetto JSON) or
 	// WriteMetrics (text summary).
 	Recorder = obs.Recorder
+	// ChaosPlan is a deterministic fault schedule for WithChaos: per-link
+	// drop/duplicate/delay rules, bounded partitions, receiver-not-ready
+	// storms, and whole-node crashes, all driven by the plan's own seed.
+	ChaosPlan = chaos.Plan
+	// ChaosReport summarizes injected faults and recovery for a run; found
+	// at Report.Chaos (nil when no plan was active).
+	ChaosReport = core.ChaosReport
 )
 
 // PageSize is the consistency granularity (4 KB, as in the paper).
@@ -142,6 +150,40 @@ func WithObserver(rec *Recorder) Option {
 	return optionFunc(func(p *core.Params) { p.Obs = rec })
 }
 
+// WithChaos attaches a deterministic fault-injection plan to the cluster
+// (drop/dup/delay rules, partitions, RNR storms, node crashes). An empty or
+// nil plan is exactly equivalent to not calling WithChaos: the run is
+// byte-identical to a fault-free one. With a non-empty plan, the same
+// workload seed and plan always reproduce the same faults, the same
+// recovery, and the same report.
+func WithChaos(plan *ChaosPlan) Option {
+	return optionFunc(func(p *core.Params) {
+		if plan.Empty() {
+			return
+		}
+		p.Chaos = plan
+	})
+}
+
+// WithEventLimit aborts the run with an error after n simulation events.
+// Chaos runs default to a large backstop; fault-free runs default to none.
+func WithEventLimit(n uint64) Option {
+	return optionFunc(func(p *core.Params) { p.EventLimit = n })
+}
+
+// ParseChaosPlan decodes a JSON fault plan (as written for dexrun -chaos)
+// and validates it against a cluster of the given node count.
+func ParseChaosPlan(data []byte, nodes int) (*ChaosPlan, error) {
+	plan, err := chaos.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(nodes); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
 // WithPageTransferMode selects the page-transfer strategy of the messaging
 // layer (§III-E): the default hybrid RDMA sink, per-page dynamic
 // registration, or the VERB-only path.
@@ -178,7 +220,16 @@ func ParamsFingerprint(nodes int, opts ...Option) string {
 	for _, o := range opts {
 		o.apply(&params)
 	}
-	return fmt.Sprintf("%+v", params)
+	// Params.Chaos is a pointer, which %+v would print as an address;
+	// format with it nil'd out and append the plan's content digest instead,
+	// so equal plans share a fingerprint and distinct plans never do.
+	plan := params.Chaos
+	params.Chaos = nil
+	fp := fmt.Sprintf("%+v", params)
+	if !plan.Empty() {
+		fp += " chaos{" + plan.Fingerprint() + "}"
+	}
+	return fp
 }
 
 // Cluster is a simulated rack of machines running DeX.

@@ -184,10 +184,16 @@ func workerSet(main *dex.Thread, cfg Config, body func(w *dex.Thread, id int) er
 		}
 		ws = append(ws, w)
 	}
+	var joinErr error
 	for _, w := range ws {
-		main.Join(w)
+		// Keep joining even after a failure so every worker is accounted
+		// for; under fault injection Join surfaces the crash error of a
+		// worker lost with its node.
+		if err := main.Join(w); err != nil && joinErr == nil {
+			joinErr = err
+		}
 	}
-	return nil
+	return joinErr
 }
 
 // --- bulk data helpers -----------------------------------------------------

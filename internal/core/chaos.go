@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"dex/internal/chaos"
+	"dex/internal/sim"
+)
+
+// This file is the execution layer's side of the fault-injection subsystem
+// (internal/chaos): crash execution, the origin-side lease protocol that
+// detects crashed nodes, and the recovery bookkeeping that keeps every
+// surviving Join answerable.
+//
+// The division of labor with the injector is deliberate: the injector is
+// ground truth for which nodes are dead (the fabric consults it to drop
+// their traffic), while the lease protocol is how the origin *finds out* —
+// a lease can expire under a partition or delay storm without the node
+// being gone, so a suspected node is declared dead only once the injector
+// confirms the crash. Suspicions that do not confirm are counted in
+// LeaseSuspects and the lease re-arms.
+
+// leaseMsgBytes is the wire size of one lease ping or pong envelope.
+const leaseMsgBytes = 40
+
+// chaosEventBackstop caps runaway chaos runs (e.g. a plan that keeps a
+// retransmission loop live forever) when the caller sets no explicit event
+// limit. It is far above any healthy run's event count, so hitting it means
+// the plan livelocked the cluster and the run fails with ErrEventLimit
+// instead of spinning.
+const chaosEventBackstop = 50_000_000
+
+// ChaosReport summarizes fault injection and recovery for one process run.
+type ChaosReport struct {
+	// Injected counts the faults the injector actually delivered.
+	Injected chaos.Stats
+	// NodesLost is how many nodes this process saw declared dead.
+	NodesLost int
+	// ThreadsLost is how many of the process's threads died with a node;
+	// each surfaced its crash error to Join instead of hanging.
+	ThreadsLost int
+	// LeaseSuspects counts lease expiries that did NOT confirm as crashes
+	// (partitions or delay storms starving heartbeats).
+	LeaseSuspects uint64
+}
+
+// crashNode executes a scheduled whole-node crash: from this instant the
+// fabric drops all of the node's traffic and every task executing there is
+// killed. Origin-side detection and recovery happen separately, through the
+// lease protocol.
+func (m *Machine) crashNode(node int) {
+	m.inj.MarkDead(node)
+	for _, p := range m.procs {
+		p.killNodeTasks(node)
+	}
+}
+
+// killNodeTasks kills every task of this process that executes on node:
+// threads currently located there and the remote worker. The tasks unwind
+// without error — the process-level bookkeeping (thread death, join wakeup,
+// ownership reclaim) is done by declareNodeDead once the origin detects the
+// crash.
+func (p *Process) killNodeTasks(node int) {
+	for _, th := range p.threads {
+		if !th.done && th.node == node {
+			th.task.Kill()
+		}
+	}
+	if w, ok := p.workers[node]; ok {
+		w.task.Kill()
+	}
+}
+
+// startLeaseMonitor schedules the origin-side heartbeat tick, an event-based
+// self-rescheduling timer like the gauge sampler. Each tick checks the lease
+// of every active remote worker and pings the live ones; a pong refreshes
+// the lease. The tick stops once the process has no live threads.
+func (p *Process) startLeaseMonitor() {
+	period := p.m.params.Chaos.LeasePeriod()
+	var tick func()
+	tick = func() {
+		if p.liveCount <= 0 {
+			return
+		}
+		p.leaseTick()
+		p.m.eng.After(period, tick)
+	}
+	p.m.eng.After(period, tick)
+}
+
+// leaseTick runs one round of the lease protocol in event context.
+func (p *Process) leaseTick() {
+	now := p.m.eng.Now()
+	timeout := p.m.params.Chaos.LeaseTimeout()
+	for _, w := range p.workersInOrder() {
+		if w.dead {
+			continue
+		}
+		node := w.node
+		last, ok := p.lastSeen[node]
+		if !ok {
+			// First sight of this worker: arm its lease.
+			p.lastSeen[node] = now
+			continue
+		}
+		if now-last <= timeout {
+			continue
+		}
+		if p.m.inj.NodeDead(node) {
+			p.declareNodeDead(node)
+			continue
+		}
+		// Expired but the node is not actually gone: a partition or delay
+		// storm is starving heartbeats. Re-arm and keep waiting.
+		p.leaseSuspects++
+		p.lastSeen[node] = now
+	}
+	var targets []int
+	for _, w := range p.workersInOrder() {
+		if !w.dead {
+			targets = append(targets, w.node)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	p.m.eng.Spawn("lease-ping", func(t *sim.Task) {
+		for _, node := range targets {
+			node := node
+			p.m.net.Send(t, p.origin, node, &envelope{bytes: leaseMsgBytes, deliver: func() {
+				p.m.eng.Spawn("lease-pong", func(pt *sim.Task) {
+					p.m.net.Send(pt, node, p.origin, &envelope{bytes: leaseMsgBytes, deliver: func() {
+						p.lastSeen[node] = p.m.eng.Now()
+					}})
+				})
+			}})
+		}
+	})
+}
+
+// declareNodeDead is the origin's commit point for a node crash: the worker
+// is retired, page ownership is reclaimed to the origin, and every thread
+// located at the node is marked dead with an attributable error so its
+// joiners resume instead of hanging. Idempotent.
+func (p *Process) declareNodeDead(node int) {
+	if p.deadNodes[node] {
+		return
+	}
+	p.deadNodes[node] = true
+	p.nodesLost++
+	if w, ok := p.workers[node]; ok {
+		w.dead = true
+	}
+	p.mgr.ReclaimDeadNode(node)
+	// Node death poisons futex-based synchronization (robust-futex style):
+	// a barrier or lock involving the dead node's threads can never be
+	// satisfied again, and the origin cannot tell which waits those are. All
+	// in-flight waits are interrupted and later waits fail fast; survivors
+	// surface the error instead of hanging.
+	if p.futexPoisoned == nil {
+		p.futexPoisoned = fmt.Errorf("core: futex wait interrupted: node %d crashed", node)
+	}
+	p.fut.ExpireAll()
+	for _, th := range p.threads {
+		if th.done || th.node != node {
+			continue
+		}
+		th.crashErr = fmt.Errorf("core: thread %d lost: node %d crashed", th.id, node)
+		p.threadsLost++
+		if th.futexWaiter != nil {
+			// The thread died while its delegated futex wait was queued at
+			// the origin: unwind the origin-side waiter so the table holds
+			// no dead entries and the delegated task can finish.
+			th.futexWaiter.Expire()
+			th.futexWaiter = nil
+		}
+		th.done = true
+		for _, j := range th.joiners {
+			j.Unpark()
+		}
+		th.joiners = nil
+		p.liveCount--
+	}
+	if p.m.params.Obs != nil {
+		p.m.params.Obs.SpanAt("chaos", "node.dead", node, -1, p.m.eng.Now(), 0)
+	}
+	if p.liveCount == 0 {
+		p.finishedAt = p.m.eng.Now()
+		p.m.eng.Spawn("process-exit", func(t *sim.Task) { p.shutdownWorkers(t) })
+	}
+}
+
+// awaitAcks blocks t until pending drains. Without fault injection this is a
+// plain park loop (the acks are envelopes, which the injector never drops).
+// Under injection a node can die between the send and its ack, so the wait
+// re-checks the pending set against injector ground truth on a timer.
+func (p *Process) awaitAcks(t *sim.Task, reason string, pending map[int]bool) {
+	if p.m.inj == nil {
+		for len(pending) > 0 {
+			t.Park(reason)
+		}
+		return
+	}
+	period := p.m.params.Chaos.LeasePeriod()
+	for len(pending) > 0 {
+		if t.ParkTimeout(reason, period) {
+			continue
+		}
+		for node := range pending {
+			if p.m.inj.NodeDead(node) {
+				delete(pending, node)
+			}
+		}
+	}
+}

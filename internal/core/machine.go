@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"dex/internal/chaos"
 	"dex/internal/dsm"
 	"dex/internal/fabric"
 	"dex/internal/mem"
@@ -106,6 +107,17 @@ type Params struct {
 	Obs *obs.Recorder
 	// Seed seeds the deterministic simulation.
 	Seed int64
+
+	// Chaos, when non-nil and non-empty, attaches the deterministic fault
+	// injector to the fabric and schedules the plan's node crashes. The
+	// plan's own seed drives all fault decisions; the simulation seed never
+	// feeds the injector, so the same plan reproduces the same faults under
+	// any workload seed.
+	Chaos *chaos.Plan
+	// EventLimit, when non-zero, aborts the run with sim.ErrEventLimit
+	// after that many events. Chaos runs with no explicit limit get a large
+	// backstop so a livelocking plan fails instead of spinning forever.
+	EventLimit uint64
 }
 
 // DefaultParams returns a cluster shaped like the paper's testbed: n nodes
@@ -141,6 +153,7 @@ type Machine struct {
 	nodes   []*Node
 	procs   []*Process
 	nextPID int
+	inj     *chaos.Injector // nil when no fault plan is active
 }
 
 // NewMachine builds a cluster from params.
@@ -164,6 +177,22 @@ func NewMachine(params Params) *Machine {
 	if params.Obs != nil {
 		params.Obs.SetClock(eng.Now)
 		m.net.SetRecorder(params.Obs)
+	}
+	if !params.Chaos.Empty() {
+		if err := params.Chaos.Validate(params.Nodes); err != nil {
+			panic(fmt.Sprintf("core: invalid chaos plan: %v", err))
+		}
+		m.inj = chaos.NewInjector(params.Chaos, params.Nodes)
+		m.net.SetChaos(m.inj)
+		for _, c := range params.Chaos.Crashes {
+			node := c.Node
+			eng.After(c.At.D(), func() { m.crashNode(node) })
+		}
+	}
+	if params.EventLimit > 0 {
+		eng.SetEventLimit(params.EventLimit)
+	} else if m.inj != nil {
+		eng.SetEventLimit(chaosEventBackstop)
 	}
 	for i := range m.nodes {
 		m.nodes[i] = &Node{
@@ -189,6 +218,9 @@ func (m *Machine) Params() Params { return m.params }
 
 // Nodes returns the number of nodes.
 func (m *Machine) Nodes() int { return m.params.Nodes }
+
+// Injector exposes the fault injector, nil when no plan is active.
+func (m *Machine) Injector() *chaos.Injector { return m.inj }
 
 // envelope is the core-layer message: a closure delivered at the
 // destination node in event context. Migration requests, delegated work,
@@ -261,6 +293,9 @@ type Report struct {
 	// there (replicas included) at the time the report is taken — the
 	// §IV-B memory-footprint dimension of padding decisions.
 	ResidentPages []int
+	// Chaos summarizes fault injection and recovery; nil when no fault
+	// plan was active.
+	Chaos *ChaosReport
 }
 
 // TotalResidentPages sums frames across all nodes.

@@ -38,8 +38,7 @@ func (th *Thread) Migrate(node int) error {
 		th.migrateBackward()
 		return nil
 	}
-	th.migrateForward(node)
-	return nil
+	return th.migrateForward(node)
 }
 
 // MigrateBack returns the thread to its origin.
@@ -50,8 +49,11 @@ func (th *Thread) MigrateBack() error { return th.Migrate(th.proc.origin) }
 // leave the original thread behind to serve delegated work. In the
 // simulation the "original thread" is implicit: delegated operations run in
 // spawned origin-side contexts with the same costs.
-func (th *Thread) migrateForward(to int) {
+func (th *Thread) migrateForward(to int) error {
 	p := th.proc
+	if p.m.inj != nil && p.m.inj.NodeDead(to) {
+		return fmt.Errorf("core: migration of thread %d to node %d failed: node is dead", th.id, to)
+	}
 	costs := p.m.params.Migration
 	mg := &migration{th: th, to: to}
 	start := th.task.Now()
@@ -81,11 +83,30 @@ func (th *Thread) migrateForward(to int) {
 		mg.record.First = created
 		w.mb.Send(workerMsg{fork: mg})
 	}})
+	reason := fmt.Sprintf("migrating to node %d", to)
 	for !mg.resumed {
-		th.task.Park(fmt.Sprintf("migrating to node %d", to))
+		if p.m.inj == nil {
+			th.task.Park(reason)
+			continue
+		}
+		// Under fault injection the destination can die while the context
+		// (or its fork) is in flight; re-check on a timer so the thread
+		// returns an error instead of parking forever.
+		if th.task.ParkTimeout(reason, p.m.params.Chaos.LeasePeriod()) || mg.resumed {
+			continue
+		}
+		if p.m.inj.NodeDead(to) {
+			return fmt.Errorf("core: migration of thread %d to node %d failed: node crashed in flight", th.id, to)
+		}
+	}
+	if p.m.inj != nil && p.m.inj.NodeDead(to) {
+		// The fork completed but the node died before the thread resumed;
+		// stay at the source.
+		return fmt.Errorf("core: migration of thread %d to node %d failed: node crashed on arrival", th.id, to)
 	}
 	// Execution continues at the destination.
 	th.node = to
+	th.task.SetDetail(fmt.Sprintf("node %d", to))
 	mg.record.Total = th.task.Now() - start
 	p.migrations++
 	p.migrationRecords = append(p.migrationRecords, mg.record)
@@ -106,6 +127,7 @@ func (th *Thread) migrateForward(to int) {
 		rec.SpanAt("core", "migrate.dispatch", to, th.id, mg.arrivedAt, end-mg.arrivedAt)
 		rec.Observe("migrate.forward", mg.record.Total)
 	}
+	return nil
 }
 
 // serveFork runs in the destination worker's context: it charges the
@@ -165,6 +187,7 @@ func (th *Thread) migrateBackward() {
 		th.task.Park("migrating back to origin")
 	}
 	th.node = p.origin
+	th.task.SetDetail(fmt.Sprintf("node %d", p.origin))
 	record.Total = th.task.Now() - start
 	p.migrations++
 	p.migrationRecords = append(p.migrationRecords, record)

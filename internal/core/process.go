@@ -47,6 +47,14 @@ type Process struct {
 	migrationRecords []MigrationRecord
 	vmaQueries       uint64
 	delegations      uint64
+
+	// Fault-injection state (nil/zero when no plan is active).
+	deadNodes     []bool                // nodes this process has declared dead
+	lastSeen      map[int]time.Duration // per remote node: last lease refresh
+	nodesLost     int
+	threadsLost   int
+	leaseSuspects uint64
+	futexPoisoned error // set on first node death; fails futex waits fast
 }
 
 // remoteWorker is the per-(process, node) worker thread of §III-A: it forks
@@ -54,6 +62,7 @@ type Process struct {
 type remoteWorker struct {
 	node  int
 	ready bool
+	dead  bool // node declared dead: never target this worker again
 	mb    *sim.Mailbox[workerMsg]
 	task  *sim.Task
 }
@@ -95,6 +104,16 @@ func (m *Machine) NewProcess(origin int, main func(*Thread) error) *Process {
 	if m.params.Obs != nil {
 		p.registerGauges(m.params.Obs)
 		p.startSampler(m.params.Obs)
+	}
+	if m.inj != nil {
+		for _, c := range m.params.Chaos.Crashes {
+			if c.Node == origin {
+				panic(fmt.Sprintf("core: chaos plan crashes node %d, the origin of pid %d; origin crashes are not survivable", origin, pid))
+			}
+		}
+		p.deadNodes = make([]bool, m.params.Nodes)
+		p.lastSeen = make(map[int]time.Duration)
+		p.startLeaseMonitor()
 	}
 	p.newThread(origin, main, nil)
 	return p
@@ -162,7 +181,17 @@ func (p *Process) Report() Report {
 		tlbPerNode[n] = p.mgr.TLBStatsNode(n)
 	}
 	recycled, allocs := p.mgr.FrameStats()
+	var cr *ChaosReport
+	if p.m.inj != nil {
+		cr = &ChaosReport{
+			Injected:      p.m.inj.Stats(),
+			NodesLost:     p.nodesLost,
+			ThreadsLost:   p.threadsLost,
+			LeaseSuspects: p.leaseSuspects,
+		}
+	}
 	return Report{
+		Chaos:            cr,
 		ResidentPages:    resident,
 		Elapsed:          p.finishedAt - p.startedAt,
 		DSM:              p.mgr.Stats(),
@@ -198,6 +227,7 @@ func (p *Process) newThread(node int, fn func(*Thread) error, parent *Thread) *T
 		}
 		p.threadDone(t, th)
 	})
+	th.task.SetDetail(fmt.Sprintf("node %d", node))
 	return th
 }
 
@@ -221,18 +251,19 @@ func (p *Process) threadDone(t *sim.Task, th *Thread) {
 // original process exit is a node-wide operation delivered to the remote
 // workers) and waits for them to stop.
 func (p *Process) shutdownWorkers(t *sim.Task) {
-	remaining := 0
-	done := func() { remaining--; t.Unpark() }
+	pending := make(map[int]bool)
 	for _, w := range p.workersInOrder() {
-		remaining++
+		if w.dead {
+			continue
+		}
 		w := w
+		pending[w.node] = true
+		done := func() { delete(pending, w.node); t.Unpark() }
 		p.m.net.Send(t, p.origin, w.node, &envelope{bytes: 48, deliver: func() {
 			w.mb.Send(workerMsg{stop: true, done: done})
 		}})
 	}
-	for remaining > 0 {
-		t.Park("process exit: draining workers")
-	}
+	p.awaitAcks(t, "process exit: draining workers", pending)
 }
 
 // worker returns the remote worker for node, creating and starting it on
@@ -328,11 +359,14 @@ func (p *Process) delegate(th *Thread, name string, op func(t *sim.Task) any) an
 // for completion. apply runs in each worker's context. t must be running at
 // the origin.
 func (p *Process) broadcastVMA(t *sim.Task, apply func(node int, t *sim.Task)) {
-	remaining := 0
-	done := func() { remaining--; t.Unpark() }
+	pending := make(map[int]bool)
 	for _, w := range p.workersInOrder() {
-		remaining++
+		if w.dead {
+			continue
+		}
 		w := w
+		pending[w.node] = true
+		done := func() { delete(pending, w.node); t.Unpark() }
 		p.m.net.Send(t, p.origin, w.node, &envelope{bytes: 96, deliver: func() {
 			w.mb.Send(workerMsg{
 				apply: func(wt *sim.Task) { apply(w.node, wt) },
@@ -345,9 +379,7 @@ func (p *Process) broadcastVMA(t *sim.Task, apply func(node int, t *sim.Task)) {
 			})
 		}})
 	}
-	for remaining > 0 {
-		t.Park("vma broadcast")
-	}
+	p.awaitAcks(t, "vma broadcast", pending)
 }
 
 // mmapAt implements mmap in origin context.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dex/internal/dsm"
+	"dex/internal/futex"
 	"dex/internal/mem"
 	"dex/internal/sim"
 )
@@ -29,6 +30,14 @@ type Thread struct {
 
 	done    bool
 	joiners []*sim.Task
+
+	// crashErr is set when the thread's node is declared dead: the thread
+	// did not finish — it was lost — and Join surfaces this error instead
+	// of hanging.
+	crashErr error
+	// futexWaiter is the thread's origin-side futex queue entry while a
+	// delegated FutexWait is blocked, so node death can unwind it.
+	futexWaiter *futex.Waiter
 }
 
 // smallAccess is the size threshold below which an access charges batched
@@ -110,12 +119,15 @@ func (th *Thread) Spawn(fn func(*Thread) error) (*Thread, error) {
 	return th.proc.newThread(th.proc.origin, fn, th), nil
 }
 
-// Join blocks until other finishes.
-func (th *Thread) Join(other *Thread) {
+// Join blocks until other finishes. It returns nil when other completed
+// normally, or the attributable crash error when other was lost with its
+// node under fault injection — a joiner never hangs on a dead thread.
+func (th *Thread) Join(other *Thread) error {
 	for !other.done {
 		other.joiners = append(other.joiners, th.task)
 		th.task.Park(fmt.Sprintf("join t%d", other.id))
 	}
+	return other.crashErr
 }
 
 // Mmap allocates a page-aligned region, delegating to the origin when the
@@ -412,6 +424,11 @@ func (th *Thread) FutexWait(addr mem.Addr, val uint32) (bool, error) {
 		err   error
 	}
 	r := p.delegate(th, "futex-wait", func(t *sim.Task) any {
+		if p.futexPoisoned != nil {
+			// A node has crashed: futex synchronization in this process is
+			// poisoned (the wait could depend on a dead peer).
+			return res{err: p.futexPoisoned}
+		}
 		// The value check runs at the origin against origin-resident
 		// memory (pulling the page home if needed).
 		pte := p.mgr.EnsurePage(t, dsm.Ctx{Node: p.origin, Task: th.id, Site: "futex"}, addr, false)
@@ -420,7 +437,12 @@ func (th *Thread) FutexWait(addr mem.Addr, val uint32) (bool, error) {
 			return res{slept: false}
 		}
 		w := p.fut.Enqueue(t, addr)
+		th.futexWaiter = w
 		w.Block()
+		th.futexWaiter = nil
+		if w.Expired() {
+			return res{slept: true, err: p.futexPoisoned}
+		}
 		return res{slept: true}
 	}).(res)
 	return r.slept, r.err

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"dex/internal/chaos"
 	"dex/internal/fabric"
 	"dex/internal/mem"
 	"dex/internal/obs"
@@ -73,6 +74,13 @@ type Params struct {
 	// (NACKed) request; the delay grows linearly with the attempt count.
 	NackBackoffBase   time.Duration
 	NackBackoffJitter time.Duration
+	// RetryTimeout/RetryTimeoutMax bound the retransmission timer used when
+	// fault injection is active: a request, grant, or revocation that is not
+	// acknowledged within the timeout is re-sent, and the timeout doubles up
+	// to the cap. All protocol messages are idempotent (duplicates are
+	// detected by token or sequence number), so re-sending is always safe.
+	RetryTimeout    time.Duration
+	RetryTimeoutMax time.Duration
 
 	// DisableCoalescing turns off the leader-follower model (ablation A1):
 	// every faulting thread runs the full protocol itself.
@@ -97,6 +105,8 @@ func DefaultParams() Params {
 		InvalidateApply:   600 * time.Nanosecond,
 		NackBackoffBase:   75 * time.Microsecond,
 		NackBackoffJitter: 70 * time.Microsecond,
+		RetryTimeout:      300 * time.Microsecond,
+		RetryTimeoutMax:   5 * time.Millisecond,
 	}
 }
 
@@ -134,6 +144,9 @@ type Stats struct {
 	PageTransfers   uint64 // pages pulled back to the origin from writers
 	OwnershipGrants uint64 // write grants that skipped the data transfer
 	PrefetchedPages uint64 // pages granted through batched prefetch hints
+	Retransmits     uint64 // protocol messages re-sent after a retry timeout
+	DupsIgnored     uint64 // duplicate protocol messages detected and dropped
+	PagesLost       uint64 // pages whose only fresh copy died with a node
 	TotalLatency    time.Duration
 }
 
@@ -169,6 +182,40 @@ type nodeState struct {
 	pt          mem.PageTable
 	faults      map[fkey]*faultGroup
 	outstanding map[uint64]*outstanding // keyed by request token
+
+	// Chaos-only receiver-side dedup state (nil when no injector is
+	// attached, so the fault-free protocol pays nothing for it).
+	//
+	// completed records tokens whose grant was installed: a duplicated grant
+	// reply for such a token re-sends the installAck instead of re-running
+	// the install. appliedRevokes records every revocation this node has
+	// admitted, so a duplicated revokeMsg is either ignored (still pending)
+	// or answered with a fresh ack carrying the retained page data.
+	completed      map[uint64]bool
+	appliedRevokes map[uint64]*appliedRevoke
+}
+
+// appliedRevoke is the receiver-side record of one admitted revocation.
+type appliedRevoke struct {
+	pending bool   // the original application has not finished yet
+	data    []byte // page snapshot retained for needData re-acks
+}
+
+// serveState is the origin's permanent per-token record of how a page
+// request was answered, kept only under fault injection. A duplicated
+// request is resolved from this record: bounced requests (nack/stale) get
+// the same bounce again — never a fresh serve, which could land data in a
+// landing zone the requester has already released — and requests that were
+// granted are ignored, because the origin's install-wait loop owns grant
+// retransmission.
+type serveState struct {
+	req      *pageRequest
+	write    bool
+	nack     bool
+	stale    bool
+	withData bool
+	closed   bool   // the serving task has finished with this token
+	data     []byte // page snapshot retained for grant re-sends
 }
 
 // dirEntry is the origin's per-page ownership record.
@@ -212,6 +259,12 @@ type Manager struct {
 	// the protocol can prove no reference remains (see freeFrame callers).
 	frames mem.FramePool
 
+	// chaos is the fault injector attached to the fabric, or nil. When set,
+	// every wait on a protocol acknowledgment runs under a retransmission
+	// timeout and the dedup/recovery state below is maintained.
+	chaos  *chaos.Injector
+	served map[uint64]*serveState
+
 	reqSeq      uint64
 	revokeSeq   uint64
 	revokeWait  map[uint64]*revokeWaiter
@@ -230,6 +283,14 @@ type Manager struct {
 type revokeWaiter struct {
 	task *sim.Task
 	done bool
+
+	// Chaos-only retransmission context: the revocation this waiter covers
+	// and its target (msg is nil for install-ack waiters). lost reports that
+	// the waiter was abandoned because the target died; for a needData
+	// revoke the caller must then treat the page contents as lost.
+	target int
+	msg    *revokeMsg
+	lost   bool
 }
 
 // New creates a protocol manager for process pid whose origin is the given
@@ -248,14 +309,22 @@ func New(eng *sim.Engine, net *fabric.Network, params Params, pid, origin, nodes
 		pid:         pid,
 		origin:      origin,
 		hook:        hook,
+		chaos:       net.Chaos(),
 		nodes:       make([]*nodeState, nodes),
 		revokeWait:  make(map[uint64]*revokeWaiter),
 		installWait: make(map[uint64]*revokeWaiter),
+	}
+	if m.chaos != nil {
+		m.served = make(map[uint64]*serveState)
 	}
 	for i := range m.nodes {
 		m.nodes[i] = &nodeState{
 			faults:      make(map[fkey]*faultGroup),
 			outstanding: make(map[uint64]*outstanding),
+		}
+		if m.chaos != nil {
+			m.nodes[i].completed = make(map[uint64]bool)
+			m.nodes[i].appliedRevokes = make(map[uint64]*appliedRevoke)
 		}
 	}
 	return m
@@ -441,16 +510,35 @@ func (m *Manager) remoteFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int 
 		token := m.reqSeq
 		req := &outstanding{vpn: vpn, task: t}
 		ns.outstanding[token] = req
-		m.net.Send(t, node, m.origin, &pageRequest{
+		msg := &pageRequest{
 			pid:   m.pid,
 			vpn:   vpn,
 			write: write,
 			node:  node,
 			token: token,
 			pr:    pr,
-		})
-		for !req.done {
-			t.Park("page reply " + mem.Addr(vpn<<mem.PageShift).String())
+		}
+		m.net.Send(t, node, m.origin, msg)
+		parkReason := "page reply " + mem.Addr(vpn<<mem.PageShift).String()
+		if m.chaos == nil {
+			for !req.done {
+				t.Park(parkReason)
+			}
+		} else {
+			// Under fault injection the request or its reply may have been
+			// dropped: re-send the (idempotent, token-deduplicated) request
+			// after each retry timeout, with exponential backoff.
+			rto := m.params.RetryTimeout
+			for !req.done {
+				if t.ParkTimeout(parkReason, rto) || req.done {
+					continue
+				}
+				m.stats.Retransmits++
+				m.net.Send(t, node, m.origin, msg)
+				if rto *= 2; rto > m.params.RetryTimeoutMax {
+					rto = m.params.RetryTimeoutMax
+				}
+			}
 		}
 		if m.rec != nil {
 			outcome := "grant"
@@ -518,6 +606,11 @@ func (m *Manager) remoteFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int 
 				obs.Hex("vpn", vpn))
 		}
 		req.installed = true
+		if m.chaos != nil {
+			// Remember the install so a duplicated grant reply re-acks
+			// instead of re-running the (now stale) install path.
+			ns.completed[token] = true
+		}
 		delete(ns.outstanding, token)
 		m.net.Send(t, node, m.origin, &installAck{pid: m.pid, token: token})
 		// Apply revocations deferred during the install window.
@@ -635,6 +728,11 @@ func (m *Manager) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uint64)
 			m.emitInvalidate(m.origin, vpn)
 			continue
 		}
+		if m.chaos != nil && m.chaos.NodeDead(owner) {
+			// A crashed reader's copy died with it; nothing to revoke.
+			de.owners &^= 1 << uint(owner)
+			continue
+		}
 		acks = append(acks, m.sendRevoke(t, owner, vpn, false, nil))
 	}
 	m.waitRevokes(t, acks)
@@ -655,9 +753,19 @@ func (m *Manager) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uint64)
 // shared (read-only) copy; otherwise its mapping is dropped.
 func (m *Manager) fetchFromWriter(t *sim.Task, de *dirEntry, vpn uint64, downgrade bool) {
 	w := de.writer
+	if m.chaos != nil && m.chaos.NodeDead(w) {
+		m.reclaimLostWriter(de, vpn, w)
+		return
+	}
 	pr := m.net.PreparePageRecv(t, w, m.origin)
 	waiter := m.sendRevokeWithData(t, w, vpn, downgrade, pr)
 	m.waitRevokes(t, []*revokeWaiter{waiter})
+	if waiter.lost {
+		// The writer died before shipping its copy home.
+		pr.Release()
+		m.reclaimLostWriter(de, vpn, w)
+		return
+	}
 	data := pr.Claim(t)
 	m.nodes[m.origin].pt.Map(vpn, data, false)
 	m.stats.PageTransfers++
@@ -668,19 +776,89 @@ func (m *Manager) fetchFromWriter(t *sim.Task, de *dirEntry, vpn uint64, downgra
 	}
 }
 
+// reclaimLostWriter handles the death of a page's exclusive owner: the only
+// fresh copy is gone, so ownership returns to the origin with a zero-filled
+// frame and the page is counted as lost. The application sees well-defined
+// (if stale) contents rather than a hang.
+func (m *Manager) reclaimLostWriter(de *dirEntry, vpn uint64, w int) {
+	m.nodes[m.origin].pt.Map(vpn, m.frames.GetZeroed(), false)
+	m.stats.PagesLost++
+	de.writer = -1
+	de.owners = 1 << uint(m.origin)
+}
+
+// rollbackGrant undoes a grant whose requester died before acknowledging
+// its PTE install. The directory still holds the entry busy, so no other
+// transaction can have observed the half-finished transfer. For a write
+// grant that carried data the origin restores its copy from the retained
+// snapshot; for an ownership-only write grant the requester's copy was the
+// only fresh one, so the page is lost and comes back zero-filled.
+func (m *Manager) rollbackGrant(req *pageRequest, st *serveState) {
+	de, _ := m.entry(req.vpn)
+	if !req.write {
+		de.owners &^= 1 << uint(req.node)
+		return
+	}
+	de.writer = -1
+	de.owners = 1 << uint(m.origin)
+	if st.withData && st.data != nil {
+		f := m.frames.Get()
+		copy(f, st.data)
+		m.nodes[m.origin].pt.Map(req.vpn, f, false)
+		return
+	}
+	m.nodes[m.origin].pt.Map(req.vpn, m.frames.GetZeroed(), false)
+	m.stats.PagesLost++
+}
+
+// ReclaimDeadNode returns all page ownership held by a crashed node to the
+// origin and reports how many exclusively-held pages were lost. Shared
+// copies are dropped from the owner masks; pages the dead node held
+// exclusively come back zero-filled (their fresh contents died with the
+// node) and are counted in PagesLost. Busy entries are skipped: the
+// transaction holding them discovers the death through its own
+// retransmission timeout and rolls back. The dead node's page table and
+// request state are cleared so its frames recycle.
+func (m *Manager) ReclaimDeadNode(node int) int {
+	if node == m.origin {
+		panic("dsm: cannot reclaim the origin node")
+	}
+	lost := 0
+	m.dir.ForRange(0, ^uint64(0), func(vpn uint64, de *dirEntry) bool {
+		if de.busy {
+			return true
+		}
+		if de.writer == node {
+			m.nodes[m.origin].pt.Map(vpn, m.frames.GetZeroed(), false)
+			de.writer = -1
+			de.owners = 1 << uint(m.origin)
+			m.stats.PagesLost++
+			lost++
+		} else {
+			de.owners &^= 1 << uint(node)
+		}
+		return true
+	})
+	ns := m.nodes[node]
+	ns.outstanding = make(map[uint64]*outstanding)
+	ns.pt.ReclaimRange(0, ^uint64(0), m.freeFrame)
+	return lost
+}
+
 func (m *Manager) sendRevoke(t *sim.Task, target int, vpn uint64, downgrade bool, pr *fabric.PageRecv) *revokeWaiter {
 	m.revokeSeq++
 	seq := m.revokeSeq
-	w := &revokeWaiter{task: t}
-	m.revokeWait[seq] = w
-	m.net.Send(t, m.origin, target, &revokeMsg{
+	msg := &revokeMsg{
 		pid:       m.pid,
 		vpn:       vpn,
 		seq:       seq,
 		downgrade: downgrade,
 		needData:  pr != nil,
 		pr:        pr,
-	})
+	}
+	w := &revokeWaiter{task: t, target: target, msg: msg}
+	m.revokeWait[seq] = w
+	m.net.Send(t, m.origin, target, msg)
 	if downgrade {
 		m.stats.Downgrades++
 	} else {
@@ -695,8 +873,31 @@ func (m *Manager) sendRevokeWithData(t *sim.Task, target int, vpn uint64, downgr
 
 func (m *Manager) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
 	for _, w := range acks {
+		if m.chaos == nil || w.msg == nil {
+			for !w.done {
+				t.Park("revoke ack")
+			}
+			continue
+		}
+		// Under fault injection a revocation or its ack may have been
+		// dropped: re-send after each retry timeout, and abandon the waiter
+		// if the target is confirmed dead (its copy died with it).
+		rto := m.params.RetryTimeout
 		for !w.done {
-			t.Park("revoke ack")
+			if t.ParkTimeout("revoke ack", rto) || w.done {
+				continue
+			}
+			if m.chaos.NodeDead(w.target) {
+				delete(m.revokeWait, w.msg.seq)
+				w.done = true
+				w.lost = w.msg.needData
+				break
+			}
+			m.stats.Retransmits++
+			m.net.Send(t, m.origin, w.target, w.msg)
+			if rto *= 2; rto > m.params.RetryTimeoutMax {
+				rto = m.params.RetryTimeoutMax
+			}
 		}
 	}
 }

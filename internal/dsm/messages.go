@@ -31,6 +31,16 @@ type pageRequest struct {
 
 func (*pageRequest) Size() int { return pageRequestSize }
 
+// ChaosExpendable marks every idempotent protocol message as fair game for
+// fault injection: duplicates are detected by token or sequence number and
+// losses are repaired by retransmission, so the injector may drop or
+// duplicate them freely.
+func (*pageRequest) ChaosExpendable() {}
+func (*pageReply) ChaosExpendable()   {}
+func (*installAck) ChaosExpendable()  {}
+func (*revokeMsg) ChaosExpendable()   {}
+func (*revokeAck) ChaosExpendable()   {}
+
 // pageReply answers a pageRequest. nack means the directory entry was busy
 // and the requester must retry; stale means the request was already
 // satisfied by a concurrent transaction (the requester re-validates its
@@ -98,7 +108,16 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		if node != m.origin {
 			panic(fmt.Sprintf("dsm: page request for pid %d delivered to node %d (origin %d)", m.pid, node, m.origin))
 		}
-		m.eng.Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, mm) })
+		var st *serveState
+		if m.chaos != nil {
+			if prev, ok := m.served[mm.token]; ok {
+				m.redeliverServe(mm, prev)
+				return true
+			}
+			st = &serveState{req: mm, write: mm.write}
+			m.served[mm.token] = st
+		}
+		m.eng.Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, mm, st) })
 		return true
 	case *pageReply:
 		if mm.pid != m.pid {
@@ -118,6 +137,11 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		}
 		w, ok := m.installWait[mm.token]
 		if !ok {
+			if m.chaos != nil {
+				// Duplicate of an ack that already closed the window.
+				m.stats.DupsIgnored++
+				return true
+			}
 			panic(fmt.Sprintf("dsm: stray install ack token %d", mm.token))
 		}
 		delete(m.installWait, mm.token)
@@ -130,6 +154,10 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		}
 		w, ok := m.revokeWait[mm.seq]
 		if !ok {
+			if m.chaos != nil {
+				m.stats.DupsIgnored++
+				return true
+			}
 			panic(fmt.Sprintf("dsm: stray revoke ack seq %d", mm.seq))
 		}
 		delete(m.revokeWait, mm.seq)
@@ -146,14 +174,24 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 // stays busy until the requester acknowledges its PTE install: the page is
 // in ownership transition for that whole window, and conflicting requests
 // are NACKed — the source of the retried, slow faults of §V-D.
-func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest) {
+func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest, st *serveState) {
 	var serveAt time.Duration
 	if m.rec != nil {
 		serveAt = m.eng.Now()
 	}
 	t.Sleep(m.params.OriginDispatch)
+	if st != nil && m.chaos.NodeDead(req.node) {
+		// The requester died before we dispatched; its landing zone is gone.
+		st.closed = true
+		m.serveSpan(serveAt, req, "dead")
+		return
+	}
 	de, _ := m.entry(req.vpn)
 	if de.busy {
+		if st != nil {
+			st.nack = true
+			st.closed = true
+		}
 		m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: req.token, nack: true})
 		m.serveSpan(serveAt, req, "nack")
 		return
@@ -162,6 +200,10 @@ func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest) {
 		// A concurrent transaction already satisfied this request (e.g. a
 		// read request racing with the same node's write grant): tell the
 		// requester to re-validate its PTE.
+		if st != nil {
+			st.stale = true
+			st.closed = true
+		}
 		m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: req.token, stale: true})
 		m.serveSpan(serveAt, req, "stale")
 		return
@@ -172,6 +214,13 @@ func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest) {
 	reply := &pageReply{pid: m.pid, token: req.token, withData: withData}
 	ack := &revokeWaiter{task: t}
 	m.installWait[req.token] = ack
+	if st != nil {
+		st.withData = withData
+		if withData {
+			// Retain a snapshot so the grant can be re-sent if it is lost.
+			st.data = append([]byte(nil), data...)
+		}
+	}
 	if withData {
 		m.net.SendPageBuf(t, m.origin, req.node, req.pr, data, reply, m.frames.Get())
 		if req.write {
@@ -183,13 +232,68 @@ func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest) {
 	} else {
 		m.net.Send(t, m.origin, req.node, reply)
 	}
-	m.waitRevokes(t, []*revokeWaiter{ack})
-	de.busy = false
 	outcome := "grant"
 	if withData {
 		outcome = "grant+data"
 	}
+	if st == nil {
+		m.waitRevokes(t, []*revokeWaiter{ack})
+	} else {
+		// Under fault injection the grant, its data, or the install ack may
+		// be lost: re-send the grant after each retry timeout. If the
+		// requester is confirmed dead, roll the half-finished transfer back
+		// so the page stays reachable.
+		rto := m.params.RetryTimeout
+		for !ack.done {
+			if t.ParkTimeout("install ack", rto) || ack.done {
+				continue
+			}
+			if m.chaos.NodeDead(req.node) {
+				delete(m.installWait, req.token)
+				m.rollbackGrant(req, st)
+				outcome = "rollback"
+				break
+			}
+			m.stats.Retransmits++
+			m.resendGrant(t, st)
+			if rto *= 2; rto > m.params.RetryTimeoutMax {
+				rto = m.params.RetryTimeoutMax
+			}
+		}
+		st.closed = true
+	}
+	de.busy = false
 	m.serveSpan(serveAt, req, outcome)
+}
+
+// redeliverServe answers a duplicated page request from the permanent serve
+// record. Bounced requests get the same bounce again; in-flight or granted
+// requests are ignored, because the serving task's install-wait loop owns
+// grant retransmission. Crucially a duplicate is never served fresh: the
+// requester may have released its landing zone after the first outcome.
+func (m *Manager) redeliverServe(req *pageRequest, st *serveState) {
+	if !st.closed || (!st.nack && !st.stale) {
+		m.stats.DupsIgnored++
+		return
+	}
+	m.stats.Retransmits++
+	reply := &pageReply{pid: m.pid, token: req.token, nack: st.nack, stale: st.stale}
+	m.eng.Spawn("dsm-resend", func(t *sim.Task) {
+		t.Sleep(m.params.OriginDispatch)
+		m.net.Send(t, m.origin, req.node, reply)
+	})
+}
+
+// resendGrant re-sends a grant reply (and its page data, from the retained
+// snapshot) whose first copy — or whose install ack — was lost.
+func (m *Manager) resendGrant(t *sim.Task, st *serveState) {
+	req := st.req
+	reply := &pageReply{pid: m.pid, token: req.token, withData: st.withData}
+	if st.withData {
+		m.net.SendPageBuf(t, m.origin, req.node, req.pr, st.data, reply, m.frames.Get())
+	} else {
+		m.net.Send(t, m.origin, req.node, reply)
+	}
 }
 
 // serveSpan records the origin-side span of one page transaction, from
@@ -215,7 +319,25 @@ func (m *Manager) handleReply(node int, rep *pageReply) {
 	ns := m.nodes[node]
 	req, ok := ns.outstanding[rep.token]
 	if !ok {
+		if m.chaos != nil {
+			if ns.completed[rep.token] {
+				// A grant reply re-sent after our install ack was lost:
+				// re-ack so the origin can close its transition window.
+				m.stats.Retransmits++
+				m.eng.Spawn("dsm-reack", func(t *sim.Task) {
+					m.net.Send(t, node, m.origin, &installAck{pid: m.pid, token: rep.token})
+				})
+			} else {
+				m.stats.DupsIgnored++
+			}
+			return
+		}
 		panic(fmt.Sprintf("dsm: stray page reply token %d at node %d", rep.token, node))
+	}
+	if req.done {
+		// A duplicated reply raced in before the requester task resumed.
+		m.stats.DupsIgnored++
+		return
 	}
 	req.done = true
 	req.nack = rep.nack
@@ -230,8 +352,31 @@ func (m *Manager) handleReply(node int, rep *pageReply) {
 // the ownership that request was just granted).
 func (m *Manager) applyRevoke(node int, msg *revokeMsg) {
 	ns := m.nodes[node]
+	if m.chaos != nil {
+		if prev, ok := ns.appliedRevokes[msg.seq]; ok {
+			if prev.pending {
+				// The original is still being applied (or deferred); its ack
+				// will cover this duplicate.
+				m.stats.DupsIgnored++
+			} else {
+				// Already applied: the ack must have been lost. Re-ack from
+				// the retained snapshot.
+				m.resendRevokeAck(node, msg, prev)
+			}
+			return
+		}
+		ns.appliedRevokes[msg.seq] = &appliedRevoke{pending: true}
+	}
+	m.applyRevokeAdmitted(node, msg)
+}
+
+// applyRevokeAdmitted runs a revocation that has passed duplicate
+// detection. Deferral re-enters here (not applyRevoke) so a deferred
+// revocation is not mistaken for its own duplicate.
+func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
+	ns := m.nodes[node]
 	if o := m.installingFor(ns, msg.vpn); o != nil {
-		o.deferred = append(o.deferred, func() { m.applyRevoke(node, msg) })
+		o.deferred = append(o.deferred, func() { m.applyRevokeAdmitted(node, msg) })
 		return
 	}
 	m.eng.Spawn("dsm-revoke", func(t *sim.Task) {
@@ -261,7 +406,22 @@ func (m *Manager) applyRevoke(node int, msg *revokeMsg) {
 		} else {
 			m.net.Send(t, node, m.origin, ack)
 		}
-		if dropped {
+		retained := false
+		if m.chaos != nil {
+			rec := ns.appliedRevokes[msg.seq]
+			rec.pending = false
+			if msg.needData {
+				// Retain the page contents so a re-sent revocation (our ack
+				// was lost) can be answered with the same data.
+				if dropped {
+					rec.data = frame
+					retained = true
+				} else {
+					rec.data = append([]byte(nil), frame...)
+				}
+			}
+		}
+		if dropped && !retained {
 			// The invalidation orphaned this node's frame; any outbound copy
 			// was snapshotted by the send above. Recycle it.
 			m.freeFrame(frame)
@@ -274,6 +434,22 @@ func (m *Manager) applyRevoke(node int, msg *revokeMsg) {
 			m.rec.Span("dsm", "revoke.apply", node, -1, applyAt,
 				obs.Hex("vpn", msg.vpn),
 				obs.String("mode", mode))
+		}
+	})
+}
+
+// resendRevokeAck answers a duplicated revocation whose original was fully
+// applied: the ack (and, for needData revokes, the retained page snapshot)
+// is simply sent again.
+func (m *Manager) resendRevokeAck(node int, msg *revokeMsg, prev *appliedRevoke) {
+	m.stats.Retransmits++
+	m.eng.Spawn("dsm-reack", func(t *sim.Task) {
+		t.Sleep(m.params.InvalidateApply)
+		ack := &revokeAck{pid: m.pid, seq: msg.seq}
+		if msg.needData {
+			m.net.SendPageBuf(t, node, m.origin, msg.pr, prev.data, ack, m.frames.Get())
+		} else {
+			m.net.Send(t, node, m.origin, ack)
 		}
 	})
 }

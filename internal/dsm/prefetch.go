@@ -42,6 +42,12 @@ func (m *Manager) Prefetch(t *sim.Task, ctx Ctx, vpns []uint64) (int, error) {
 		// and prefetch buys nothing.
 		return 0, nil
 	}
+	if m.chaos != nil {
+		// Prefetch is a pure hint and its batched exchange is not hardened
+		// against message loss; under fault injection it is disabled and
+		// demand faulting (which is hardened) does all the work.
+		return 0, nil
+	}
 	granted := 0
 	for len(vpns) > 0 {
 		batch := vpns

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"dex/internal/chaos"
 	"dex/internal/obs"
 	"dex/internal/sim"
 )
@@ -118,6 +119,22 @@ type Message interface {
 // context and must not block; blocking work must be handed to a task.
 type Handler func(src int, m Message)
 
+// Expendable marks messages the chaos layer may drop or duplicate: idempotent
+// protocol traffic whose sender retransmits on timeout and whose receiver
+// deduplicates. Messages without the marker (e.g. core's execution-context
+// envelopes, which run arbitrary closures exactly once) are never dropped or
+// duplicated — only delayed or held by partitions, which is safe for every
+// message class.
+type Expendable interface {
+	Message
+	ChaosExpendable()
+}
+
+func expendable(m Message) bool {
+	_, ok := m.(Expendable)
+	return ok
+}
+
 // Stats aggregates fabric activity counters.
 type Stats struct {
 	SmallSends    uint64
@@ -141,6 +158,7 @@ type Network struct {
 	handlers []Handler
 	stats    Stats
 	rec      *obs.Recorder
+	inj      *chaos.Injector
 }
 
 // fabricLane offsets the source node into the Perfetto thread id of a
@@ -152,6 +170,16 @@ const fabricLane = 1000
 // every instrumentation point on its single disabled branch.
 func (n *Network) SetRecorder(rec *obs.Recorder) { n.rec = rec }
 
+// SetChaos attaches a fault injector; nil (the default) keeps every
+// injection point on a single disabled branch, so a run without chaos is
+// byte-identical to one built before the subsystem existed.
+func (n *Network) SetChaos(inj *chaos.Injector) { n.inj = inj }
+
+// Chaos returns the attached fault injector, or nil. Protocol layers use it
+// both to learn whether retransmission machinery must be armed and as the
+// ground truth for node liveness.
+func (n *Network) Chaos() *chaos.Injector { return n.inj }
+
 // conn is one directed connection src -> dst.
 type conn struct {
 	link      *sim.Bus
@@ -160,6 +188,9 @@ type conn struct {
 	posted    int
 	rnrQueue  []pending
 	deliverAt time.Duration // enforces in-order delivery per connection
+	// stormDrainAt is the latest scheduled RNR-storm drain; it keeps one
+	// storm from scheduling a drain event per stalled message.
+	stormDrainAt time.Duration
 }
 
 // pending is one in-order connection event: either a VERB message awaiting
@@ -253,6 +284,18 @@ func (n *Network) conn(src, dst int) *conn {
 // posted, and the destination handler runs after serialization, propagation,
 // and receive-completion costs.
 func (n *Network) Send(t *sim.Task, src, dst int, m Message) {
+	var v chaos.Verdict
+	if n.inj != nil {
+		v = n.inj.Verdict(n.eng.Now(), src, dst, m.Size(), expendable(m))
+	}
+	n.sendWith(t, src, dst, m, v)
+}
+
+// sendWith is Send with a pre-decided chaos verdict; SendPageBuf uses it to
+// fate-share one verdict between an RDMA placement and its completion
+// message. Whatever the verdict, the sender pays identical costs — a fault
+// is invisible from the sending side until a timeout notices it.
+func (n *Network) sendWith(t *sim.Task, src, dst int, m Message, v chaos.Verdict) {
 	c := n.conn(src, dst)
 	p := pending{src: src, m: m}
 	if n.rec != nil {
@@ -271,7 +314,22 @@ func (n *Network) Send(t *sim.Task, src, dst int, m Message) {
 			c.sendPool.Release()
 		}
 	})
-	n.deliverAt(c, serDone+n.params.LinkLatency, dst, p)
+	if v.Drop {
+		if n.rec != nil {
+			n.rec.SpanAt("chaos", "drop", dst, fabricLane+src, n.eng.Now(), 0,
+				obs.Int("src", int64(src)), obs.Int("bytes", int64(m.Size())))
+		}
+		return
+	}
+	at := serDone + n.params.LinkLatency + v.Delay
+	n.deliverAt(c, at, dst, p)
+	if v.Dup {
+		if n.rec != nil {
+			n.rec.SpanAt("chaos", "dup", dst, fabricLane+src, n.eng.Now(), 0,
+				obs.Int("src", int64(src)))
+		}
+		n.deliverAt(c, at, dst, p)
+	}
 }
 
 func (n *Network) chunksFor(size int) int {
@@ -297,6 +355,13 @@ func (n *Network) acquireSendChunks(t *sim.Task, c *conn, chunks int) {
 // kinds and modeling receiver-not-ready stalls when the posted-receive pool
 // is empty.
 func (n *Network) deliverAt(c *conn, at time.Duration, dst int, p pending) {
+	if n.inj != nil {
+		// A partition holds the whole connection: delivery resumes when it
+		// heals. Holding (not dropping) keeps every message class safe.
+		if until, held := n.inj.HeldUntil(n.eng.Now(), p.src, dst); held && at < until {
+			at = until
+		}
+	}
 	if at < c.deliverAt {
 		at = c.deliverAt
 	}
@@ -305,6 +370,31 @@ func (n *Network) deliverAt(c *conn, at time.Duration, dst int, p pending) {
 }
 
 func (n *Network) arrive(c *conn, dst int, p pending) {
+	if n.inj != nil {
+		// A crashed machine neither sends nor receives: traffic touching it
+		// vanishes, including messages already in flight at crash time.
+		if n.inj.NodeDead(dst) || n.inj.NodeDead(p.src) {
+			n.inj.CountDrop(messageBytes(p))
+			return
+		}
+		// An RNR storm forces receiver-not-ready for everything that arrives
+		// during the window; the backlog drains in order when it ends.
+		if until, storming := n.inj.RNRUntil(n.eng.Now(), dst); storming {
+			if p.data == nil {
+				n.stats.RecvRNRStalls++
+			}
+			if n.rec != nil {
+				p.stalled = true
+				p.stallAt = n.eng.Now()
+			}
+			c.rnrQueue = append(c.rnrQueue, p)
+			if c.stormDrainAt < until {
+				c.stormDrainAt = until
+				n.eng.After(until-n.eng.Now(), func() { n.drainStorm(c, dst) })
+			}
+			return
+		}
+	}
 	if len(c.rnrQueue) > 0 || (p.data == nil && c.posted == 0) {
 		// Either the receiver is not ready, or earlier events are already
 		// stalled behind it. An RC connection replays its stream in order
@@ -321,6 +411,32 @@ func (n *Network) arrive(c *conn, dst int, p pending) {
 		return
 	}
 	n.accept(c, dst, p)
+}
+
+// messageBytes is the payload size of a connection event, for drop
+// accounting (an RDMA placement has no Message, only data).
+func messageBytes(p pending) int {
+	if p.m != nil {
+		return p.m.Size()
+	}
+	return p.bytes
+}
+
+// drainStorm restarts delivery on a connection once an RNR storm ends. It
+// mirrors the completion-drain loop in accept: placements flow freely, and
+// the first VERB message's completion continues the drain in order.
+func (n *Network) drainStorm(c *conn, dst int) {
+	for len(c.rnrQueue) > 0 {
+		q := c.rnrQueue[0]
+		if q.data == nil && c.posted == 0 {
+			return // a completion will repost a buffer and continue
+		}
+		c.rnrQueue = c.rnrQueue[1:]
+		n.accept(c, dst, q)
+		if q.data == nil {
+			return // its completion continues the drain
+		}
+	}
 }
 
 // accept consumes one connection event whose turn has come.
@@ -437,21 +553,33 @@ func (n *Network) SendPageBuf(t *sim.Task, src, dst int, pr *PageRecv, data []by
 		buf = make([]byte, len(data))
 	}
 	copy(buf, data)
+	// One chaos verdict covers the page data and its completion message: an
+	// RC stream fails as a unit, so the receiver never sees data without the
+	// reply that announces it, or vice versa.
+	var v chaos.Verdict
+	if n.inj != nil {
+		v = n.inj.Verdict(n.eng.Now(), src, dst, len(data)+reply.Size(), expendable(reply))
+	}
 	switch pr.mode {
 	case HybridSink, PerPageReg:
 		n.stats.RDMAWrites++
-		place := pending{src: src, data: func() { pr.data = buf }}
+		place := pending{src: src, bytes: len(data), data: func() { pr.data = buf }}
 		if n.rec != nil {
 			place.sentAt = n.eng.Now()
-			place.bytes = len(data)
 			place.page = true
 		}
 		t.Sleep(n.params.RDMAPostCPU)
 		done := c.link.Occupy(len(data))
-		// Route the placement through the connection's ordering point so
-		// page data and VERB messages keep one per-connection FIFO.
-		n.deliverAt(c, done+n.params.LinkLatency, dst, place)
-		n.Send(t, src, dst, reply) // same connection: FIFO after the RDMA write
+		if !v.Drop {
+			// Route the placement through the connection's ordering point so
+			// page data and VERB messages keep one per-connection FIFO.
+			at := done + n.params.LinkLatency + v.Delay
+			n.deliverAt(c, at, dst, place)
+			if v.Dup {
+				n.deliverAt(c, at, dst, place)
+			}
+		}
+		n.sendWith(t, src, dst, reply, v) // same connection: FIFO after the RDMA write
 	case VerbOnly:
 		p := pending{src: src, m: reply}
 		if n.rec != nil {
@@ -473,7 +601,14 @@ func (n *Network) SendPageBuf(t *sim.Task, src, dst int, pr *PageRecv, data []by
 			}
 		})
 		pr.data = buf // visible once the reply is handled
-		n.deliverAt(c, done+n.params.LinkLatency, dst, p)
+		if v.Drop {
+			return
+		}
+		at := done + n.params.LinkLatency + v.Delay
+		n.deliverAt(c, at, dst, p)
+		if v.Dup {
+			n.deliverAt(c, at, dst, p)
+		}
 	}
 }
 
@@ -502,6 +637,11 @@ func (pr *PageRecv) Claim(t *sim.Task) []byte {
 	}
 	return pr.data
 }
+
+// Peek returns the received page data without claiming it, or nil if no
+// data has arrived yet. Recovery paths use it to check whether a landing
+// zone was filled before a fault interrupted the exchange.
+func (pr *PageRecv) Peek() []byte { return pr.data }
 
 // Release frees the reservation when the peer replied without page data
 // (e.g. an ownership-only grant).

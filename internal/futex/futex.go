@@ -6,6 +6,8 @@
 package futex
 
 import (
+	"sort"
+
 	"dex/internal/mem"
 	"dex/internal/sim"
 )
@@ -23,10 +25,11 @@ func NewTable() *Table {
 
 // Waiter is one blocked futex waiter.
 type Waiter struct {
-	table *Table
-	addr  mem.Addr
-	task  *sim.Task
-	woken bool
+	table   *Table
+	addr    mem.Addr
+	task    *sim.Task
+	woken   bool
+	expired bool
 }
 
 // Enqueue registers t as a waiter on addr. The caller decides whether to
@@ -54,6 +57,40 @@ func (w *Waiter) Cancel() {
 	}
 	w.woken = true
 	w.table.remove(w)
+}
+
+// Expire removes the waiter from its queue and unparks its task without a
+// matching Wake — used when the waiting thread's node is declared dead and
+// the delegated wait must unwind. No-op if the waiter was already woken.
+func (w *Waiter) Expire() {
+	if w.woken {
+		return
+	}
+	w.woken = true
+	w.expired = true
+	w.table.remove(w)
+	w.task.Unpark()
+}
+
+// Expired reports whether the wait ended by expiry rather than a Wake.
+func (w *Waiter) Expired() bool { return w.expired }
+
+// ExpireAll expires every queued waiter, in address order so the resulting
+// wakeups are deterministic. Used when a node crash poisons the process's
+// futex synchronization: any waiter could be waiting on a dead peer.
+func (tb *Table) ExpireAll() {
+	addrs := make([]mem.Addr, 0, len(tb.queues))
+	for a := range tb.queues {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		// Expire mutates the queue; copy first.
+		q := append([]*Waiter(nil), tb.queues[a]...)
+		for _, w := range q {
+			w.Expire()
+		}
+	}
 }
 
 // Wake wakes up to n waiters queued on addr in FIFO order and returns how

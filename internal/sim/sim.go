@@ -178,7 +178,11 @@ func (e *Engine) parkedTasks() []string {
 	var names []string
 	for t := range e.tasks {
 		if !t.done {
-			names = append(names, fmt.Sprintf("%s (parked at %q)", t.name, t.parkReason))
+			if t.detail != "" {
+				names = append(names, fmt.Sprintf("%s [%s] (parked at %q)", t.name, t.detail, t.parkReason))
+			} else {
+				names = append(names, fmt.Sprintf("%s (parked at %q)", t.name, t.parkReason))
+			}
 		}
 	}
 	sort.Strings(names)
@@ -195,13 +199,25 @@ type Task struct {
 	started    bool
 	done       bool
 	parked     bool
+	killed     bool
 	wakeToken  bool
 	parkReason string
+	// detail is free-form location context (e.g. "node 3") set by the layer
+	// that owns the task; it is included in deadlock diagnostics so a stuck
+	// run names both the task and where it was executing.
+	detail string
+	// parkSeq counts park episodes; a timeout event captured under an older
+	// sequence number is stale and must not wake the task.
+	parkSeq uint64
 	// waitingSem is the semaphore this task is queued on, if any. It gives
 	// Semaphore an O(1) membership test (a task can wait on at most one
 	// semaphore: it is parked the whole time it is queued).
 	waitingSem *Semaphore
 }
+
+// killPanic is the sentinel used to unwind a killed task's goroutine. It is
+// recovered in startTask and does not count as a simulation failure.
+type killPanic struct{ name string }
 
 // Spawn creates a task running fn, scheduled to start at the current virtual
 // time (after already-queued events at this instant).
@@ -218,12 +234,18 @@ func (e *Engine) SpawnAfter(name string, d time.Duration, fn func(*Task)) *Task 
 }
 
 func (e *Engine) startTask(t *Task, fn func(*Task)) {
+	if t.killed {
+		// Killed before ever running: discard without starting the goroutine.
+		t.done = true
+		delete(e.tasks, t)
+		return
+	}
 	t.started = true
 	go func() {
 		<-t.resume
 		defer func() {
 			if r := recover(); r != nil {
-				if e.failure == nil {
+				if _, wasKilled := r.(killPanic); !wasKilled && e.failure == nil {
 					e.failure = fmt.Errorf("sim: task %q panicked: %v\n%s", t.name, r, debug.Stack())
 				}
 			}
@@ -250,10 +272,20 @@ func (e *Engine) dispatch(t *Task) {
 func (t *Task) yield() {
 	t.eng.yielded <- struct{}{}
 	<-t.resume
+	if t.killed {
+		panic(killPanic{t.name})
+	}
 }
 
 // Name returns the task's diagnostic name.
 func (t *Task) Name() string { return t.name }
+
+// SetDetail attaches free-form location context (e.g. "node 3") that is
+// reported alongside the task's name in deadlock diagnostics.
+func (t *Task) SetDetail(detail string) { t.detail = detail }
+
+// Detail returns the task's diagnostic location context.
+func (t *Task) Detail() string { return t.detail }
 
 // Engine returns the engine that owns this task.
 func (t *Task) Engine() *Engine { return t.eng }
@@ -280,6 +312,7 @@ func (t *Task) SleepUntil(at time.Duration) {
 // If an Unpark token is already pending, Park consumes it and returns
 // immediately. reason is reported in deadlock diagnostics.
 func (t *Task) Park(reason string) {
+	t.parkSeq++
 	if t.wakeToken {
 		t.wakeToken = false
 		return
@@ -289,6 +322,57 @@ func (t *Task) Park(reason string) {
 	t.yield()
 	t.parkReason = ""
 }
+
+// ParkTimeout parks the task like Park but additionally schedules a wake-up
+// after d. It returns true if the task was unparked (or consumed a pending
+// wake token) and false if the timeout fired first. A timeout wake-up left
+// over from an earlier park episode never wakes a later one.
+func (t *Task) ParkTimeout(reason string, d time.Duration) bool {
+	t.parkSeq++
+	if t.wakeToken {
+		t.wakeToken = false
+		return true
+	}
+	t.parked = true
+	t.parkReason = reason
+	seq := t.parkSeq
+	timedOut := false
+	t.eng.After(d, func() {
+		if t.parked && t.parkSeq == seq {
+			timedOut = true
+			t.parked = false
+			t.eng.dispatch(t)
+		}
+	})
+	t.yield()
+	t.parkReason = ""
+	return !timedOut
+}
+
+// Kill terminates the task the next time it would run: its goroutine unwinds
+// via panic without executing further task code, and the unwind is not
+// recorded as a simulation failure. A parked task is scheduled immediately so
+// the unwind happens promptly; a sleeping task unwinds when its sleep ends.
+// Kill models sudden death (a crashed machine): any simulated resources the
+// task holds (semaphore units, pool chunks) are abandoned, so it must only
+// target tasks whose node is gone with them. Kill must not be called on the
+// currently running task.
+func (t *Task) Kill() {
+	if t.done || t.killed {
+		return
+	}
+	if t == t.eng.current {
+		panic("sim: Kill called on the running task")
+	}
+	t.killed = true
+	if t.parked {
+		t.parked = false
+		t.eng.After(0, func() { t.eng.dispatch(t) })
+	}
+}
+
+// Killed reports whether the task has been killed.
+func (t *Task) Killed() bool { return t.killed }
 
 // Unpark makes a parked task runnable at the current virtual time. If the
 // task is not parked, a wake token is recorded so its next Park returns

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -491,5 +492,142 @@ func TestUnparkFinishedTaskNoop(t *testing.T) {
 	})
 	if err := e.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestParkTimeoutFires(t *testing.T) {
+	e := NewEngine(1)
+	var woke bool
+	var at time.Duration
+	e.Spawn("waiter", func(tk *Task) {
+		woke = tk.ParkTimeout("reply", 5*time.Microsecond)
+		at = tk.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if woke {
+		t.Fatal("ParkTimeout returned true with no unpark")
+	}
+	if at != 5*time.Microsecond {
+		t.Fatalf("timed out at %v, want 5µs", at)
+	}
+}
+
+func TestParkTimeoutUnparkedEarly(t *testing.T) {
+	e := NewEngine(1)
+	var woke bool
+	var at time.Duration
+	waiter := e.Spawn("waiter", func(tk *Task) {
+		woke = tk.ParkTimeout("reply", 50*time.Microsecond)
+		at = tk.Now()
+		// The stale timeout at t=50µs must not wake this later park.
+		tk.Park("second wait")
+	})
+	e.After(3*time.Microsecond, func() { waiter.Unpark() })
+	e.After(100*time.Microsecond, func() { waiter.Unpark() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !woke || at != 3*time.Microsecond {
+		t.Fatalf("woke=%v at %v, want true at 3µs", woke, at)
+	}
+	if e.Now() != 100*time.Microsecond {
+		t.Fatalf("second park resolved at %v, want 100µs (stale timer must not wake it)", e.Now())
+	}
+}
+
+func TestParkTimeoutConsumesToken(t *testing.T) {
+	e := NewEngine(1)
+	var tsk *Task
+	var woke bool
+	tsk = e.Spawn("t", func(tk *Task) {
+		tk.Sleep(time.Microsecond) // token arrives while sleeping
+		woke = tk.ParkTimeout("x", time.Second)
+	})
+	e.After(0, func() { tsk.Unpark() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !woke || e.Now() != time.Microsecond {
+		t.Fatalf("woke=%v now=%v, want token consumed immediately", woke, e.Now())
+	}
+}
+
+func TestKillParkedTask(t *testing.T) {
+	e := NewEngine(1)
+	reached := false
+	victim := e.Spawn("victim", func(tk *Task) {
+		tk.Park("forever")
+		reached = true
+	})
+	e.After(2*time.Microsecond, func() { victim.Kill() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v (kill must not fail the simulation)", err)
+	}
+	if reached {
+		t.Fatal("killed task executed code after its park")
+	}
+	if !victim.Done() || !victim.Killed() {
+		t.Fatalf("victim done=%v killed=%v", victim.Done(), victim.Killed())
+	}
+}
+
+func TestKillSleepingTask(t *testing.T) {
+	e := NewEngine(1)
+	reached := false
+	victim := e.Spawn("victim", func(tk *Task) {
+		tk.Sleep(10 * time.Microsecond)
+		reached = true
+	})
+	e.After(time.Microsecond, func() { victim.Kill() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if reached {
+		t.Fatal("killed sleeper executed code after its sleep")
+	}
+}
+
+func TestKillUnstartedTask(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	victim := e.SpawnAfter("late", 10*time.Microsecond, func(tk *Task) { ran = true })
+	e.After(time.Microsecond, func() { victim.Kill() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran || !victim.Done() {
+		t.Fatalf("ran=%v done=%v, want unstarted victim discarded", ran, victim.Done())
+	}
+}
+
+func TestKillThenUnparkNoop(t *testing.T) {
+	e := NewEngine(1)
+	victim := e.Spawn("victim", func(tk *Task) { tk.Park("forever") })
+	e.After(time.Microsecond, func() {
+		victim.Kill()
+		victim.Unpark() // must not double-dispatch the dying task
+	})
+	e.After(2*time.Microsecond, func() { victim.Unpark() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDeadlockDiagnosticsNameCulprit(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("pid0/t3", func(tk *Task) {
+		tk.SetDetail("node 2")
+		tk.Park("join t1")
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	for _, want := range []string{"pid0/t3", "[node 2]", `"join t1"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadlock message %q missing %q", err.Error(), want)
+		}
 	}
 }
