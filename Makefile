@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench artifacts chaos-smoke
+.PHONY: all build test race vet lint check bench artifacts chaos-smoke
 
 all: check
 
@@ -12,6 +12,15 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs vet plus staticcheck when it is installed; staticcheck is
+# optional so the target works on a bare toolchain.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only"; \
+	fi
 
 # race runs the whole suite under the race detector; the parallel
 # experiment harness (internal/exper cell runner, cmd/dexbench) must stay

@@ -45,6 +45,7 @@ func run(args []string) error {
 		list     = fs.Bool("list", false, "list available applications")
 		traceOut = fs.String("trace", "", "write Perfetto trace-event JSON to this file")
 		chaosFn  = fs.String("chaos", "", "JSON fault-injection plan to run the application under")
+		protocol = fs.String("protocol", "wi", "coherence protocol: wi (write-invalidate) | home (home-migrate)")
 		metrics  = fs.Bool("metrics", false, "print latency histogram summaries after the run")
 		jsonOut  = fs.Bool("json", false, "emit the run report as JSON instead of text")
 	)
@@ -62,6 +63,16 @@ func run(args []string) error {
 		return fmt.Errorf("unknown application %q (use -list)", *appName)
 	}
 	cfg := apps.Config{Nodes: *nodes, ThreadsPerNode: *threads, Seed: *seed}
+	proto, err := dex.ParseProtocol(*protocol)
+	if err != nil {
+		return err
+	}
+	if proto != dex.WriteInvalidate {
+		if *chaosFn != "" {
+			return fmt.Errorf("-protocol %s cannot be combined with -chaos: only write-invalidate is hardened against fault injection", proto)
+		}
+		cfg.Opts = append(cfg.Opts, dex.WithProtocol(proto))
+	}
 	if *chaosFn != "" {
 		data, err := os.ReadFile(*chaosFn)
 		if err != nil {

@@ -107,6 +107,46 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunProtocolFlag(t *testing.T) {
+	// Result checks are policy-independent: the home-migrate run must
+	// print the same per-thread check line as the default protocol.
+	wi := captureStdout(t, func() error {
+		return run([]string{"-app", "kmn", "-nodes", "3"})
+	})
+	home := captureStdout(t, func() error {
+		return run([]string{"-app", "kmn", "-nodes", "3", "-protocol", "home"})
+	})
+	check := func(out []byte) string {
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.Contains(line, "result") {
+				return line
+			}
+		}
+		t.Fatalf("no result line in:\n%s", out)
+		return ""
+	}
+	if c1, c2 := check(wi), check(home); c1 != c2 {
+		t.Fatalf("home-migrate result diverged:\nwi:   %s\nhome: %s", c1, c2)
+	}
+	if err := run([]string{"-app", "ep", "-protocol", "bogus"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestRunProtocolRejectsChaos(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-app", "ep", "-nodes", "2", "-protocol", "home", "-chaos", path})
+	if err == nil {
+		t.Fatal("-protocol home combined with -chaos was accepted")
+	}
+	if !strings.Contains(err.Error(), "write-invalidate") {
+		t.Fatalf("error %q does not explain the restriction", err)
+	}
+}
+
 func TestRunChaosFlag(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "plan.json")
 	plan := `{"seed": 7, "drop": [{"src": -1, "dst": -1, "prob": 0.1}], "dup": [{"src": -1, "dst": -1, "prob": 0.2}]}`

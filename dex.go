@@ -198,6 +198,32 @@ const (
 	VerbOnly   = fabric.VerbOnly
 )
 
+// Protocol selects the coherence policy of the DSM layer.
+type Protocol = dsm.Protocol
+
+// Coherence protocols for WithProtocol.
+const (
+	// WriteInvalidate is the paper's protocol (§III-B): the origin owns
+	// every page's directory entry and serves all faults. The default.
+	WriteInvalidate = dsm.WriteInvalidate
+	// HomeMigrate moves a page's directory home to the last exclusive
+	// writer, so repeated faults on writer-local pages skip the origin
+	// round trip. Not supported together with WithChaos.
+	HomeMigrate = dsm.HomeMigrate
+)
+
+// ParseProtocol parses a protocol name ("wi", "write-invalidate", "home",
+// "home-migrate") as accepted by dexrun -protocol.
+func ParseProtocol(s string) (Protocol, error) { return dsm.ParseProtocol(s) }
+
+// WithProtocol selects the coherence policy (default WriteInvalidate).
+// HomeMigrate cannot be combined with WithChaos: its recovery paths are not
+// hardened against message loss, and cluster construction panics on that
+// combination.
+func WithProtocol(proto Protocol) Option {
+	return optionFunc(func(p *core.Params) { p.DSM.Protocol = proto })
+}
+
 // WithRawParams replaces the full low-level parameter set; the experiment
 // harness uses it for ablations. Nodes is still taken from NewCluster.
 func WithRawParams(params core.Params) Option {

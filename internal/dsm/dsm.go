@@ -2,19 +2,31 @@
 // (§III-B of the paper) and its concurrent fault handling (§III-C).
 //
 // The protocol is a multiple-reader / single-writer, read-replicate /
-// write-invalidate design providing sequential consistency. The origin node
-// of a process tracks page ownership on a per-page, per-node basis in a
-// radix tree indexed by virtual page number. A node may keep accessing a
-// page without contacting the origin as long as it holds proper ownership;
-// read requests earn a shared copy, write requests earn exclusive ownership
-// after the origin revokes every other copy. When the requester already
-// holds an up-to-date copy, the origin grants ownership without resending
-// the page data.
+// write-invalidate design providing sequential consistency. A home node
+// (the origin, under the default policy) tracks page ownership on a
+// per-page, per-node basis in a radix tree indexed by virtual page number.
+// A node may keep accessing a page without contacting the home as long as
+// it holds proper ownership; read requests earn a shared copy, write
+// requests earn exclusive ownership after the home revokes every other
+// copy. When the requester already holds an up-to-date copy, the home
+// grants ownership without resending the page data.
+//
+// The implementation is split into three layers:
+//
+//   - directory.go — the per-page ownership state machine (dirEntry): the
+//     enumerated states, the (state × event) legality table, and every
+//     legal transition, invariant-checked.
+//   - protocol.go — the pluggable coherence policy: WriteInvalidate (the
+//     paper's origin-served design, the default) and HomeMigrate (the
+//     directory home follows the last writer).
+//   - engine.go — the transport engine: tokens and sequence numbers,
+//     retransmission timers, duplicate detection with bounded dedup state,
+//     and grant rollback under fault injection.
 //
 // Concurrent faults on one node are tamed with the paper's leader-follower
 // model: the first thread to fault on a (page, access-type) pair becomes the
 // leader and runs the protocol; followers park and simply resume with the
-// updated PTE. Cross-node races are resolved by the origin serializing
+// updated PTE. Cross-node races are resolved by the home serializing
 // transactions per page and NACKing conflicting requests, which retry after
 // a backoff — reproducing the bimodal fault-latency distribution of §V-D.
 package dsm
@@ -60,7 +72,7 @@ type Params struct {
 	// consulting the ongoing-fault table.
 	FaultEntry time.Duration
 	// OriginDispatch is the cost of dispatching an incoming page request
-	// to a handler context at the origin.
+	// to a handler context at the serving node.
 	OriginDispatch time.Duration
 	// Directory is the cost of one ownership-directory transaction.
 	Directory time.Duration
@@ -81,6 +93,10 @@ type Params struct {
 	// detected by token or sequence number), so re-sending is always safe.
 	RetryTimeout    time.Duration
 	RetryTimeoutMax time.Duration
+
+	// Protocol selects the coherence policy (protocol.go). The zero value is
+	// WriteInvalidate, the paper's origin-served design.
+	Protocol Protocol
 
 	// DisableCoalescing turns off the leader-follower model (ablation A1):
 	// every faulting thread runs the full protocol itself.
@@ -141,7 +157,7 @@ type Stats struct {
 	Nacks           uint64
 	Invalidations   uint64
 	Downgrades      uint64
-	PageTransfers   uint64 // pages pulled back to the origin from writers
+	PageTransfers   uint64 // pages pulled back to the home from writers
 	OwnershipGrants uint64 // write grants that skipped the data transfer
 	PrefetchedPages uint64 // pages granted through batched prefetch hints
 	Retransmits     uint64 // protocol messages re-sent after a retry timeout
@@ -163,7 +179,7 @@ type faultGroup struct {
 	followers []*sim.Task
 }
 
-// outstanding tracks a request this node has in flight to the origin, and
+// outstanding tracks a request this node has in flight to a home, and
 // serializes revocations that target the ownership being granted: a revoke
 // arriving between the grant reply and the PTE install is deferred until
 // the install completes.
@@ -174,6 +190,8 @@ type outstanding struct {
 	nack      bool
 	stale     bool
 	withData  bool
+	redirect  bool
+	home      int // authoritative home carried by a redirect reply
 	installed bool
 	deferred  []func()
 }
@@ -183,61 +201,52 @@ type nodeState struct {
 	faults      map[fkey]*faultGroup
 	outstanding map[uint64]*outstanding // keyed by request token
 
+	// homeHint is this node's believed home per page under the HomeMigrate
+	// policy (nil otherwise); absent means the origin. Hints are repaired
+	// through redirect replies, never trusted for correctness.
+	homeHint map[uint64]int
+
 	// Chaos-only receiver-side dedup state (nil when no injector is
 	// attached, so the fault-free protocol pays nothing for it).
 	//
-	// completed records tokens whose grant was installed: a duplicated grant
-	// reply for such a token re-sends the installAck instead of re-running
-	// the install. appliedRevokes records every revocation this node has
-	// admitted, so a duplicated revokeMsg is either ignored (still pending)
-	// or answered with a fresh ack carrying the retained page data.
-	completed      map[uint64]bool
+	// completed records when each granted token's install finished: a
+	// duplicated grant reply for such a token re-sends the installAck
+	// instead of re-running the install. appliedRevokes records every
+	// revocation this node has admitted, so a duplicated revokeMsg is either
+	// ignored (still pending) or answered with a fresh ack carrying the
+	// retained page data. Both are pruned by the engine's watermark sweep.
+	completed      map[uint64]time.Duration
 	appliedRevokes map[uint64]*appliedRevoke
 }
 
 // appliedRevoke is the receiver-side record of one admitted revocation.
 type appliedRevoke struct {
-	pending bool   // the original application has not finished yet
-	data    []byte // page snapshot retained for needData re-acks
+	pending   bool          // the original application has not finished yet
+	appliedAt time.Duration // when the application finished (for pruning)
+	data      []byte        // page snapshot retained for needData re-acks
 }
 
-// serveState is the origin's permanent per-token record of how a page
-// request was answered, kept only under fault injection. A duplicated
-// request is resolved from this record: bounced requests (nack/stale) get
-// the same bounce again — never a fresh serve, which could land data in a
-// landing zone the requester has already released — and requests that were
-// granted are ignored, because the origin's install-wait loop owns grant
-// retransmission.
+// serveState is the home-side per-token record of how a page request was
+// answered, kept only under fault injection (and pruned by the engine's
+// sweep once it can no longer matter). A duplicated request is resolved
+// from this record: bounced requests (nack/stale) get the same bounce again
+// — never a fresh serve, which could land data in a landing zone the
+// requester has already released — and requests that were granted are
+// ignored, because the home's install-wait loop owns grant retransmission.
 type serveState struct {
 	req      *pageRequest
 	write    bool
 	nack     bool
 	stale    bool
 	withData bool
-	closed   bool   // the serving task has finished with this token
-	data     []byte // page snapshot retained for grant re-sends
+	closed   bool          // the serving task has finished with this token
+	closedAt time.Duration // when it finished (for pruning)
+	data     []byte        // page snapshot retained for grant re-sends
 }
 
-// dirEntry is the origin's per-page ownership record.
-//
-// Invariant: writer >= 0 implies owners == {writer}; writer < 0 implies the
-// origin is among the owners and its copy is up to date.
-type dirEntry struct {
-	owners uint64 // bitmask of nodes holding a valid copy
-	writer int    // exclusive owner, or -1
-	busy   bool   // a transaction is in flight for this page
-}
-
-func (d *dirEntry) has(node int) bool { return d.owners&(1<<uint(node)) != 0 }
-func (d *dirEntry) add(node int)      { d.owners |= 1 << uint(node) }
-func (d *dirEntry) ownerList(exclude int) []int {
-	var out []int
-	for n := 0; n < 64; n++ {
-		if n != exclude && d.owners&(1<<uint(n)) != 0 {
-			out = append(out, n)
-		}
-	}
-	return out
+func (st *serveState) close(now time.Duration) {
+	st.closed = true
+	st.closedAt = now
 }
 
 // Manager runs the consistency protocol for one process across all nodes.
@@ -252,6 +261,12 @@ type Manager struct {
 	hook   Hook
 	stats  Stats
 
+	// policy is the pluggable coherence layer (protocol.go).
+	policy policy
+	// e is the transport engine (engine.go): tokens, retransmission,
+	// duplicate detection, rollback.
+	e engine
+
 	// frames recycles page frames across the whole process: a frame dropped
 	// by a revocation or unmap re-emerges as the staging buffer of a later
 	// page transfer or as a demand-zero frame, so the steady-state transfer
@@ -261,14 +276,8 @@ type Manager struct {
 
 	// chaos is the fault injector attached to the fabric, or nil. When set,
 	// every wait on a protocol acknowledgment runs under a retransmission
-	// timeout and the dedup/recovery state below is maintained.
-	chaos  *chaos.Injector
-	served map[uint64]*serveState
-
-	reqSeq      uint64
-	revokeSeq   uint64
-	revokeWait  map[uint64]*revokeWaiter
-	installWait map[uint64]*revokeWaiter
+	// timeout and the engine's dedup/recovery state is maintained.
+	chaos *chaos.Injector
 
 	latencies []time.Duration
 
@@ -303,19 +312,14 @@ func New(eng *sim.Engine, net *fabric.Network, params Params, pid, origin, nodes
 		panic(fmt.Sprintf("dsm: origin %d out of range", origin))
 	}
 	m := &Manager{
-		eng:         eng,
-		net:         net,
-		params:      params,
-		pid:         pid,
-		origin:      origin,
-		hook:        hook,
-		chaos:       net.Chaos(),
-		nodes:       make([]*nodeState, nodes),
-		revokeWait:  make(map[uint64]*revokeWaiter),
-		installWait: make(map[uint64]*revokeWaiter),
-	}
-	if m.chaos != nil {
-		m.served = make(map[uint64]*serveState)
+		eng:    eng,
+		net:    net,
+		params: params,
+		pid:    pid,
+		origin: origin,
+		hook:   hook,
+		chaos:  net.Chaos(),
+		nodes:  make([]*nodeState, nodes),
 	}
 	for i := range m.nodes {
 		m.nodes[i] = &nodeState{
@@ -323,10 +327,12 @@ func New(eng *sim.Engine, net *fabric.Network, params Params, pid, origin, nodes
 			outstanding: make(map[uint64]*outstanding),
 		}
 		if m.chaos != nil {
-			m.nodes[i].completed = make(map[uint64]bool)
+			m.nodes[i].completed = make(map[uint64]time.Duration)
 			m.nodes[i].appliedRevokes = make(map[uint64]*appliedRevoke)
 		}
 	}
+	m.e.init(m)
+	m.policy = newPolicy(m)
 	return m
 }
 
@@ -345,12 +351,24 @@ func (m *Manager) PID() int { return m.pid }
 // Origin returns the origin node of the process.
 func (m *Manager) Origin() int { return m.origin }
 
+// Protocol returns the coherence policy this manager runs.
+func (m *Manager) Protocol() Protocol { return m.policy.proto() }
+
 // Stats returns a snapshot of the protocol counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
-// Latencies returns recorded per-fault latencies (empty unless
-// Params.RecordLatency is set).
-func (m *Manager) Latencies() []time.Duration { return m.latencies }
+// Latencies returns a copy of the recorded per-fault latencies (empty
+// unless Params.RecordLatency is set). Callers get their own slice: the
+// manager keeps appending to its internal one as faults complete, and
+// handing that out by reference would let callers corrupt the accounting.
+func (m *Manager) Latencies() []time.Duration {
+	if len(m.latencies) == 0 {
+		return nil
+	}
+	out := make([]time.Duration, len(m.latencies))
+	copy(out, m.latencies)
+	return out
+}
 
 // PageTable exposes a node's page table (used by the execution layer for
 // data access and by tests for verification).
@@ -437,7 +455,7 @@ func (m *Manager) EnsurePage(t *sim.Task, ctx Ctx, addr mem.Addr, write bool) *m
 		m.inflight++
 		start := t.Now()
 		t.Sleep(m.params.FaultEntry)
-		retries, protocol := m.leadFault(t, ctx, vpn, write)
+		retries, protocol := m.policy.leadFault(t, ctx, vpn, write)
 		delete(ns.faults, key)
 		m.inflight--
 		for _, f := range g.followers {
@@ -478,337 +496,12 @@ func (m *Manager) recordFault(ctx Ctx, addr mem.Addr, write bool, latency time.D
 	}
 }
 
-// leadFault runs the protocol for one lead fault. It reports the number of
-// NACK retries and whether the consistency protocol was actually involved
-// (a first-touch demand-zero fault at the origin is not a protocol fault).
-func (m *Manager) leadFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) (retries int, protocol bool) {
-	if ctx.Node == m.origin {
-		return m.originFault(t, vpn, write)
-	}
-	return m.remoteFault(t, ctx, vpn, write), true
-}
-
 func (m *Manager) backoff(t *sim.Task, attempt int) {
 	d := m.params.NackBackoffBase * time.Duration(attempt)
 	if m.params.NackBackoffJitter > 0 {
 		d += time.Duration(m.eng.Rand().Int63n(int64(m.params.NackBackoffJitter)))
 	}
 	t.Sleep(d)
-}
-
-// remoteFault implements the requester side at a non-origin node.
-func (m *Manager) remoteFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int {
-	node := ctx.Node
-	ns := m.nodes[node]
-	for attempt := 1; ; attempt++ {
-		var reqAt time.Duration
-		if m.rec != nil {
-			reqAt = m.eng.Now()
-		}
-		pr := m.net.PreparePageRecv(t, m.origin, node)
-		m.reqSeq++
-		token := m.reqSeq
-		req := &outstanding{vpn: vpn, task: t}
-		ns.outstanding[token] = req
-		msg := &pageRequest{
-			pid:   m.pid,
-			vpn:   vpn,
-			write: write,
-			node:  node,
-			token: token,
-			pr:    pr,
-		}
-		m.net.Send(t, node, m.origin, msg)
-		parkReason := "page reply " + mem.Addr(vpn<<mem.PageShift).String()
-		if m.chaos == nil {
-			for !req.done {
-				t.Park(parkReason)
-			}
-		} else {
-			// Under fault injection the request or its reply may have been
-			// dropped: re-send the (idempotent, token-deduplicated) request
-			// after each retry timeout, with exponential backoff.
-			rto := m.params.RetryTimeout
-			for !req.done {
-				if t.ParkTimeout(parkReason, rto) || req.done {
-					continue
-				}
-				m.stats.Retransmits++
-				m.net.Send(t, node, m.origin, msg)
-				if rto *= 2; rto > m.params.RetryTimeoutMax {
-					rto = m.params.RetryTimeoutMax
-				}
-			}
-		}
-		if m.rec != nil {
-			outcome := "grant"
-			switch {
-			case req.nack:
-				outcome = "nack"
-			case req.stale:
-				outcome = "stale"
-			case req.withData:
-				outcome = "grant+data"
-			}
-			m.rec.Span("dsm", "fault.request", node, ctx.Task, reqAt,
-				obs.Hex("vpn", vpn),
-				obs.Int("attempt", int64(attempt)),
-				obs.String("outcome", outcome))
-		}
-		if req.nack {
-			delete(ns.outstanding, token)
-			pr.Release()
-			m.stats.Nacks++
-			m.backoff(t, attempt)
-			continue
-		}
-		if req.stale {
-			// A concurrent transaction already satisfied this access; the
-			// caller re-validates the PTE.
-			delete(ns.outstanding, token)
-			pr.Release()
-			return attempt - 1
-		}
-		var frame []byte
-		if req.withData {
-			var claimAt time.Duration
-			if m.rec != nil {
-				claimAt = m.eng.Now()
-			}
-			frame = pr.Claim(t)
-			if m.rec != nil {
-				m.rec.Span("dsm", "fault.transfer", node, ctx.Task, claimAt,
-					obs.Hex("vpn", vpn))
-			}
-		} else {
-			// Ownership-only grant: our existing copy is up to date.
-			pr.Release()
-			pte := ns.pt.Lookup(vpn)
-			if pte == nil || pte.Frame == nil {
-				panic(fmt.Sprintf("dsm: ownership-only grant for vpn %#x but node %d has no copy", vpn, node))
-			}
-			frame = pte.Frame
-		}
-		var installAt time.Duration
-		if m.rec != nil {
-			installAt = m.eng.Now()
-		}
-		t.Sleep(m.params.PTEInstall)
-		// A grant that carries data over an existing local copy (the
-		// AlwaysSendData ablation's read-to-write upgrade) orphans the old
-		// frame: recycle it.
-		if old := ns.pt.Lookup(vpn); old != nil && old.Frame != nil && &old.Frame[0] != &frame[0] {
-			m.freeFrame(old.Frame)
-		}
-		ns.pt.Map(vpn, frame, write)
-		if m.rec != nil {
-			m.rec.Span("dsm", "fault.install", node, ctx.Task, installAt,
-				obs.Hex("vpn", vpn))
-		}
-		req.installed = true
-		if m.chaos != nil {
-			// Remember the install so a duplicated grant reply re-acks
-			// instead of re-running the (now stale) install path.
-			ns.completed[token] = true
-		}
-		delete(ns.outstanding, token)
-		m.net.Send(t, node, m.origin, &installAck{pid: m.pid, token: token})
-		// Apply revocations deferred during the install window.
-		for _, fn := range req.deferred {
-			fn()
-		}
-		return attempt - 1
-	}
-}
-
-// originFault handles a fault taken by a thread running at the origin.
-func (m *Manager) originFault(t *sim.Task, vpn uint64, write bool) (int, bool) {
-	for attempt := 1; ; attempt++ {
-		de, created := m.entry(vpn)
-		if created {
-			// First touch anywhere: the origin owns the zero-filled page
-			// exclusively; no consistency traffic required.
-			return attempt - 1, false
-		}
-		if de.busy {
-			m.stats.Nacks++
-			m.backoff(t, attempt)
-			continue
-		}
-		if m.Lookup(m.origin, vpn, write) != nil {
-			// Raced with a transaction that restored our access.
-			return attempt - 1, true
-		}
-		de.busy = true
-		t.Sleep(m.params.Directory)
-		m.serveLocked(t, de, m.origin, vpn, write)
-		de.busy = false
-		t.Sleep(m.params.PTEInstall)
-		return attempt - 1, true
-	}
-}
-
-// entry returns the directory entry for vpn, creating the initial record on
-// first touch: the origin owns every page exclusively and its (zero-filled)
-// frame is materialized immediately so that the directory invariant — the
-// origin's copy is up to date unless a remote holds the page exclusively —
-// holds from the start.
-func (m *Manager) entry(vpn uint64) (*dirEntry, bool) {
-	created := false
-	de, _ := m.dir.GetOrCreate(vpn, func() *dirEntry {
-		created = true
-		m.nodes[m.origin].pt.Map(vpn, m.frames.GetZeroed(), true)
-		return &dirEntry{owners: 1 << uint(m.origin), writer: m.origin}
-	})
-	return de, created
-}
-
-// originFrame returns the origin's current frame for vpn. It panics if the
-// origin's copy is stale, which would be a protocol invariant violation.
-func (m *Manager) originFrame(vpn uint64) []byte {
-	pte := m.nodes[m.origin].pt.Lookup(vpn)
-	if pte == nil || pte.Frame == nil {
-		panic(fmt.Sprintf("dsm: origin copy of vpn %#x is stale", vpn))
-	}
-	return pte.Frame
-}
-
-// serveLocked performs one directory transaction for reqNode with de.busy
-// held. On return the directory reflects the grant; for a local (origin)
-// requester the origin page table is updated in place. For a remote
-// requester it returns whether the grant carries page data, and the data.
-func (m *Manager) serveLocked(t *sim.Task, de *dirEntry, reqNode int, vpn uint64, write bool) (withData bool, data []byte) {
-	if de.writer == reqNode {
-		panic(fmt.Sprintf("dsm: node %d faulted on vpn %#x it owns exclusively", reqNode, vpn))
-	}
-	if write {
-		return m.serveWrite(t, de, reqNode, vpn)
-	}
-	return m.serveRead(t, de, reqNode, vpn)
-}
-
-func (m *Manager) serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
-	switch {
-	case de.writer == m.origin:
-		// The origin downgrades its own exclusive copy.
-		m.nodes[m.origin].pt.Downgrade(vpn)
-		de.writer = -1
-	case de.writer >= 0:
-		// A remote holds the page exclusively: downgrade it and pull the
-		// fresh data back to the origin.
-		m.fetchFromWriter(t, de, vpn, true /* downgrade */)
-	}
-	de.add(reqNode)
-	if reqNode == m.origin {
-		m.nodes[m.origin].pt.Map(vpn, m.originFrame(vpn), false)
-		return false, nil
-	}
-	return true, m.originFrame(vpn)
-}
-
-func (m *Manager) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
-	needData := !de.has(reqNode) || m.params.AlwaysSendData
-	if needData && de.writer >= 0 && de.writer != m.origin {
-		// The fresh copy lives at a remote exclusive owner: pull it home
-		// before revoking everything.
-		m.fetchFromWriter(t, de, vpn, false /* invalidate */)
-	}
-	// Capture the outbound data before the origin's own copy is revoked.
-	var data []byte
-	if needData && reqNode != m.origin {
-		data = m.originFrame(vpn)
-	}
-	// Revoke every copy except the requester's.
-	var acks []*revokeWaiter
-	for _, owner := range de.ownerList(reqNode) {
-		if owner == m.origin {
-			m.nodes[m.origin].pt.Invalidate(vpn)
-			t.Sleep(m.params.InvalidateApply)
-			m.stats.Invalidations++
-			m.emitInvalidate(m.origin, vpn)
-			continue
-		}
-		if m.chaos != nil && m.chaos.NodeDead(owner) {
-			// A crashed reader's copy died with it; nothing to revoke.
-			de.owners &^= 1 << uint(owner)
-			continue
-		}
-		acks = append(acks, m.sendRevoke(t, owner, vpn, false, nil))
-	}
-	m.waitRevokes(t, acks)
-	if !needData {
-		m.stats.OwnershipGrants++
-	}
-	de.owners = 1 << uint(reqNode)
-	de.writer = reqNode
-	if reqNode == m.origin {
-		m.nodes[m.origin].pt.Map(vpn, m.originFrame(vpn), true)
-		return false, nil
-	}
-	return needData, data
-}
-
-// fetchFromWriter revokes the remote exclusive owner of vpn and installs the
-// returned data as the origin's copy. With downgrade the owner keeps a
-// shared (read-only) copy; otherwise its mapping is dropped.
-func (m *Manager) fetchFromWriter(t *sim.Task, de *dirEntry, vpn uint64, downgrade bool) {
-	w := de.writer
-	if m.chaos != nil && m.chaos.NodeDead(w) {
-		m.reclaimLostWriter(de, vpn, w)
-		return
-	}
-	pr := m.net.PreparePageRecv(t, w, m.origin)
-	waiter := m.sendRevokeWithData(t, w, vpn, downgrade, pr)
-	m.waitRevokes(t, []*revokeWaiter{waiter})
-	if waiter.lost {
-		// The writer died before shipping its copy home.
-		pr.Release()
-		m.reclaimLostWriter(de, vpn, w)
-		return
-	}
-	data := pr.Claim(t)
-	m.nodes[m.origin].pt.Map(vpn, data, false)
-	m.stats.PageTransfers++
-	de.writer = -1
-	de.owners = 1 << uint(m.origin)
-	if downgrade {
-		de.add(w)
-	}
-}
-
-// reclaimLostWriter handles the death of a page's exclusive owner: the only
-// fresh copy is gone, so ownership returns to the origin with a zero-filled
-// frame and the page is counted as lost. The application sees well-defined
-// (if stale) contents rather than a hang.
-func (m *Manager) reclaimLostWriter(de *dirEntry, vpn uint64, w int) {
-	m.nodes[m.origin].pt.Map(vpn, m.frames.GetZeroed(), false)
-	m.stats.PagesLost++
-	de.writer = -1
-	de.owners = 1 << uint(m.origin)
-}
-
-// rollbackGrant undoes a grant whose requester died before acknowledging
-// its PTE install. The directory still holds the entry busy, so no other
-// transaction can have observed the half-finished transfer. For a write
-// grant that carried data the origin restores its copy from the retained
-// snapshot; for an ownership-only write grant the requester's copy was the
-// only fresh one, so the page is lost and comes back zero-filled.
-func (m *Manager) rollbackGrant(req *pageRequest, st *serveState) {
-	de, _ := m.entry(req.vpn)
-	if !req.write {
-		de.owners &^= 1 << uint(req.node)
-		return
-	}
-	de.writer = -1
-	de.owners = 1 << uint(m.origin)
-	if st.withData && st.data != nil {
-		f := m.frames.Get()
-		copy(f, st.data)
-		m.nodes[m.origin].pt.Map(req.vpn, f, false)
-		return
-	}
-	m.nodes[m.origin].pt.Map(req.vpn, m.frames.GetZeroed(), false)
-	m.stats.PagesLost++
 }
 
 // ReclaimDeadNode returns all page ownership held by a crashed node to the
@@ -818,24 +511,24 @@ func (m *Manager) rollbackGrant(req *pageRequest, st *serveState) {
 // node) and are counted in PagesLost. Busy entries are skipped: the
 // transaction holding them discovers the death through its own
 // retransmission timeout and rolls back. The dead node's page table and
-// request state are cleared so its frames recycle.
+// request state are cleared so its frames recycle. (Fault injection implies
+// the WriteInvalidate policy, so every entry's home is the origin.)
 func (m *Manager) ReclaimDeadNode(node int) int {
 	if node == m.origin {
 		panic("dsm: cannot reclaim the origin node")
 	}
 	lost := 0
 	m.dir.ForRange(0, ^uint64(0), func(vpn uint64, de *dirEntry) bool {
-		if de.busy {
+		if de.busy() {
 			return true
 		}
 		if de.writer == node {
-			m.nodes[m.origin].pt.Map(vpn, m.frames.GetZeroed(), false)
-			de.writer = -1
-			de.owners = 1 << uint(m.origin)
+			m.nodes[m.origin].pt.SetAccess(vpn, m.frames.GetZeroed(), mem.AccessRead)
+			de.reclaimHome()
 			m.stats.PagesLost++
 			lost++
-		} else {
-			de.owners &^= 1 << uint(node)
+		} else if de.has(node) {
+			de.dropOwner(node)
 		}
 		return true
 	})
@@ -843,63 +536,6 @@ func (m *Manager) ReclaimDeadNode(node int) int {
 	ns.outstanding = make(map[uint64]*outstanding)
 	ns.pt.ReclaimRange(0, ^uint64(0), m.freeFrame)
 	return lost
-}
-
-func (m *Manager) sendRevoke(t *sim.Task, target int, vpn uint64, downgrade bool, pr *fabric.PageRecv) *revokeWaiter {
-	m.revokeSeq++
-	seq := m.revokeSeq
-	msg := &revokeMsg{
-		pid:       m.pid,
-		vpn:       vpn,
-		seq:       seq,
-		downgrade: downgrade,
-		needData:  pr != nil,
-		pr:        pr,
-	}
-	w := &revokeWaiter{task: t, target: target, msg: msg}
-	m.revokeWait[seq] = w
-	m.net.Send(t, m.origin, target, msg)
-	if downgrade {
-		m.stats.Downgrades++
-	} else {
-		m.stats.Invalidations++
-	}
-	return w
-}
-
-func (m *Manager) sendRevokeWithData(t *sim.Task, target int, vpn uint64, downgrade bool, pr *fabric.PageRecv) *revokeWaiter {
-	return m.sendRevoke(t, target, vpn, downgrade, pr)
-}
-
-func (m *Manager) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
-	for _, w := range acks {
-		if m.chaos == nil || w.msg == nil {
-			for !w.done {
-				t.Park("revoke ack")
-			}
-			continue
-		}
-		// Under fault injection a revocation or its ack may have been
-		// dropped: re-send after each retry timeout, and abandon the waiter
-		// if the target is confirmed dead (its copy died with it).
-		rto := m.params.RetryTimeout
-		for !w.done {
-			if t.ParkTimeout("revoke ack", rto) || w.done {
-				continue
-			}
-			if m.chaos.NodeDead(w.target) {
-				delete(m.revokeWait, w.msg.seq)
-				w.done = true
-				w.lost = w.msg.needData
-				break
-			}
-			m.stats.Retransmits++
-			m.net.Send(t, m.origin, w.target, w.msg)
-			if rto *= 2; rto > m.params.RetryTimeoutMax {
-				rto = m.params.RetryTimeoutMax
-			}
-		}
-	}
 }
 
 // DropDirectoryRange removes all ownership state for pages lo..hi
@@ -915,7 +551,7 @@ func (m *Manager) DropDirectoryRange(t *sim.Task, lo, hi uint64) error {
 		busy := false
 		var victims []uint64
 		m.dir.ForRange(lo, hi, func(vpn uint64, de *dirEntry) bool {
-			if de.busy {
+			if de.busy() {
 				busy = true
 				busyVPN = vpn
 				return false

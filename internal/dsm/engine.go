@@ -1,0 +1,362 @@
+// engine.go is the transport engine of the protocol: token and sequence
+// allocation, retransmission timers (RTO with exponential backoff), receiver
+// and server-side duplicate detection with bounded dedup state, and rollback
+// of half-finished grants. It guarantees exactly-once *application* of
+// protocol messages over a fabric that — under fault injection — may drop,
+// duplicate, or delay them; the policies (protocol.go) and the directory
+// (directory.go) never see transport failures.
+package dsm
+
+import (
+	"time"
+
+	"dex/internal/mem"
+	"dex/internal/sim"
+)
+
+const (
+	// dedupSweepInterval amortizes dedup-state pruning: one sweep per this
+	// many admitted transactions.
+	dedupSweepInterval = 256
+	// dedupHorizonFactor sizes the retransmit horizon in units of
+	// RetryTimeoutMax: a closed dedup record older than the horizon AND below
+	// the open-transaction watermark can no longer receive a duplicate that
+	// needs its content (any straggler is answered from the watermark alone).
+	dedupHorizonFactor = 4
+)
+
+// engine owns the transport-layer state of one Manager.
+type engine struct {
+	m *Manager
+
+	reqSeq    uint64 // request-token allocator (globally monotonic)
+	revokeSeq uint64 // revocation-sequence allocator (globally monotonic)
+
+	revokeWait  map[uint64]*revokeWaiter // open revocations, keyed by seq
+	installWait map[uint64]*revokeWaiter // open grant windows, keyed by token
+
+	// served is the home-side per-token record of answered page requests,
+	// kept only under fault injection (nil otherwise) and pruned by sweep.
+	served map[uint64]*serveState
+
+	// prunedReqBelow / prunedRevokeBelow are the dedup watermarks: every
+	// token (resp. seq) below the watermark belongs to a transaction that was
+	// fully closed before the last sweep, so an arriving message carrying one
+	// — with no surviving dedup record — is necessarily a stale duplicate and
+	// is dropped. Tokens and seqs are allocated monotonically, which is what
+	// makes the watermark sound: a live transaction can never be below it.
+	prunedReqBelow    uint64
+	prunedRevokeBelow uint64
+
+	sweepBudget int
+}
+
+func (e *engine) init(m *Manager) {
+	e.m = m
+	e.revokeWait = make(map[uint64]*revokeWaiter)
+	e.installWait = make(map[uint64]*revokeWaiter)
+	if m.chaos != nil {
+		e.served = make(map[uint64]*serveState)
+	}
+	e.sweepBudget = dedupSweepInterval
+}
+
+// nextToken allocates a page-request token.
+func (e *engine) nextToken() uint64 {
+	e.reqSeq++
+	return e.reqSeq
+}
+
+// nextRevokeSeq allocates a revocation sequence number.
+func (e *engine) nextRevokeSeq() uint64 {
+	e.revokeSeq++
+	return e.revokeSeq
+}
+
+// awaitReply parks the requester until its outstanding request is answered.
+// Under fault injection the request or its reply may have been dropped, so
+// the (idempotent, token-deduplicated) request is re-sent to target after
+// each retry timeout, with exponential backoff.
+func (e *engine) awaitReply(t *sim.Task, node, target int, req *outstanding, msg *pageRequest) {
+	m := e.m
+	parkReason := "page reply " + mem.Addr(req.vpn<<mem.PageShift).String()
+	if m.chaos == nil {
+		for !req.done {
+			t.Park(parkReason)
+		}
+		return
+	}
+	rto := m.params.RetryTimeout
+	for !req.done {
+		if t.ParkTimeout(parkReason, rto) || req.done {
+			continue
+		}
+		m.stats.Retransmits++
+		m.net.Send(t, node, target, msg)
+		if rto *= 2; rto > m.params.RetryTimeoutMax {
+			rto = m.params.RetryTimeoutMax
+		}
+	}
+}
+
+// waitRevokes parks the serving task until every revocation in acks is
+// acknowledged. Under fault injection a revocation or its ack may have been
+// dropped: re-send after each retry timeout, and abandon the waiter if the
+// target is confirmed dead (its copy died with it).
+func (e *engine) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
+	m := e.m
+	for _, w := range acks {
+		if m.chaos == nil || w.msg == nil {
+			for !w.done {
+				t.Park("revoke ack")
+			}
+			continue
+		}
+		rto := m.params.RetryTimeout
+		for !w.done {
+			if t.ParkTimeout("revoke ack", rto) || w.done {
+				continue
+			}
+			if m.chaos.NodeDead(w.target) {
+				delete(e.revokeWait, w.msg.seq)
+				w.done = true
+				w.lost = w.msg.needData
+				break
+			}
+			m.stats.Retransmits++
+			m.net.Send(t, w.msg.home, w.target, w.msg)
+			if rto *= 2; rto > m.params.RetryTimeoutMax {
+				rto = m.params.RetryTimeoutMax
+			}
+		}
+	}
+}
+
+// admitServe is the home-side dedup gate for an incoming page request under
+// fault injection. It returns the fresh serve record to thread through the
+// transaction, or handled=true if the request was a duplicate and has been
+// fully dealt with here.
+func (e *engine) admitServe(req *pageRequest) (st *serveState, handled bool) {
+	m := e.m
+	if prev, ok := e.served[req.token]; ok {
+		e.redeliverServe(req, prev)
+		return nil, true
+	}
+	if req.token < e.prunedReqBelow {
+		// The record was pruned: the transaction closed long before the last
+		// sweep, so this can only be a stale duplicate.
+		m.stats.DupsIgnored++
+		return nil, true
+	}
+	st = &serveState{req: req, write: req.write}
+	e.served[req.token] = st
+	e.maybeSweep()
+	return st, false
+}
+
+// admitRevoke is the receiver-side dedup gate for an incoming revocation
+// under fault injection. It reports whether the revocation is fresh and
+// should be applied.
+func (e *engine) admitRevoke(node int, msg *revokeMsg) bool {
+	m := e.m
+	if m.chaos == nil {
+		return true
+	}
+	ns := m.nodes[node]
+	if prev, ok := ns.appliedRevokes[msg.seq]; ok {
+		if prev.pending {
+			// The original is still being applied (or deferred); its ack
+			// will cover this duplicate.
+			m.stats.DupsIgnored++
+		} else {
+			// Already applied: the ack must have been lost. Re-ack from
+			// the retained snapshot.
+			e.resendRevokeAck(node, msg, prev)
+		}
+		return false
+	}
+	if msg.seq < e.prunedRevokeBelow {
+		m.stats.DupsIgnored++
+		return false
+	}
+	ns.appliedRevokes[msg.seq] = &appliedRevoke{pending: true}
+	e.maybeSweep()
+	return true
+}
+
+// noteInstalled records a completed grant install at the requester so a
+// duplicated grant reply re-acks instead of re-running the install.
+func (e *engine) noteInstalled(ns *nodeState, token uint64) {
+	if e.m.chaos != nil {
+		ns.completed[token] = e.m.eng.Now()
+	}
+}
+
+// maybeSweep runs one dedup-state sweep every dedupSweepInterval admissions.
+func (e *engine) maybeSweep() {
+	e.sweepBudget--
+	if e.sweepBudget > 0 {
+		return
+	}
+	e.sweepBudget = dedupSweepInterval
+	e.sweep()
+}
+
+// sweep bounds the chaos dedup maps. A record may be dropped once two
+// conditions hold: (1) its token/seq is below the open-transaction floor —
+// no in-flight transaction still references it, so only duplicates of a
+// closed exchange can ever carry it again — and (2) it has been closed for
+// longer than the retransmit horizon, so the sender's own RTO loop has long
+// stopped producing retransmissions (only fabric-duplicated stragglers
+// remain, and those are answered from the watermark). Advancing the
+// watermark to the floor is what keeps correctness unconditional: even a
+// straggler older than the horizon is still *detected* as a duplicate, it
+// just no longer gets a content-carrying re-ack (it no longer needs one —
+// its transaction closed).
+func (e *engine) sweep() {
+	m := e.m
+	now := m.eng.Now()
+	horizon := time.Duration(dedupHorizonFactor) * m.params.RetryTimeoutMax
+
+	// Request-token side: the floor is the smallest token still referenced
+	// by an outstanding request at any node or by an open home-side serve.
+	floor := e.reqSeq + 1
+	for _, ns := range m.nodes {
+		for tok := range ns.outstanding {
+			if tok < floor {
+				floor = tok
+			}
+		}
+	}
+	for tok, st := range e.served {
+		if !st.closed && tok < floor {
+			floor = tok
+		}
+	}
+	for tok, st := range e.served {
+		if st.closed && tok < floor && now-st.closedAt >= horizon {
+			delete(e.served, tok)
+		}
+	}
+	for _, ns := range m.nodes {
+		for tok, at := range ns.completed {
+			if tok < floor && now-at >= horizon {
+				delete(ns.completed, tok)
+			}
+		}
+	}
+	if floor > e.prunedReqBelow {
+		e.prunedReqBelow = floor
+	}
+
+	// Revocation side: the floor is the smallest seq with an open waiter.
+	rfloor := e.revokeSeq + 1
+	for seq := range e.revokeWait {
+		if seq < rfloor {
+			rfloor = seq
+		}
+	}
+	for _, ns := range m.nodes {
+		for seq, rec := range ns.appliedRevokes {
+			if seq < rfloor && !rec.pending && now-rec.appliedAt >= horizon {
+				delete(ns.appliedRevokes, seq)
+			}
+		}
+	}
+	if rfloor > e.prunedRevokeBelow {
+		e.prunedRevokeBelow = rfloor
+	}
+}
+
+// redeliverServe answers a duplicated page request from the home-side serve
+// record. Bounced requests get the same bounce again; in-flight or granted
+// requests are ignored, because the serving task's install-wait loop owns
+// grant retransmission. Crucially a duplicate is never served fresh: the
+// requester may have released its landing zone after the first outcome.
+// (Fault injection implies the WriteInvalidate policy, so the home here is
+// always the origin.)
+func (e *engine) redeliverServe(req *pageRequest, st *serveState) {
+	m := e.m
+	if !st.closed || (!st.nack && !st.stale) {
+		m.stats.DupsIgnored++
+		return
+	}
+	m.stats.Retransmits++
+	reply := &pageReply{pid: m.pid, token: req.token, nack: st.nack, stale: st.stale}
+	m.eng.Spawn("dsm-resend", func(t *sim.Task) {
+		t.Sleep(m.params.OriginDispatch)
+		m.net.Send(t, m.origin, req.node, reply)
+	})
+}
+
+// resendGrant re-sends a grant reply (and its page data, from the retained
+// snapshot) whose first copy — or whose install ack — was lost.
+func (e *engine) resendGrant(t *sim.Task, st *serveState) {
+	m := e.m
+	req := st.req
+	reply := &pageReply{pid: m.pid, token: req.token, withData: st.withData}
+	if st.withData {
+		m.net.SendPageBuf(t, m.origin, req.node, req.pr, st.data, reply, m.frames.Get())
+	} else {
+		m.net.Send(t, m.origin, req.node, reply)
+	}
+}
+
+// resendRevokeAck answers a duplicated revocation whose original was fully
+// applied: the ack (and, for needData revokes, the retained page snapshot)
+// is simply sent again.
+func (e *engine) resendRevokeAck(node int, msg *revokeMsg, prev *appliedRevoke) {
+	m := e.m
+	m.stats.Retransmits++
+	m.eng.Spawn("dsm-reack", func(t *sim.Task) {
+		t.Sleep(m.params.InvalidateApply)
+		ack := &revokeAck{pid: m.pid, seq: msg.seq}
+		if msg.needData {
+			m.net.SendPageBuf(t, node, msg.home, msg.pr, prev.data, ack, m.frames.Get())
+		} else {
+			m.net.Send(t, node, msg.home, ack)
+		}
+	})
+}
+
+// rollbackGrant undoes a grant whose requester died before acknowledging
+// its PTE install. The directory still holds the entry busy, so no other
+// transaction can have observed the half-finished transfer. For a write
+// grant that carried data the home restores its copy from the retained
+// snapshot; for an ownership-only write grant the requester's copy was the
+// only fresh one, so the page is lost and comes back zero-filled. (Fault
+// injection implies WriteInvalidate, so the home is the origin.)
+func (e *engine) rollbackGrant(req *pageRequest, st *serveState) {
+	m := e.m
+	de, _ := m.entry(req.vpn)
+	if !req.write {
+		de.dropOwner(req.node)
+		return
+	}
+	de.reclaimHome()
+	if st.withData && st.data != nil {
+		f := m.frames.Get()
+		copy(f, st.data)
+		m.nodes[m.origin].pt.SetAccess(req.vpn, f, mem.AccessRead)
+		return
+	}
+	m.nodes[m.origin].pt.SetAccess(req.vpn, m.frames.GetZeroed(), mem.AccessRead)
+	m.stats.PagesLost++
+}
+
+// installingFor returns the outstanding request at ns that has been granted
+// ownership of vpn but has not yet installed its PTE, if any. Tokens are
+// scanned in ascending order for determinism.
+func (e *engine) installingFor(ns *nodeState, vpn uint64) *outstanding {
+	var best *outstanding
+	var bestToken uint64
+	for token, o := range ns.outstanding {
+		if o.vpn == vpn && o.done && !o.nack && !o.stale && !o.installed {
+			if best == nil || token < bestToken {
+				best = o
+				bestToken = token
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,102 @@
+package dsm
+
+import (
+	"testing"
+	"time"
+
+	"dex/internal/chaos"
+	"dex/internal/fabric"
+	"dex/internal/mem"
+	"dex/internal/sim"
+)
+
+// newChaosEnvParams is newChaosEnv with a caller-supplied cost model (the
+// boundedness test shrinks the retransmit horizon so pruning cycles many
+// times within one run).
+func newChaosEnvParams(t *testing.T, nodes int, plan *chaos.Plan, params Params) *env {
+	t.Helper()
+	if err := plan.Validate(nodes); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	eng := sim.NewEngine(1)
+	net := fabric.New(eng, fabric.DefaultParams(nodes))
+	net.SetChaos(chaos.NewInjector(plan, nodes))
+	m := New(eng, net, params, 1, 0, nodes, nil)
+	for i := 0; i < nodes; i++ {
+		node := i
+		net.SetHandler(node, func(src int, msg fabric.Message) {
+			if !m.HandleMessage(node, src, msg) {
+				t.Errorf("unhandled message at node %d from %d: %T", node, src, msg)
+			}
+		})
+	}
+	return &env{eng: eng, net: net, m: m}
+}
+
+// TestChaosDedupStateStaysBounded drives thousands of deduplicated
+// transactions through a lossy, duplicating fabric and checks that the
+// chaos-only dedup maps — the home's served-token records, and each node's
+// completed-install and applied-revocation records — are pruned by the
+// watermark sweep instead of growing with the run. Before the sweep existed
+// these maps kept one entry per token/seq forever.
+func TestChaosDedupStateStaysBounded(t *testing.T) {
+	plan := &chaos.Plan{
+		Seed: 11,
+		Drop: []chaos.LinkRule{{Src: chaos.Any, Dst: chaos.Any, Prob: 0.05}},
+		Dup:  []chaos.LinkRule{{Src: chaos.Any, Dst: chaos.Any, Prob: 0.3}},
+	}
+	params := DefaultParams()
+	// Shrink the RTO so the retransmit horizon (4×RetryTimeoutMax) passes
+	// many times within the run; the sweep logic under test is unchanged.
+	params.RetryTimeout = 50 * time.Microsecond
+	params.RetryTimeoutMax = 200 * time.Microsecond
+	e := newChaosEnvParams(t, 3, plan, params)
+
+	const iters = 1500
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		for i := 0; i < iters; i++ {
+			// Three pages with alternating writers: the odd stride keeps
+			// node and page parity decorrelated, so every write faults.
+			node := 1 + i%2
+			addr := testAddr + mem.Addr(i%3*mem.PageSize)
+			e.write(tk, node, addr, byte(i))
+			if got := e.read(tk, node, addr); got != byte(i) {
+				t.Errorf("iter %d: read back %d, want %d", i, got, byte(i))
+				return
+			}
+			tk.Sleep(20 * time.Microsecond)
+		}
+	})
+	e.run(t)
+
+	eng := &e.m.e
+	if eng.reqSeq < iters {
+		t.Fatalf("reqSeq = %d; the workload should have allocated at least %d tokens", eng.reqSeq, iters)
+	}
+	if eng.revokeSeq < iters/2 {
+		t.Fatalf("revokeSeq = %d, want at least %d", eng.revokeSeq, iters/2)
+	}
+	if eng.prunedReqBelow == 0 || eng.prunedRevokeBelow == 0 {
+		t.Fatalf("watermarks never advanced: req=%d revoke=%d", eng.prunedReqBelow, eng.prunedRevokeBelow)
+	}
+	// The bound: one sweep interval of fresh admissions plus the horizon's
+	// worth of still-warm records. An unpruned map would hold one record
+	// per token — over twice this.
+	const bound = 700
+	if n := len(eng.served); n >= bound {
+		t.Errorf("served map holds %d records after %d tokens; pruning is not bounding it", n, eng.reqSeq)
+	}
+	for i, ns := range e.m.nodes {
+		if n := len(ns.completed); n >= bound {
+			t.Errorf("node %d completed map holds %d records; want < %d", i, n, bound)
+		}
+		if n := len(ns.appliedRevokes); n >= bound {
+			t.Errorf("node %d appliedRevokes map holds %d records; want < %d", i, n, bound)
+		}
+	}
+	// Pruning must not have cost correctness: the run above already checked
+	// every read; duplicates kept arriving throughout and were all absorbed.
+	if e.m.Stats().DupsIgnored == 0 {
+		t.Errorf("DupsIgnored = 0 with a 30%% duplication rate; dedup never engaged")
+	}
+}

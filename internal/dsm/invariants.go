@@ -8,17 +8,23 @@ import (
 // CheckInvariants verifies the protocol's global invariants. It is intended
 // to be called when the simulation is quiescent (no transaction in flight):
 //
-//  1. An exclusive writer is the sole owner, its PTE is present and
+//  1. Every directory entry is in a settled state (SharedRead or
+//     ExclusiveWrite) consistent with its ownership record — no entry is
+//     still in a transfer (busy) state.
+//  2. An exclusive writer is the sole owner, its PTE is present and
 //     writable, and no other node has the page present.
-//  2. With no exclusive writer, the origin is among the owners, every owner
-//     has a present read-only (or origin-writable pre-share) mapping, every
-//     owner's frame is byte-identical, and no non-owner has the page.
-//  3. No directory entry is marked busy.
+//  3. With no exclusive writer, the page's home is among the owners, every
+//     owner has a present read-only (or home-writable pre-share) mapping,
+//     every owner's frame is byte-identical, and no non-owner has the page.
 func (m *Manager) CheckInvariants() error {
 	var err error
 	m.dir.ForEach(func(vpn uint64, de *dirEntry) bool {
-		if de.busy {
-			err = fmt.Errorf("dsm: vpn %#x still busy", vpn)
+		if de.busy() {
+			err = fmt.Errorf("dsm: vpn %#x still busy (state %v)", vpn, de.state)
+			return false
+		}
+		if de.state != de.settledState() {
+			err = fmt.Errorf("dsm: vpn %#x state %v inconsistent with writer %d", vpn, de.state, de.writer)
 			return false
 		}
 		if de.writer >= 0 {
@@ -34,8 +40,8 @@ func (m *Manager) CheckInvariants() error {
 				err = fmt.Errorf("dsm: vpn %#x writer %d lost its mapping", vpn, de.writer)
 				return false
 			}
-		} else if !de.has(m.origin) {
-			err = fmt.Errorf("dsm: vpn %#x has no writer and origin not an owner", vpn)
+		} else if !de.has(de.home) {
+			err = fmt.Errorf("dsm: vpn %#x has no writer and home %d not an owner", vpn, de.home)
 			return false
 		}
 		var ref []byte
@@ -50,7 +56,7 @@ func (m *Manager) CheckInvariants() error {
 			if !present {
 				continue
 			}
-			if de.writer < 0 && pte.Writable && n != m.origin {
+			if de.writer < 0 && pte.Writable && n != de.home {
 				err = fmt.Errorf("dsm: vpn %#x node %d writable without exclusive ownership", vpn, n)
 				return false
 			}

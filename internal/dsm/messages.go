@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dex/internal/fabric"
+	"dex/internal/mem"
 	"dex/internal/obs"
 	"dex/internal/sim"
 )
@@ -18,7 +19,7 @@ const (
 	revokeAckSize   = 40
 )
 
-// pageRequest asks the origin for access to a page. The requester has
+// pageRequest asks a home node for access to a page. The requester has
 // already prepared a landing zone (pr) for possible page data.
 type pageRequest struct {
 	pid   int
@@ -44,20 +45,24 @@ func (*revokeAck) ChaosExpendable()   {}
 // pageReply answers a pageRequest. nack means the directory entry was busy
 // and the requester must retry; stale means the request was already
 // satisfied by a concurrent transaction (the requester re-validates its
-// PTE); withData means page data was RDMA'd into the requester's prepared
-// landing zone.
+// PTE); redirect means the request landed at a node that is not the page's
+// home (HomeMigrate only) and home carries the authoritative one; withData
+// means page data was RDMA'd into the requester's prepared landing zone.
+// The redirect fields ride in the modeled 48-byte envelope.
 type pageReply struct {
 	pid      int
 	token    uint64
 	nack     bool
 	stale    bool
+	redirect bool
+	home     int
 	withData bool
 }
 
 func (*pageReply) Size() int { return pageReplySize }
 
-// installAck tells the origin the requester has installed its granted PTE,
-// closing the page's ownership-transition window.
+// installAck tells the serving home the requester has installed its granted
+// PTE, closing the page's ownership-transition window.
 type installAck struct {
 	pid   int
 	token uint64
@@ -65,14 +70,19 @@ type installAck struct {
 
 func (*installAck) Size() int { return revokeAckSize }
 
-// revokeMsg revokes (or downgrades) a node's copy of a page. If needData is
-// set, the target must ship its copy into pr (at the origin) with the ack.
+// revokeMsg revokes (or downgrades) a node's copy of a page. home is the
+// node that issued it (acks return there); newHome, when >= 0, is a
+// HomeMigrate hint telling the target where the page's home is about to
+// move. If needData is set, the target must ship its copy into pr (at the
+// issuing home) with the ack.
 type revokeMsg struct {
 	pid       int
 	vpn       uint64
 	seq       uint64
 	downgrade bool
 	needData  bool
+	home      int
+	newHome   int
 	pr        *fabric.PageRecv
 }
 
@@ -105,19 +115,7 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		if mm.pid != m.pid {
 			return false
 		}
-		if node != m.origin {
-			panic(fmt.Sprintf("dsm: page request for pid %d delivered to node %d (origin %d)", m.pid, node, m.origin))
-		}
-		var st *serveState
-		if m.chaos != nil {
-			if prev, ok := m.served[mm.token]; ok {
-				m.redeliverServe(mm, prev)
-				return true
-			}
-			st = &serveState{req: mm, write: mm.write}
-			m.served[mm.token] = st
-		}
-		m.eng.Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, mm, st) })
+		m.policy.dispatchRequest(node, mm)
 		return true
 	case *pageReply:
 		if mm.pid != m.pid {
@@ -129,13 +127,15 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		if mm.pid != m.pid {
 			return false
 		}
-		m.applyRevoke(node, mm)
+		if m.e.admitRevoke(node, mm) {
+			m.applyRevokeAdmitted(node, mm)
+		}
 		return true
 	case *installAck:
 		if mm.pid != m.pid {
 			return false
 		}
-		w, ok := m.installWait[mm.token]
+		w, ok := m.e.installWait[mm.token]
 		if !ok {
 			if m.chaos != nil {
 				// Duplicate of an ack that already closed the window.
@@ -144,7 +144,7 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 			}
 			panic(fmt.Sprintf("dsm: stray install ack token %d", mm.token))
 		}
-		delete(m.installWait, mm.token)
+		delete(m.e.installWait, mm.token)
 		w.done = true
 		w.task.Unpark()
 		return true
@@ -152,7 +152,7 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		if mm.pid != m.pid {
 			return false
 		}
-		w, ok := m.revokeWait[mm.seq]
+		w, ok := m.e.revokeWait[mm.seq]
 		if !ok {
 			if m.chaos != nil {
 				m.stats.DupsIgnored++
@@ -160,7 +160,7 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 			}
 			panic(fmt.Sprintf("dsm: stray revoke ack seq %d", mm.seq))
 		}
-		delete(m.revokeWait, mm.seq)
+		delete(m.e.revokeWait, mm.seq)
 		w.done = true
 		w.task.Unpark()
 		return true
@@ -169,12 +169,13 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 	}
 }
 
-// servePageRequest runs the origin side of one page transaction in its own
+// servePageRequest runs the home side of one page transaction in its own
 // task (the transaction may block on revocations). The directory entry
 // stays busy until the requester acknowledges its PTE install: the page is
 // in ownership transition for that whole window, and conflicting requests
-// are NACKed — the source of the retried, slow faults of §V-D.
-func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest, st *serveState) {
+// are NACKed — the source of the retried, slow faults of §V-D. home is the
+// node this transaction is served at (the origin under WriteInvalidate).
+func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *serveState) {
 	var serveAt time.Duration
 	if m.rec != nil {
 		serveAt = m.eng.Now()
@@ -182,18 +183,18 @@ func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest, st *serveState
 	t.Sleep(m.params.OriginDispatch)
 	if st != nil && m.chaos.NodeDead(req.node) {
 		// The requester died before we dispatched; its landing zone is gone.
-		st.closed = true
-		m.serveSpan(serveAt, req, "dead")
+		st.close(m.eng.Now())
+		m.serveSpan(serveAt, home, req, "dead")
 		return
 	}
 	de, _ := m.entry(req.vpn)
-	if de.busy {
+	if de.busy() {
 		if st != nil {
 			st.nack = true
-			st.closed = true
+			st.close(m.eng.Now())
 		}
-		m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: req.token, nack: true})
-		m.serveSpan(serveAt, req, "nack")
+		m.net.Send(t, home, req.node, &pageReply{pid: m.pid, token: req.token, nack: true})
+		m.serveSpan(serveAt, home, req, "nack")
 		return
 	}
 	if (!req.write && de.has(req.node)) || (req.write && de.writer == req.node) {
@@ -202,18 +203,18 @@ func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest, st *serveState
 		// requester to re-validate its PTE.
 		if st != nil {
 			st.stale = true
-			st.closed = true
+			st.close(m.eng.Now())
 		}
-		m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: req.token, stale: true})
-		m.serveSpan(serveAt, req, "stale")
+		m.net.Send(t, home, req.node, &pageReply{pid: m.pid, token: req.token, stale: true})
+		m.serveSpan(serveAt, home, req, "stale")
 		return
 	}
-	de.busy = true
+	de.begin()
 	t.Sleep(m.params.Directory)
 	withData, data := m.serveLocked(t, de, req.node, req.vpn, req.write)
 	reply := &pageReply{pid: m.pid, token: req.token, withData: withData}
 	ack := &revokeWaiter{task: t}
-	m.installWait[req.token] = ack
+	m.e.installWait[req.token] = ack
 	if st != nil {
 		st.withData = withData
 		if withData {
@@ -222,22 +223,22 @@ func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest, st *serveState
 		}
 	}
 	if withData {
-		m.net.SendPageBuf(t, m.origin, req.node, req.pr, data, reply, m.frames.Get())
+		m.net.SendPageBuf(t, home, req.node, req.pr, data, reply, m.frames.Get())
 		if req.write {
-			// A write grant revoked the origin's own copy inside serveWrite,
+			// A write grant revoked the home's own copy inside serveWrite,
 			// so data is now an orphan; the send above snapshotted it before
 			// yielding. Recycle it.
 			m.freeFrame(data)
 		}
 	} else {
-		m.net.Send(t, m.origin, req.node, reply)
+		m.net.Send(t, home, req.node, reply)
 	}
 	outcome := "grant"
 	if withData {
 		outcome = "grant+data"
 	}
 	if st == nil {
-		m.waitRevokes(t, []*revokeWaiter{ack})
+		m.e.waitRevokes(t, []*revokeWaiter{ack})
 	} else {
 		// Under fault injection the grant, its data, or the install ack may
 		// be lost: re-send the grant after each retry timeout. If the
@@ -249,57 +250,32 @@ func (m *Manager) servePageRequest(t *sim.Task, req *pageRequest, st *serveState
 				continue
 			}
 			if m.chaos.NodeDead(req.node) {
-				delete(m.installWait, req.token)
-				m.rollbackGrant(req, st)
+				delete(m.e.installWait, req.token)
+				m.e.rollbackGrant(req, st)
 				outcome = "rollback"
 				break
 			}
 			m.stats.Retransmits++
-			m.resendGrant(t, st)
+			m.e.resendGrant(t, st)
 			if rto *= 2; rto > m.params.RetryTimeoutMax {
 				rto = m.params.RetryTimeoutMax
 			}
 		}
-		st.closed = true
+		st.close(m.eng.Now())
 	}
-	de.busy = false
-	m.serveSpan(serveAt, req, outcome)
+	if outcome != "rollback" && ack.done {
+		// The requester installed its grant: let the policy finalize the
+		// transaction (HomeMigrate flips the page's home to a new writer).
+		m.policy.grantCompleted(de, req)
+	}
+	de.end()
+	m.serveSpan(serveAt, home, req, outcome)
 }
 
-// redeliverServe answers a duplicated page request from the permanent serve
-// record. Bounced requests get the same bounce again; in-flight or granted
-// requests are ignored, because the serving task's install-wait loop owns
-// grant retransmission. Crucially a duplicate is never served fresh: the
-// requester may have released its landing zone after the first outcome.
-func (m *Manager) redeliverServe(req *pageRequest, st *serveState) {
-	if !st.closed || (!st.nack && !st.stale) {
-		m.stats.DupsIgnored++
-		return
-	}
-	m.stats.Retransmits++
-	reply := &pageReply{pid: m.pid, token: req.token, nack: st.nack, stale: st.stale}
-	m.eng.Spawn("dsm-resend", func(t *sim.Task) {
-		t.Sleep(m.params.OriginDispatch)
-		m.net.Send(t, m.origin, req.node, reply)
-	})
-}
-
-// resendGrant re-sends a grant reply (and its page data, from the retained
-// snapshot) whose first copy — or whose install ack — was lost.
-func (m *Manager) resendGrant(t *sim.Task, st *serveState) {
-	req := st.req
-	reply := &pageReply{pid: m.pid, token: req.token, withData: st.withData}
-	if st.withData {
-		m.net.SendPageBuf(t, m.origin, req.node, req.pr, st.data, reply, m.frames.Get())
-	} else {
-		m.net.Send(t, m.origin, req.node, reply)
-	}
-}
-
-// serveSpan records the origin-side span of one page transaction, from
+// serveSpan records the home-side span of one page transaction, from
 // dispatch to the point the directory entry is released (or the request is
 // bounced).
-func (m *Manager) serveSpan(start time.Duration, req *pageRequest, outcome string) {
+func (m *Manager) serveSpan(start time.Duration, home int, req *pageRequest, outcome string) {
 	if m.rec == nil {
 		return
 	}
@@ -307,7 +283,7 @@ func (m *Manager) serveSpan(start time.Duration, req *pageRequest, outcome strin
 	if req.write {
 		kind = "write"
 	}
-	m.rec.Span("dsm", "origin.serve", m.origin, -1, start,
+	m.rec.Span("dsm", "origin.serve", home, -1, start,
 		obs.Hex("vpn", req.vpn),
 		obs.String("kind", kind),
 		obs.Int("from", int64(req.node)),
@@ -320,9 +296,9 @@ func (m *Manager) handleReply(node int, rep *pageReply) {
 	req, ok := ns.outstanding[rep.token]
 	if !ok {
 		if m.chaos != nil {
-			if ns.completed[rep.token] {
+			if _, done := ns.completed[rep.token]; done {
 				// A grant reply re-sent after our install ack was lost:
-				// re-ack so the origin can close its transition window.
+				// re-ack so the home can close its transition window.
 				m.stats.Retransmits++
 				m.eng.Spawn("dsm-reack", func(t *sim.Task) {
 					m.net.Send(t, node, m.origin, &installAck{pid: m.pid, token: rep.token})
@@ -342,40 +318,21 @@ func (m *Manager) handleReply(node int, rep *pageReply) {
 	req.done = true
 	req.nack = rep.nack
 	req.stale = rep.stale
+	req.redirect = rep.redirect
+	req.home = rep.home
 	req.withData = rep.withData
 	req.task.Unpark()
 }
 
-// applyRevoke applies a revocation at its target node. If the page is in
-// the grant-to-install window of an outstanding request, application is
-// deferred until the install completes (the revocation necessarily targets
-// the ownership that request was just granted).
-func (m *Manager) applyRevoke(node int, msg *revokeMsg) {
-	ns := m.nodes[node]
-	if m.chaos != nil {
-		if prev, ok := ns.appliedRevokes[msg.seq]; ok {
-			if prev.pending {
-				// The original is still being applied (or deferred); its ack
-				// will cover this duplicate.
-				m.stats.DupsIgnored++
-			} else {
-				// Already applied: the ack must have been lost. Re-ack from
-				// the retained snapshot.
-				m.resendRevokeAck(node, msg, prev)
-			}
-			return
-		}
-		ns.appliedRevokes[msg.seq] = &appliedRevoke{pending: true}
-	}
-	m.applyRevokeAdmitted(node, msg)
-}
-
-// applyRevokeAdmitted runs a revocation that has passed duplicate
-// detection. Deferral re-enters here (not applyRevoke) so a deferred
-// revocation is not mistaken for its own duplicate.
+// applyRevokeAdmitted runs a revocation that has passed the engine's
+// duplicate detection. If the page is in the grant-to-install window of an
+// outstanding request, application is deferred until the install completes
+// (the revocation necessarily targets the ownership that request was just
+// granted); deferral re-enters here so a deferred revocation is not
+// mistaken for its own duplicate.
 func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
 	ns := m.nodes[node]
-	if o := m.installingFor(ns, msg.vpn); o != nil {
+	if o := m.e.installingFor(ns, msg.vpn); o != nil {
 		o.deferred = append(o.deferred, func() { m.applyRevokeAdmitted(node, msg) })
 		return
 	}
@@ -392,9 +349,14 @@ func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
 		}
 		dropped := false
 		if msg.downgrade {
-			ns.pt.Downgrade(msg.vpn)
+			ns.pt.SetAccess(msg.vpn, nil, mem.AccessRead)
 		} else {
-			dropped = ns.pt.Invalidate(msg.vpn)
+			dropped = ns.pt.SetAccess(msg.vpn, nil, mem.AccessNone) != nil
+		}
+		if msg.newHome >= 0 {
+			// HomeMigrate: the revocation tells us where the page's home is
+			// about to move; remember it so our next fault routes there.
+			m.policy.learnHome(node, msg.vpn, msg.newHome)
 		}
 		m.emitInvalidate(node, msg.vpn)
 		ack := &revokeAck{pid: m.pid, seq: msg.seq}
@@ -402,14 +364,15 @@ func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
 			if frame == nil {
 				panic(fmt.Sprintf("dsm: revoke needs data for vpn %#x but node %d has no frame", msg.vpn, node))
 			}
-			m.net.SendPageBuf(t, node, m.origin, msg.pr, frame, ack, m.frames.Get())
+			m.net.SendPageBuf(t, node, msg.home, msg.pr, frame, ack, m.frames.Get())
 		} else {
-			m.net.Send(t, node, m.origin, ack)
+			m.net.Send(t, node, msg.home, ack)
 		}
 		retained := false
 		if m.chaos != nil {
 			rec := ns.appliedRevokes[msg.seq]
 			rec.pending = false
+			rec.appliedAt = m.eng.Now()
 			if msg.needData {
 				// Retain the page contents so a re-sent revocation (our ack
 				// was lost) can be answered with the same data.
@@ -436,37 +399,4 @@ func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
 				obs.String("mode", mode))
 		}
 	})
-}
-
-// resendRevokeAck answers a duplicated revocation whose original was fully
-// applied: the ack (and, for needData revokes, the retained page snapshot)
-// is simply sent again.
-func (m *Manager) resendRevokeAck(node int, msg *revokeMsg, prev *appliedRevoke) {
-	m.stats.Retransmits++
-	m.eng.Spawn("dsm-reack", func(t *sim.Task) {
-		t.Sleep(m.params.InvalidateApply)
-		ack := &revokeAck{pid: m.pid, seq: msg.seq}
-		if msg.needData {
-			m.net.SendPageBuf(t, node, m.origin, msg.pr, prev.data, ack, m.frames.Get())
-		} else {
-			m.net.Send(t, node, m.origin, ack)
-		}
-	})
-}
-
-// installingFor returns the outstanding request at ns that has been granted
-// ownership of vpn but has not yet installed its PTE, if any. Tokens are
-// scanned in ascending order for determinism.
-func (m *Manager) installingFor(ns *nodeState, vpn uint64) *outstanding {
-	var best *outstanding
-	var bestToken uint64
-	for token, o := range ns.outstanding {
-		if o.vpn == vpn && o.done && !o.nack && !o.stale && !o.installed {
-			if best == nil || token < bestToken {
-				best = o
-				bestToken = token
-			}
-		}
-	}
-	return best
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dex/internal/fabric"
+	"dex/internal/mem"
 	"dex/internal/sim"
 )
 
@@ -76,8 +77,7 @@ func (m *Manager) prefetchBatch(t *sim.Task, node int, batch []uint64) (int, err
 			continue // a demand fault is already in flight
 		}
 		pr := m.net.PreparePageRecv(t, m.origin, node)
-		m.reqSeq++
-		token := m.reqSeq
+		token := m.e.nextToken()
 		o := &outstanding{vpn: vpn, task: t}
 		ns.outstanding[token] = o
 		outs = append(outs, o)
@@ -110,7 +110,7 @@ func (m *Manager) prefetchBatch(t *sim.Task, node int, batch []uint64) (int, err
 			panic(fmt.Sprintf("dsm: prefetch grant without data for vpn %#x", o.vpn))
 		}
 		frame := pr.Claim(t)
-		ns.pt.Map(o.vpn, frame, false)
+		ns.pt.SetAccess(o.vpn, frame, mem.AccessRead)
 		o.installed = true
 		delete(ns.outstanding, token)
 		for _, fn := range o.deferred {
@@ -141,28 +141,32 @@ func (m *Manager) servePrefetch(t *sim.Task, req *prefetchRequest) {
 	for i, vpn := range req.vpns {
 		token := req.tokens[i]
 		de, _ := m.entry(vpn)
-		if de.busy || de.has(req.node) {
-			m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: token, nack: de.busy, stale: !de.busy})
+		// A page whose home has migrated away from the origin cannot be
+		// served here (HomeMigrate only); bounce it like a busy page so the
+		// requester falls back to demand faulting at the real home.
+		bounce := de.busy() || de.home != m.origin
+		if bounce || de.has(req.node) {
+			m.net.Send(t, m.origin, req.node, &pageReply{pid: m.pid, token: token, nack: bounce, stale: !bounce})
 			continue
 		}
-		de.busy = true
+		de.begin()
 		held = append(held, de)
 		t.Sleep(m.params.Directory)
-		withData, data := m.serveRead(t, de, req.node, vpn)
+		withData, data := m.policy.serveRead(t, de, req.node, vpn)
 		if !withData {
 			panic("dsm: prefetch read grant must carry data")
 		}
 		if !needAck {
 			needAck = true
-			m.installWait[ackToken] = acked
+			m.e.installWait[ackToken] = acked
 		}
 		m.net.SendPageBuf(t, m.origin, req.node, req.prs[i], data,
 			&pageReply{pid: m.pid, token: token, withData: true}, m.frames.Get())
 	}
 	if needAck {
-		m.waitRevokes(t, []*revokeWaiter{acked})
+		m.e.waitRevokes(t, []*revokeWaiter{acked})
 	}
 	for _, de := range held {
-		de.busy = false
+		de.end()
 	}
 }

@@ -1,0 +1,605 @@
+// protocol.go is the coherence-policy layer: the pluggable piece that
+// decides WHERE a fault resolves and WHAT a directory transaction does. The
+// directory (directory.go) owns the per-page state machine and the engine
+// (engine.go) owns reliable delivery; a policy composes the two.
+//
+// Two policies are provided. WriteInvalidate is the paper's §III-B design:
+// the origin node serves every transaction, read requests earn shared
+// replicas, write requests earn exclusive ownership after every other copy
+// is revoked. HomeMigrate keeps the same MRSW coherence but migrates the
+// page's directory home to the last writer, so a node that writes the same
+// pages repeatedly resolves later transactions locally instead of paying
+// the origin round trip on every ownership change.
+package dsm
+
+import (
+	"fmt"
+	"time"
+
+	"dex/internal/fabric"
+	"dex/internal/mem"
+	"dex/internal/obs"
+	"dex/internal/sim"
+)
+
+// Protocol selects the coherence policy of a Manager.
+type Protocol int
+
+const (
+	// WriteInvalidate is the paper's origin-served read-replicate /
+	// write-invalidate protocol (§III-B). It is the default.
+	WriteInvalidate Protocol = iota
+	// HomeMigrate is the ownership-migration variant: the directory home of
+	// a page follows its last writer, cutting origin round trips for
+	// write-local access patterns. Stale home hints are repaired with
+	// redirect replies. It does not support fault injection.
+	HomeMigrate
+)
+
+// homeBusyPoll is how often a fault at a page's own home re-checks a busy
+// directory entry. The transaction holding the entry completes with a local
+// event, so this is a short spin interval, not a congestion backoff.
+const homeBusyPoll = 5 * time.Microsecond
+
+func (p Protocol) String() string {
+	switch p {
+	case WriteInvalidate:
+		return "write-invalidate"
+	case HomeMigrate:
+		return "home-migrate"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// ParseProtocol resolves a protocol name as accepted by dexrun -protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "wi", "write-invalidate":
+		return WriteInvalidate, nil
+	case "home", "home-migrate":
+		return HomeMigrate, nil
+	default:
+		return 0, fmt.Errorf("dsm: unknown protocol %q (want wi or home)", s)
+	}
+}
+
+// policy is the pluggable coherence layer. The Manager routes every fault
+// and every incoming page request through it; the directory entry methods
+// it calls enforce transition legality.
+type policy interface {
+	// proto identifies the policy.
+	proto() Protocol
+	// leadFault runs the full protocol for one lead fault at ctx.Node. It
+	// reports the number of retries and whether the consistency protocol was
+	// actually involved (a first-touch demand-zero fault at the page's home
+	// is not a protocol fault).
+	leadFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) (retries int, protocol bool)
+	// requestTarget returns the node a page request from node should be sent
+	// to (the believed home of vpn).
+	requestTarget(node int, vpn uint64) int
+	// learnHome records at node a (possibly fresher) belief about vpn's home.
+	learnHome(node int, vpn uint64, home int)
+	// dispatchRequest routes a page request delivered at node: serve it
+	// there, or redirect the requester toward the authoritative home.
+	dispatchRequest(node int, req *pageRequest)
+	// serveRead and serveWrite perform one directory transaction for reqNode
+	// with the entry in transfer (busy) state; they return whether the grant
+	// carries page data, and the data.
+	serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (withData bool, data []byte)
+	serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (withData bool, data []byte)
+	// grantCompleted runs once the requester's install ack closes a remote
+	// grant (the HomeMigrate home-flip point).
+	grantCompleted(de *dirEntry, req *pageRequest)
+}
+
+func newPolicy(m *Manager) policy {
+	switch m.params.Protocol {
+	case WriteInvalidate:
+		return &writeInvalidate{m: m}
+	case HomeMigrate:
+		if m.chaos != nil {
+			panic("dsm: the home-migrate protocol does not support fault injection; use the default write-invalidate policy with chaos plans")
+		}
+		for _, ns := range m.nodes {
+			ns.homeHint = make(map[uint64]int)
+		}
+		return &homeMigrate{m: m}
+	default:
+		panic(fmt.Sprintf("dsm: unknown protocol %d", m.params.Protocol))
+	}
+}
+
+// serveLocked performs one directory transaction for reqNode with the entry
+// in transfer state. On return the directory reflects the grant; for a
+// requester local to the serving home the page table is updated in place.
+// For a remote requester it returns whether the grant carries page data,
+// and the data.
+func (m *Manager) serveLocked(t *sim.Task, de *dirEntry, reqNode int, vpn uint64, write bool) (withData bool, data []byte) {
+	if de.writer == reqNode {
+		panic(fmt.Sprintf("dsm: node %d faulted on vpn %#x it owns exclusively", reqNode, vpn))
+	}
+	if write {
+		return m.policy.serveWrite(t, de, reqNode, vpn)
+	}
+	return m.policy.serveRead(t, de, reqNode, vpn)
+}
+
+// ---------------------------------------------------------------------------
+// WriteInvalidate: the paper's origin-served protocol (§III-B / §III-C).
+
+type writeInvalidate struct{ m *Manager }
+
+func (p *writeInvalidate) proto() Protocol { return WriteInvalidate }
+
+func (p *writeInvalidate) requestTarget(node int, vpn uint64) int { return p.m.origin }
+
+func (p *writeInvalidate) learnHome(node int, vpn uint64, home int) {}
+
+func (p *writeInvalidate) grantCompleted(de *dirEntry, req *pageRequest) {}
+
+func (p *writeInvalidate) leadFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) (int, bool) {
+	m := p.m
+	if ctx.Node == m.origin {
+		return m.homeFault(t, m.origin, vpn, write)
+	}
+	return m.requestFault(t, ctx, vpn, write), true
+}
+
+// dispatchRequest: every page request is served at the origin. Under fault
+// injection the transport engine deduplicates by token first.
+func (p *writeInvalidate) dispatchRequest(node int, req *pageRequest) {
+	m := p.m
+	if node != m.origin {
+		panic(fmt.Sprintf("dsm: page request for pid %d delivered to node %d (origin %d)", m.pid, node, m.origin))
+	}
+	var st *serveState
+	if m.chaos != nil {
+		var handled bool
+		if st, handled = m.e.admitServe(req); handled {
+			return
+		}
+	}
+	m.eng.Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, m.origin, req, st) })
+}
+
+func (p *writeInvalidate) serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
+	m := p.m
+	switch {
+	case de.writer == m.origin:
+		// The origin downgrades its own exclusive copy.
+		m.nodes[m.origin].pt.SetAccess(vpn, nil, mem.AccessRead)
+		de.downgradeWriter()
+	case de.writer >= 0:
+		// A remote holds the page exclusively: downgrade it and pull the
+		// fresh data back to the origin.
+		m.fetchFromWriter(t, de, vpn, true /* downgrade */)
+	}
+	de.grantShared(reqNode)
+	if reqNode == m.origin {
+		m.nodes[m.origin].pt.SetAccess(vpn, m.frameAt(m.origin, vpn), mem.AccessRead)
+		return false, nil
+	}
+	return true, m.frameAt(m.origin, vpn)
+}
+
+func (p *writeInvalidate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
+	m := p.m
+	needData := !de.has(reqNode) || m.params.AlwaysSendData
+	if needData && de.writer >= 0 && de.writer != m.origin {
+		// The fresh copy lives at a remote exclusive owner: pull it home
+		// before revoking everything.
+		m.fetchFromWriter(t, de, vpn, false /* invalidate */)
+	}
+	// Capture the outbound data before the origin's own copy is revoked.
+	var data []byte
+	if needData && reqNode != m.origin {
+		data = m.frameAt(m.origin, vpn)
+	}
+	// Revoke every copy except the requester's.
+	var acks []*revokeWaiter
+	for _, owner := range de.ownerList(reqNode) {
+		if owner == m.origin {
+			m.nodes[m.origin].pt.SetAccess(vpn, nil, mem.AccessNone)
+			t.Sleep(m.params.InvalidateApply)
+			m.stats.Invalidations++
+			m.emitInvalidate(m.origin, vpn)
+			continue
+		}
+		if m.chaos != nil && m.chaos.NodeDead(owner) {
+			// A crashed reader's copy died with it; nothing to revoke.
+			de.dropOwner(owner)
+			continue
+		}
+		acks = append(acks, m.sendRevoke(t, m.origin, owner, vpn, false, -1, nil))
+	}
+	m.e.waitRevokes(t, acks)
+	if !needData {
+		m.stats.OwnershipGrants++
+	}
+	de.grantExclusive(reqNode)
+	if reqNode == m.origin {
+		m.nodes[m.origin].pt.SetAccess(vpn, m.frameAt(m.origin, vpn), mem.AccessWrite)
+		return false, nil
+	}
+	return needData, data
+}
+
+// fetchFromWriter revokes the remote exclusive owner of vpn and installs the
+// returned data as the origin's copy. With downgrade the owner keeps a
+// shared (read-only) copy; otherwise its mapping is dropped.
+func (m *Manager) fetchFromWriter(t *sim.Task, de *dirEntry, vpn uint64, downgrade bool) {
+	w := de.writer
+	if m.chaos != nil && m.chaos.NodeDead(w) {
+		m.reclaimLostWriter(de, vpn)
+		return
+	}
+	pr := m.net.PreparePageRecv(t, w, m.origin)
+	waiter := m.sendRevoke(t, m.origin, w, vpn, downgrade, -1, pr)
+	m.e.waitRevokes(t, []*revokeWaiter{waiter})
+	if waiter.lost {
+		// The writer died before shipping its copy home.
+		pr.Release()
+		m.reclaimLostWriter(de, vpn)
+		return
+	}
+	data := pr.Claim(t)
+	m.nodes[m.origin].pt.SetAccess(vpn, data, mem.AccessRead)
+	m.stats.PageTransfers++
+	de.pullHome(downgrade)
+}
+
+// reclaimLostWriter handles the death of a page's exclusive owner: the only
+// fresh copy is gone, so ownership returns to the origin with a zero-filled
+// frame and the page is counted as lost. The application sees well-defined
+// (if stale) contents rather than a hang.
+func (m *Manager) reclaimLostWriter(de *dirEntry, vpn uint64) {
+	m.nodes[m.origin].pt.SetAccess(vpn, m.frames.GetZeroed(), mem.AccessRead)
+	m.stats.PagesLost++
+	de.reclaimHome()
+}
+
+// ---------------------------------------------------------------------------
+// HomeMigrate: the directory home follows the last writer.
+
+type homeMigrate struct{ m *Manager }
+
+func (p *homeMigrate) proto() Protocol { return HomeMigrate }
+
+func (p *homeMigrate) requestTarget(node int, vpn uint64) int {
+	if h, ok := p.m.nodes[node].homeHint[vpn]; ok {
+		return h
+	}
+	return p.m.origin
+}
+
+func (p *homeMigrate) learnHome(node int, vpn uint64, home int) {
+	ns := p.m.nodes[node]
+	if home == p.m.origin {
+		// The default belief; no need to store it.
+		delete(ns.homeHint, vpn)
+		return
+	}
+	ns.homeHint[vpn] = home
+}
+
+// grantCompleted is the home-flip point: once a remote write grant is
+// installed and acknowledged, the new exclusive owner becomes the page's
+// directory home. The old home learns the new one (it just granted to it),
+// so its own next fault on the page routes directly.
+func (p *homeMigrate) grantCompleted(de *dirEntry, req *pageRequest) {
+	if !req.write {
+		return
+	}
+	old := de.home
+	de.home = req.node
+	if old != req.node {
+		p.learnHome(old, req.vpn, req.node)
+	}
+}
+
+func (p *homeMigrate) leadFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) (int, bool) {
+	m := p.m
+	for attempt := 1; ; attempt++ {
+		de, ok := m.dir.Get(vpn)
+		if !ok {
+			if ctx.Node != m.origin {
+				// No entry anywhere yet: the origin is the initial home.
+				return m.requestFault(t, ctx, vpn, write) + attempt - 1, true
+			}
+			// First touch: materialize at the origin, the initial home.
+			m.entry(vpn)
+			return attempt - 1, false
+		}
+		if de.home != ctx.Node {
+			return m.requestFault(t, ctx, vpn, write) + attempt - 1, true
+		}
+		// Fault at the page's current home: resolve through the local
+		// directory. The home is re-checked after every wait — the busy
+		// transaction we waited out may have migrated the home away.
+		if de.busy() {
+			// A busy entry at its own home ends with a local event (the
+			// requester's install ack arriving here), so poll cheaply
+			// rather than paying the remote requester's NACK backoff; the
+			// common case is the entry settling within one fabric latency.
+			if attempt == 1 {
+				m.stats.Nacks++
+			}
+			t.Sleep(homeBusyPoll)
+			continue
+		}
+		if m.Lookup(ctx.Node, vpn, write) != nil {
+			// Raced with a transaction that restored our access.
+			return attempt - 1, true
+		}
+		de.begin()
+		t.Sleep(m.params.Directory)
+		m.serveLocked(t, de, ctx.Node, vpn, write)
+		de.end()
+		t.Sleep(m.params.PTEInstall)
+		return attempt - 1, true
+	}
+}
+
+// dispatchRequest serves a page request at its authoritative home; a
+// request that lands anywhere else (the requester held a stale hint, or no
+// hint and the home has migrated away from the origin) is redirected.
+func (p *homeMigrate) dispatchRequest(node int, req *pageRequest) {
+	m := p.m
+	target := m.origin
+	if de, ok := m.dir.Get(req.vpn); ok {
+		target = de.home
+	}
+	if node != target {
+		m.eng.Spawn("dsm-redirect", func(t *sim.Task) {
+			t.Sleep(m.params.OriginDispatch)
+			m.net.Send(t, node, req.node, &pageReply{pid: m.pid, token: req.token, redirect: true, home: target})
+		})
+		return
+	}
+	m.eng.Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, node, req, nil) })
+}
+
+func (p *homeMigrate) serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
+	m := p.m
+	home := de.home
+	if de.writer >= 0 && de.writer != home {
+		panic(fmt.Sprintf("dsm: home-migrate entry for vpn %#x has writer %d away from home %d", vpn, de.writer, home))
+	}
+	if de.writer == home {
+		// The home holds the page exclusively: downgrade in place. (A writer
+		// away from its home cannot exist under this policy — the home
+		// migrates with exclusivity — so there is no fetch path here.)
+		m.nodes[home].pt.SetAccess(vpn, nil, mem.AccessRead)
+		de.downgradeWriter()
+	}
+	de.grantShared(reqNode)
+	if reqNode == home {
+		m.nodes[home].pt.SetAccess(vpn, m.frameAt(home, vpn), mem.AccessRead)
+		return false, nil
+	}
+	return true, m.frameAt(home, vpn)
+}
+
+func (p *homeMigrate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
+	m := p.m
+	home := de.home
+	if de.writer >= 0 && de.writer != home {
+		panic(fmt.Sprintf("dsm: home-migrate entry for vpn %#x has writer %d away from home %d", vpn, de.writer, home))
+	}
+	needData := !de.has(reqNode) || m.params.AlwaysSendData
+	// Capture the outbound data before the home's own copy is revoked.
+	var data []byte
+	if needData && reqNode != home {
+		data = m.frameAt(home, vpn)
+	}
+	// Revoke every copy except the requester's; each revocation carries the
+	// prospective new home so replica holders keep their hints fresh.
+	var acks []*revokeWaiter
+	for _, owner := range de.ownerList(reqNode) {
+		if owner == home {
+			m.nodes[home].pt.SetAccess(vpn, nil, mem.AccessNone)
+			t.Sleep(m.params.InvalidateApply)
+			m.stats.Invalidations++
+			m.emitInvalidate(home, vpn)
+			continue
+		}
+		acks = append(acks, m.sendRevoke(t, home, owner, vpn, false, reqNode, nil))
+	}
+	m.e.waitRevokes(t, acks)
+	if !needData {
+		m.stats.OwnershipGrants++
+	}
+	de.grantExclusive(reqNode)
+	if reqNode == home {
+		m.nodes[home].pt.SetAccess(vpn, m.frameAt(home, vpn), mem.AccessWrite)
+		return false, nil
+	}
+	return needData, data
+}
+
+// ---------------------------------------------------------------------------
+// Shared requester / home-side machinery.
+
+// homeFault handles a fault taken by a thread running at the page's current
+// home (always the origin under WriteInvalidate).
+func (m *Manager) homeFault(t *sim.Task, node int, vpn uint64, write bool) (int, bool) {
+	for attempt := 1; ; attempt++ {
+		de, created := m.entry(vpn)
+		if created {
+			// First touch anywhere: the home owns the zero-filled page
+			// exclusively; no consistency traffic required.
+			return attempt - 1, false
+		}
+		if de.busy() {
+			m.stats.Nacks++
+			m.backoff(t, attempt)
+			continue
+		}
+		if m.Lookup(node, vpn, write) != nil {
+			// Raced with a transaction that restored our access.
+			return attempt - 1, true
+		}
+		de.begin()
+		t.Sleep(m.params.Directory)
+		m.serveLocked(t, de, node, vpn, write)
+		de.end()
+		t.Sleep(m.params.PTEInstall)
+		return attempt - 1, true
+	}
+}
+
+// requestFault implements the requester side at a node away from the page's
+// home: prepare a landing zone, send the request to the believed home,
+// await the (retransmitted, deduplicated) reply, and install the grant. A
+// redirect reply refreshes the home hint and retries immediately.
+func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int {
+	node := ctx.Node
+	ns := m.nodes[node]
+	for attempt := 1; ; attempt++ {
+		var reqAt time.Duration
+		if m.rec != nil {
+			reqAt = m.eng.Now()
+		}
+		target := m.policy.requestTarget(node, vpn)
+		if target == node {
+			// The believed home is this very node: either our own write
+			// grant is still in its install window (the directory home flips
+			// when our install ack lands at the old home), or a stale
+			// self-hint survived an unmap. The directory, not the hint, is
+			// authoritative — drop the hint and return; EnsurePage
+			// re-validates the PTE and re-runs the lead fault against the
+			// directory's current home.
+			m.policy.learnHome(node, vpn, m.origin)
+			return attempt - 1
+		}
+		pr := m.net.PreparePageRecv(t, target, node)
+		token := m.e.nextToken()
+		req := &outstanding{vpn: vpn, task: t}
+		ns.outstanding[token] = req
+		msg := &pageRequest{
+			pid:   m.pid,
+			vpn:   vpn,
+			write: write,
+			node:  node,
+			token: token,
+			pr:    pr,
+		}
+		m.net.Send(t, node, target, msg)
+		m.e.awaitReply(t, node, target, req, msg)
+		if m.rec != nil {
+			outcome := "grant"
+			switch {
+			case req.nack:
+				outcome = "nack"
+			case req.stale:
+				outcome = "stale"
+			case req.redirect:
+				outcome = "redirect"
+			case req.withData:
+				outcome = "grant+data"
+			}
+			m.rec.Span("dsm", "fault.request", node, ctx.Task, reqAt,
+				obs.Hex("vpn", vpn),
+				obs.Int("attempt", int64(attempt)),
+				obs.String("outcome", outcome))
+		}
+		if req.redirect {
+			// Stale home hint: learn the authoritative home and retry there
+			// immediately (no backoff — this is routing, not contention).
+			delete(ns.outstanding, token)
+			pr.Release()
+			m.policy.learnHome(node, vpn, req.home)
+			continue
+		}
+		if req.nack {
+			delete(ns.outstanding, token)
+			pr.Release()
+			m.stats.Nacks++
+			m.backoff(t, attempt)
+			continue
+		}
+		if req.stale {
+			// A concurrent transaction already satisfied this access; the
+			// caller re-validates the PTE.
+			delete(ns.outstanding, token)
+			pr.Release()
+			return attempt - 1
+		}
+		var frame []byte
+		if req.withData {
+			var claimAt time.Duration
+			if m.rec != nil {
+				claimAt = m.eng.Now()
+			}
+			frame = pr.Claim(t)
+			if m.rec != nil {
+				m.rec.Span("dsm", "fault.transfer", node, ctx.Task, claimAt,
+					obs.Hex("vpn", vpn))
+			}
+		} else {
+			// Ownership-only grant: our existing copy is up to date.
+			pr.Release()
+			pte := ns.pt.Lookup(vpn)
+			if pte == nil || pte.Frame == nil {
+				panic(fmt.Sprintf("dsm: ownership-only grant for vpn %#x but node %d has no copy", vpn, node))
+			}
+			frame = pte.Frame
+		}
+		var installAt time.Duration
+		if m.rec != nil {
+			installAt = m.eng.Now()
+		}
+		t.Sleep(m.params.PTEInstall)
+		// A grant that carries data over an existing local copy (the
+		// AlwaysSendData ablation's read-to-write upgrade) orphans the old
+		// frame: recycle it.
+		if prev := ns.pt.SetAccess(vpn, frame, mem.GrantAccess(write)); prev != nil && &prev[0] != &frame[0] {
+			m.freeFrame(prev)
+		}
+		if m.rec != nil {
+			m.rec.Span("dsm", "fault.install", node, ctx.Task, installAt,
+				obs.Hex("vpn", vpn))
+		}
+		req.installed = true
+		m.e.noteInstalled(ns, token)
+		delete(ns.outstanding, token)
+		m.net.Send(t, node, target, &installAck{pid: m.pid, token: token})
+		// A successful grant pins down where the page's home is right now:
+		// the serving node for reads, ourselves for writes (the home flips
+		// to the new exclusive owner as our install ack lands).
+		if write {
+			m.policy.learnHome(node, vpn, node)
+		} else {
+			m.policy.learnHome(node, vpn, target)
+		}
+		// Apply revocations deferred during the install window.
+		for _, fn := range req.deferred {
+			fn()
+		}
+		return attempt - 1
+	}
+}
+
+func (m *Manager) sendRevoke(t *sim.Task, from, target int, vpn uint64, downgrade bool, newHome int, pr *fabric.PageRecv) *revokeWaiter {
+	seq := m.e.nextRevokeSeq()
+	msg := &revokeMsg{
+		pid:       m.pid,
+		vpn:       vpn,
+		seq:       seq,
+		downgrade: downgrade,
+		needData:  pr != nil,
+		home:      from,
+		newHome:   newHome,
+		pr:        pr,
+	}
+	w := &revokeWaiter{task: t, target: target, msg: msg}
+	m.e.revokeWait[seq] = w
+	m.net.Send(t, from, target, msg)
+	if downgrade {
+		m.stats.Downgrades++
+	} else {
+		m.stats.Invalidations++
+	}
+	return w
+}

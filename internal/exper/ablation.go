@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"dex"
 	"dex/internal/apps"
 	"dex/internal/core"
+	"dex/internal/dsm"
 	"dex/internal/fabric"
 	"dex/internal/mem"
 )
@@ -345,5 +347,125 @@ func AblationUpgrade(r *Runner, _ apps.Size) Table {
 		t.Rows = append(t.Rows, []string{name, res.Span.Round(time.Microsecond).String(),
 			fmt.Sprint(res.Grants), fmt.Sprint(res.PageBytes)})
 	}
+	return t
+}
+
+// protoResult is the value of one A6 cell.
+type protoResult struct {
+	Span          time.Duration
+	Faults        uint64
+	PageSends     uint64
+	PageTransfers uint64
+	Nacks         uint64
+}
+
+// runProtocolPingPong bounces exclusive ownership of a small page set
+// between two non-origin nodes — the write-local pattern the home-migrate
+// policy targets. Under write-invalidate every ownership change routes
+// through the (otherwise idle) origin and pulls the page home first; under
+// home-migrate the current writer serves the next writer directly.
+func runProtocolPingPong(proto dsm.Protocol) protoResult {
+	params := core.DefaultParams(3)
+	params.DSM.Protocol = proto
+	const pages = 8
+	const rounds = 24
+	var span time.Duration
+	rep := runMachine(params, func(th *core.Thread) error {
+		addr, err := th.Mmap(pages*mem.PageSize, mem.ProtRead|mem.ProtWrite, "pingpong")
+		if err != nil {
+			return err
+		}
+		start := time.Duration(0)
+		var ws []*core.Thread
+		for i := 0; i < 2; i++ {
+			node := 1 + i
+			w, err := th.Spawn(func(w *core.Thread) error {
+				if err := w.Migrate(node); err != nil {
+					return err
+				}
+				if start == 0 {
+					start = w.Now()
+				}
+				for r := 0; r < rounds; r++ {
+					for p := 0; p < pages; p++ {
+						a := addr + mem.Addr(p*mem.PageSize)
+						v, err := w.ReadUint64(a)
+						if err != nil {
+							return err
+						}
+						if err := w.WriteUint64(a, v+1); err != nil {
+							return err
+						}
+					}
+					w.Compute(3 * time.Microsecond)
+				}
+				return w.MigrateBack()
+			})
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+		for _, w := range ws {
+			th.Join(w)
+		}
+		span = th.Now() - start
+		return nil
+	})
+	return protoResult{span, rep.DSM.Faults(), rep.Net.PageSends, rep.DSM.PageTransfers, rep.DSM.Nacks}
+}
+
+// AblationProtocol (A6) compares the coherence policies behind the
+// directory/policy/transport split: the paper's origin-served
+// write-invalidate protocol against the home-migrate variant, on the
+// ownership ping-pong microbenchmark and on two of the applications.
+func AblationProtocol(r *Runner, _ apps.Size) Table {
+	r = ensure(r)
+	protos := []dsm.Protocol{dsm.WriteInvalidate, dsm.HomeMigrate}
+	pingCells := make([]*Cell, len(protos))
+	for i, proto := range protos {
+		proto := proto
+		pingCells[i] = r.Submit(fmt.Sprintf("ablation/protocol/pingpong/proto=%s", proto), func() any {
+			return runProtocolPingPong(proto)
+		})
+	}
+	appNames := []string{"kmn", "bp"}
+	appCells := make(map[string][]*Cell, len(appNames))
+	for _, name := range appNames {
+		app, _ := apps.ByName(name)
+		for _, proto := range protos {
+			appCells[name] = append(appCells[name], r.SubmitApp(app, apps.Config{
+				Nodes: 4, Variant: apps.Optimized, Size: apps.SizeTest,
+				Opts: []dex.Option{dex.WithProtocol(proto)},
+			}))
+		}
+	}
+	t := Table{
+		ID:     "A6",
+		Title:  "coherence policy: write-invalidate (paper §III-B) vs home-migrate (home follows the last writer)",
+		Header: []string{"workload", "policy", "span", "lead-faults", "page-sends", "pulls-to-home", "nacks"},
+	}
+	for i, proto := range protos {
+		res := pingCells[i].Wait().(protoResult)
+		t.Rows = append(t.Rows, []string{"pingpong", proto.String(),
+			res.Span.Round(time.Microsecond).String(), fmt.Sprint(res.Faults),
+			fmt.Sprint(res.PageSends), fmt.Sprint(res.PageTransfers), fmt.Sprint(res.Nacks)})
+	}
+	for _, name := range appNames {
+		for i, proto := range protos {
+			res, err := WaitApp(appCells[name][i])
+			if err != nil {
+				t.Rows = append(t.Rows, []string{name, proto.String(), "err: " + err.Error()})
+				continue
+			}
+			t.Rows = append(t.Rows, []string{name, proto.String(),
+				res.Elapsed.Round(time.Microsecond).String(), fmt.Sprint(res.Report.DSM.Faults()),
+				fmt.Sprint(res.Report.Net.PageSends), fmt.Sprint(res.Report.DSM.PageTransfers),
+				fmt.Sprint(res.Report.DSM.Nacks)})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"pulls-to-home counts pages fetched back from a remote writer before re-granting; home-migrate serves at the writer so it never pulls",
+		"home-migrate is incompatible with fault injection (dexchaos always runs write-invalidate)")
 	return t
 }

@@ -91,6 +91,7 @@ func All() []Experiment {
 		{ID: "ablation-vma", Desc: "A3 on-demand vs eager VMA synchronization", Run: AblationVMA},
 		{ID: "ablation-upgrade", Desc: "A4 ownership-only grants on/off", Run: AblationUpgrade},
 		{ID: "ablation-alignment", Desc: "A5 §IV-B object alignment: packed vs selective vs blanket", Run: AblationAlignment},
+		{ID: "ablation-protocol", Desc: "A6 coherence policy: write-invalidate vs home-migrate", Run: AblationProtocol},
 	}
 }
 

@@ -22,7 +22,7 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 11 {
+	if len(exps) != 12 {
 		t.Fatalf("got %d experiments", len(exps))
 	}
 	for _, e := range exps {

@@ -1,0 +1,76 @@
+package mem
+
+import "fmt"
+
+// Access is the page-access level the consistency protocol grants a node
+// for one page. It is the single mapping from protocol-visible directory
+// state to PTE permission bits: the DSM layer reasons in Access terms and
+// SetAccess below is the one place that turns an access level into the
+// Present/Writable/Frame mutation (with its TLB coherence side effects).
+type Access uint8
+
+const (
+	// AccessNone drops the node's copy: the PTE (and its frame) go away.
+	AccessNone Access = iota
+	// AccessRead is a shared replica: present, read-only.
+	AccessRead
+	// AccessWrite is exclusive ownership: present and writable.
+	AccessWrite
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessNone:
+		return "none"
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Access(%d)", uint8(a))
+	}
+}
+
+// GrantAccess returns the access level a fault of the given kind earns:
+// write faults earn exclusive access, read faults a shared replica.
+func GrantAccess(write bool) Access {
+	if write {
+		return AccessWrite
+	}
+	return AccessRead
+}
+
+// SetAccess applies one protocol-granted access level to vpn and returns
+// the frame of any previously present mapping (nil if none), so the caller
+// can recycle an orphaned frame.
+//
+//   - AccessWrite installs frame as a writable mapping (frame required).
+//   - AccessRead with a frame installs it as a read-only replica.
+//   - AccessRead with a nil frame downgrades the existing mapping in place
+//     (the frame is kept; nothing is returned because nothing is orphaned).
+//   - AccessNone invalidates the mapping and returns the dropped frame.
+func (pt *PageTable) SetAccess(vpn uint64, frame []byte, acc Access) (prev []byte) {
+	switch acc {
+	case AccessWrite, AccessRead:
+		if frame == nil {
+			if acc == AccessWrite {
+				panic("mem: writable mapping requires a frame")
+			}
+			pt.Downgrade(vpn)
+			return nil
+		}
+		if pte := pt.Lookup(vpn); pte != nil && pte.Present {
+			prev = pte.Frame
+		}
+		pt.Map(vpn, frame, acc == AccessWrite)
+		return prev
+	case AccessNone:
+		if pte := pt.Lookup(vpn); pte != nil && pte.Present {
+			prev = pte.Frame
+			pt.Invalidate(vpn)
+		}
+		return prev
+	default:
+		panic(fmt.Sprintf("mem: unknown access level %d", acc))
+	}
+}
