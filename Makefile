@@ -42,10 +42,17 @@ bench:
 artifacts:
 	$(GO) run ./cmd/dexbench -size full
 
-# chaos-smoke runs a small fault-injection campaign twice and compares the
-# outputs byte for byte: same seed + same plan must reproduce exactly.
+# chaos-smoke runs a small fault-injection campaign twice under each
+# protocol and compares the outputs byte for byte (same seed + same plan
+# must reproduce exactly), then gates a crash campaign on 100% survival
+# with checkpoint/restart enabled.
 chaos-smoke:
 	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -dup 0.2 > chaos1.txt
 	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -dup 0.2 > chaos2.txt
 	cmp chaos1.txt chaos2.txt
-	rm -f chaos1.txt chaos2.txt
+	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -dup 0.2 -protocol home > chaos-hm1.txt
+	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -dup 0.2 -protocol home > chaos-hm2.txt
+	cmp chaos-hm1.txt chaos-hm2.txt
+	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -crash 3ms -restart -fail-under 1 > /dev/null
+	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -crash 3ms -restart -fail-under 1 -protocol home > /dev/null
+	rm -f chaos1.txt chaos2.txt chaos-hm1.txt chaos-hm2.txt

@@ -46,20 +46,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("dexchaos", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		appName  = fs.String("app", "kmn", "application to stress (see dexrun -list)")
-		nodes    = fs.Int("nodes", 3, "cluster size")
-		threads  = fs.Int("threads", 4, "threads per node")
-		seed     = fs.Int64("seed", 1, "simulation and fault-plan seed")
-		size     = fs.String("size", "test", "test | full")
-		drops    = fs.String("drops", "0,0.05,0.1,0.2", "comma-separated drop probabilities to sweep")
-		dup      = fs.Float64("dup", 0, "duplication probability applied to every cell")
-		delay    = fs.Duration("delay", 0, "delay jitter bound applied to half the messages of every cell")
-		crash    = fs.Duration("crash", 0, "crash the highest node at this virtual time (0 = no crash)")
-		parallel = fs.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)")
-		quiet    = fs.Bool("quiet", false, "suppress timing output on stderr")
+		appName   = fs.String("app", "kmn", "application to stress (see dexrun -list)")
+		nodes     = fs.Int("nodes", 3, "cluster size")
+		threads   = fs.Int("threads", 4, "threads per node")
+		seed      = fs.Int64("seed", 1, "simulation and fault-plan seed")
+		size      = fs.String("size", "test", "test | full")
+		drops     = fs.String("drops", "0,0.05,0.1,0.2", "comma-separated drop probabilities to sweep")
+		dup       = fs.Float64("dup", 0, "duplication probability applied to every cell")
+		delay     = fs.Duration("delay", 0, "delay jitter bound applied to half the messages of every cell")
+		crash     = fs.Duration("crash", 0, "crash the highest node at this virtual time (0 = no crash)")
+		protocol  = fs.String("protocol", "wi", "coherence protocol: wi (write-invalidate) | home (home-migrate)")
+		restart   = fs.Bool("restart", false, "run checkpoint/restart-capable workers: threads lost to a crash resume from their last checkpoint")
+		failUnder = fs.Float64("fail-under", 0, "minimum surviving fraction of cells (0..1); exit non-zero below it")
+		parallel  = fs.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)")
+		quiet     = fs.Bool("quiet", false, "suppress timing output on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	proto, err := dex.ParseProtocol(*protocol)
+	if err != nil {
+		return err
+	}
+	if *failUnder < 0 || *failUnder > 1 {
+		return fmt.Errorf("-fail-under %g out of range [0,1]", *failUnder)
 	}
 	app, ok := apps.ByName(*appName)
 	if !ok {
@@ -98,13 +108,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 			sem <- struct{}{}
 			defer func() { <-sem; done <- i }()
 			plan := planFor(*seed, rate, *dup, *delay, *crash, *nodes)
+			opts := []dex.Option{dex.WithChaos(plan)}
+			if proto != dex.WriteInvalidate {
+				opts = append(opts, dex.WithProtocol(proto))
+			}
 			cfg := apps.Config{
 				Nodes:          *nodes,
 				ThreadsPerNode: *threads,
 				Variant:        apps.Optimized,
 				Size:           sz,
 				Seed:           *seed,
-				Opts:           []dex.Option{dex.WithChaos(plan)},
+				Restart:        *restart,
+				Opts:           opts,
 			}
 			start := time.Now()
 			res, err := app.Run(cfg)
@@ -118,16 +133,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(stdout, "# dexchaos: app=%s nodes=%d threads/node=%d size=%s seed=%d dup=%.3f delay=%v crash=%v\n",
-		app.Name, *nodes, *threads, *size, *seed, *dup, *delay, *crash)
+	// Non-default protocol/restart settings are recorded in the header so
+	// their goldens are self-describing; the default header stays
+	// byte-identical to earlier releases.
+	extra := ""
+	if proto != dex.WriteInvalidate {
+		extra += fmt.Sprintf(" protocol=%v", proto)
+	}
+	if *restart {
+		extra += " restart=true"
+	}
+	fmt.Fprintf(stdout, "# dexchaos: app=%s nodes=%d threads/node=%d size=%s seed=%d dup=%.3f delay=%v crash=%v%s\n",
+		app.Name, *nodes, *threads, *size, *seed, *dup, *delay, *crash, extra)
 	fmt.Fprintf(stdout, "%-8s %-9s %-14s %-8s %-12s %-8s %-9s %-8s %s\n",
 		"drop", "status", "elapsed", "dropped", "retransmits", "dups", "pages", "threads", "check")
+	survived := 0
 	for _, c := range cells {
 		if c.err != nil {
 			fmt.Fprintf(stdout, "%-8.3f %-9s %-14s %-8s %-12s %-8s %-9s %-8s %s\n",
 				c.rate, "FAIL", "-", "-", "-", "-", "-", "-", "err: "+c.err.Error())
 			continue
 		}
+		survived++
 		rep := c.res.Report
 		var injected chaos.Stats
 		var threadsLost int
@@ -138,6 +165,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "%-8.3f %-9s %-14v %-8d %-12d %-8d %-9d %-8d %s\n",
 			c.rate, "ok", c.res.Elapsed, injected.Dropped, rep.DSM.Retransmits,
 			rep.DSM.DupsIgnored, rep.DSM.PagesLost, threadsLost, c.res.Check)
+	}
+	if frac := float64(survived) / float64(len(cells)); frac < *failUnder {
+		return fmt.Errorf("survival %d/%d (%.0f%%) below -fail-under %.0f%%",
+			survived, len(cells), 100*frac, 100**failUnder)
 	}
 	return nil
 }

@@ -56,6 +56,70 @@ func TestChaosParallelOutputByteIdentical(t *testing.T) {
 	}
 }
 
+// TestChaosHomeGoldenBytes pins the same campaigns under the home-migrate
+// protocol with checkpoint/restart: every cell survives (no FAIL rows),
+// including the crash campaign that fails without restart. Regenerate with:
+//
+//	go run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1,0.3 -dup 0.2 -protocol home -restart >  cmd/dexchaos/testdata/golden_home.txt
+//	go run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0 -crash 3ms -protocol home -restart      >> cmd/dexchaos/testdata/golden_home.txt
+func TestChaosHomeGoldenBytes(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden_home.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := campaign(t, "-protocol", "home", "-restart")
+	if got != string(golden) {
+		t.Fatalf("home-migrate output diverged from testdata/golden_home.txt; regenerate only if the change is intended:\n%s", got)
+	}
+	if strings.Contains(got, "FAIL") {
+		t.Fatalf("home-migrate campaign with restart must survive every cell:\n%s", got)
+	}
+}
+
+// TestChaosRestartGoldenBytes pins the write-invalidate campaigns with
+// checkpoint/restart enabled: 100%% survival, crash campaign included.
+// Regenerate with the golden_home.txt recipe minus -protocol home.
+func TestChaosRestartGoldenBytes(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden_restart.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := campaign(t, "-restart")
+	if got != string(golden) {
+		t.Fatalf("restart output diverged from testdata/golden_restart.txt; regenerate only if the change is intended:\n%s", got)
+	}
+	if strings.Contains(got, "FAIL") {
+		t.Fatalf("restart campaign must survive every cell:\n%s", got)
+	}
+}
+
+// TestChaosRestartParallelByteIdentical: checkpoint/restart campaigns under
+// both protocols are byte-identical at any worker-pool width.
+func TestChaosRestartParallelByteIdentical(t *testing.T) {
+	for _, proto := range [][]string{{"-restart"}, {"-restart", "-protocol", "home"}} {
+		seq := campaign(t, append(proto, "-parallel", "1")...)
+		par := campaign(t, append(proto, "-parallel", "8")...)
+		if seq != par {
+			t.Fatalf("%v stdout differs between -parallel 1 and -parallel 8:\n--- 1 ---\n%s\n--- 8 ---\n%s", proto, seq, par)
+		}
+	}
+}
+
+// TestChaosFailUnder: the campaign exits non-zero when survival falls below
+// the -fail-under threshold and zero once restart pushes survival back up.
+func TestChaosFailUnder(t *testing.T) {
+	crashArgs := []string{"-quiet", "-app", "kmn", "-nodes", "3", "-threads", "4", "-drops", "0", "-crash", "3ms"}
+	if err := run(append(append([]string(nil), crashArgs...), "-fail-under", "1"), io.Discard, io.Discard); err == nil {
+		t.Fatal("crash campaign without restart passed -fail-under 1")
+	}
+	if err := run(append(append([]string(nil), crashArgs...), "-fail-under", "1", "-restart"), io.Discard, io.Discard); err != nil {
+		t.Fatalf("crash campaign with restart failed -fail-under 1: %v", err)
+	}
+	if err := run([]string{"-fail-under", "1.5"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("out-of-range -fail-under accepted")
+	}
+}
+
 func TestChaosBadFlags(t *testing.T) {
 	if err := run([]string{"-app", "nope"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown app accepted")

@@ -46,6 +46,7 @@ func run(args []string) error {
 		traceOut = fs.String("trace", "", "write Perfetto trace-event JSON to this file")
 		chaosFn  = fs.String("chaos", "", "JSON fault-injection plan to run the application under")
 		protocol = fs.String("protocol", "wi", "coherence protocol: wi (write-invalidate) | home (home-migrate)")
+		restart  = fs.Bool("restart", false, "run checkpoint/restart-capable workers (kmn): threads lost to a crash resume from their last checkpoint")
 		metrics  = fs.Bool("metrics", false, "print latency histogram summaries after the run")
 		jsonOut  = fs.Bool("json", false, "emit the run report as JSON instead of text")
 	)
@@ -62,15 +63,12 @@ func run(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown application %q (use -list)", *appName)
 	}
-	cfg := apps.Config{Nodes: *nodes, ThreadsPerNode: *threads, Seed: *seed}
+	cfg := apps.Config{Nodes: *nodes, ThreadsPerNode: *threads, Seed: *seed, Restart: *restart}
 	proto, err := dex.ParseProtocol(*protocol)
 	if err != nil {
 		return err
 	}
 	if proto != dex.WriteInvalidate {
-		if *chaosFn != "" {
-			return fmt.Errorf("-protocol %s cannot be combined with -chaos: only write-invalidate is hardened against fault injection", proto)
-		}
 		cfg.Opts = append(cfg.Opts, dex.WithProtocol(proto))
 	}
 	if *chaosFn != "" {
@@ -170,6 +168,10 @@ func run(args []string) error {
 			res.Report.DSM.Retransmits, res.Report.DSM.DupsIgnored)
 		fmt.Printf("chaos loss:   %d nodes, %d threads, %d pages lost; %d lease suspects\n",
 			c.NodesLost, c.ThreadsLost, res.Report.DSM.PagesLost, c.LeaseSuspects)
+		if c.ThreadsRestarted > 0 || c.PagesRestored > 0 {
+			fmt.Printf("chaos restart: %d threads restarted, %d pages restored\n",
+				c.ThreadsRestarted, c.PagesRestored)
+		}
 	}
 	for n, s := range res.Report.TLBPerNode {
 		if s.Hits == 0 && s.Misses == 0 && s.Flushes == 0 {

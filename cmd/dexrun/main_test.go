@@ -133,17 +133,34 @@ func TestRunProtocolFlag(t *testing.T) {
 	}
 }
 
-func TestRunProtocolRejectsChaos(t *testing.T) {
+func TestRunProtocolAcceptsChaos(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "plan.json")
-	if err := os.WriteFile(path, []byte(`{"seed": 1}`), 0o644); err != nil {
+	plan := `{"seed": 3, "drop": [{"src": -1, "dst": -1, "prob": 0.2}], "dup": [{"src": -1, "dst": -1, "prob": 0.2}]}`
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run([]string{"-app", "ep", "-nodes", "2", "-protocol", "home", "-chaos", path})
-	if err == nil {
-		t.Fatal("-protocol home combined with -chaos was accepted")
+	out := captureStdout(t, func() error {
+		return run([]string{"-app", "ep", "-nodes", "2", "-protocol", "home", "-chaos", path})
+	})
+	if !bytes.Contains(out, []byte("chaos:")) {
+		t.Fatalf("home-migrate chaos run has no chaos summary:\n%s", out)
 	}
-	if !strings.Contains(err.Error(), "write-invalidate") {
-		t.Fatalf("error %q does not explain the restriction", err)
+}
+
+func TestRunRestartSurvivesCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.json")
+	plan := `{"seed": 1, "crashes": [{"node": 2, "at": "3ms"}]}`
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []string{"wi", "home"} {
+		out := captureStdout(t, func() error {
+			return run([]string{"-app", "kmn", "-nodes", "3", "-threads", "4",
+				"-protocol", proto, "-chaos", path, "-restart"})
+		})
+		if !bytes.Contains(out, []byte("chaos restart:")) {
+			t.Fatalf("protocol %s: no restart summary after a crash:\n%s", proto, out)
+		}
 	}
 }
 

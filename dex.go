@@ -208,7 +208,8 @@ const (
 	WriteInvalidate = dsm.WriteInvalidate
 	// HomeMigrate moves a page's directory home to the last exclusive
 	// writer, so repeated faults on writer-local pages skip the origin
-	// round trip. Not supported together with WithChaos.
+	// round trip. Under WithChaos, pages whose home is declared dead are
+	// reclaimed to the origin shard and in-flight requests fail over there.
 	HomeMigrate = dsm.HomeMigrate
 )
 
@@ -217,9 +218,10 @@ const (
 func ParseProtocol(s string) (Protocol, error) { return dsm.ParseProtocol(s) }
 
 // WithProtocol selects the coherence policy (default WriteInvalidate).
-// HomeMigrate cannot be combined with WithChaos: its recovery paths are not
-// hardened against message loss, and cluster construction panics on that
-// combination.
+// Both policies are hardened against WithChaos fault injection: requests
+// retransmit on loss, duplicates are absorbed idempotently, and under
+// HomeMigrate a dead home's pages are rehomed to the origin with stale
+// home hints invalidated.
 func WithProtocol(proto Protocol) Option {
 	return optionFunc(func(p *core.Params) { p.DSM.Protocol = proto })
 }

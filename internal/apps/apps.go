@@ -67,6 +67,12 @@ type Config struct {
 	Variant        Variant
 	Size           Size
 	Seed           int64
+	// Restart runs checkpoint/restart-capable workers where the app
+	// supports them (currently kmn): each worker checkpoints at iteration
+	// boundaries and, if its node is declared dead under fault injection,
+	// is re-spawned at the origin from the checkpoint instead of failing
+	// the run. A no-op without a chaos plan.
+	Restart bool
 	// Opts are extra cluster options (e.g. dex.WithTrace for profiling).
 	Opts []dex.Option
 }

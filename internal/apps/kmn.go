@@ -43,6 +43,9 @@ const kmnDims = 3
 // that the main thread reduces.
 func RunKMN(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Restart {
+		return runKMNRestart(cfg)
+	}
 	p := kmnSizes(cfg.Size)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pts := make([]float64, p.points*kmnDims)

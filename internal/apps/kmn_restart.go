@@ -1,0 +1,245 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dex"
+)
+
+// runKMNRestart is the checkpoint/restart-capable k-means used by the
+// survival experiments: the Optimized data layout, but coordinated through a
+// PhasedBarrier instead of the counting Barrier so every synchronization
+// step is safe to replay, and with each worker checkpointing at the top of
+// every iteration. A worker whose node is declared dead is re-spawned at
+// the origin from its latest checkpoint; because each iteration's inputs
+// (the centers) cannot advance past the worker's own unconsumed
+// publication, the replay recomputes and republishes byte-identical
+// partial sums and the run converges to the same answer as a clean one.
+func runKMNRestart(cfg Config) (Result, error) {
+	p := kmnSizes(cfg.Size)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pts := make([]float64, p.points*kmnDims)
+	for i := range pts {
+		pts[i] = rng.Float64() * 100
+	}
+
+	cluster := cfg.cluster()
+	var finalCenters []float64
+	var roiStart, roiEnd time.Duration
+	report, err := cluster.Run(func(main *dex.Thread) error {
+		threads := cfg.threads()
+		accLen := p.k * (kmnDims + 1)
+		main.SetSite("kmn/setup")
+		points, err := main.Mmap(uint64(8*len(pts)), dex.ProtRead|dex.ProtWrite, "points")
+		if err != nil {
+			return err
+		}
+		if err := writeFloat64s(main, points, pts); err != nil {
+			return err
+		}
+		centers, err := main.Mmap(dex.PageSize, dex.ProtRead|dex.ProtWrite, "centers")
+		if err != nil {
+			return err
+		}
+		if err := writeFloat64s(main, centers, pts[:p.k*kmnDims]); err != nil {
+			return err
+		}
+		// Per-worker slot pages. Offset 0 holds a 4-byte iteration tag that
+		// validates the 8-aligned accumulators behind it: a slot page lost
+		// with its node reads back zero-tagged (or tagged with the previous
+		// iteration if restored from a checkpoint) until the worker's
+		// publication for the current iteration actually lands.
+		slots, err := main.Mmap(uint64(threads)*dex.PageSize, dex.ProtRead|dex.ProtWrite, "thread-partials")
+		if err != nil {
+			return err
+		}
+		bar, err := dex.NewPhasedBarrier(main, threads)
+		if err != nil {
+			return err
+		}
+
+		body := func(w *dex.Thread, id, startIter int) error {
+			lo, hi := partition(p.points, threads, id)
+			slot := slots + dex.Addr(id)*dex.PageSize
+			for iter := startIter; iter < p.iters; iter++ {
+				var reg [4]byte
+				binary.LittleEndian.PutUint32(reg[:], uint32(iter))
+				if err := w.Checkpoint(reg[:]); err != nil {
+					return err
+				}
+				w.SetSite("kmn/centers")
+				ctr, err := readFloat64s(w, centers, p.k*kmnDims)
+				if err != nil {
+					return err
+				}
+				acc := make([]float64, accLen)
+				for pos := lo; pos < hi; pos += p.chunk {
+					n := p.chunk
+					if pos+n > hi {
+						n = hi - pos
+					}
+					w.SetSite("kmn/points")
+					buf, err := readFloat64s(w, points+dex.Addr(8*pos*kmnDims), n*kmnDims)
+					if err != nil {
+						return err
+					}
+					w.Compute(time.Duration(n) * p.pointCost)
+					for i := 0; i < n; i++ {
+						x, y, z := buf[i*kmnDims], buf[i*kmnDims+1], buf[i*kmnDims+2]
+						best, bestD := 0, math.MaxFloat64
+						for c := 0; c < p.k; c++ {
+							dx := x - ctr[c*kmnDims]
+							dy := y - ctr[c*kmnDims+1]
+							dz := z - ctr[c*kmnDims+2]
+							if d := dx*dx + dy*dy + dz*dz; d < bestD {
+								best, bestD = c, d
+							}
+						}
+						o := best * (kmnDims + 1)
+						acc[o] += x
+						acc[o+1] += y
+						acc[o+2] += z
+						acc[o+3]++
+					}
+				}
+				// Publish the tag and the accumulators in one single-page
+				// write: either the whole publication lands or none of it
+				// does, so the main thread can never see fresh data behind a
+				// stale tag or vice versa.
+				w.SetSite("kmn/publish")
+				pub := make([]byte, 8+8*accLen)
+				binary.LittleEndian.PutUint32(pub, uint32(iter+1))
+				for j, v := range acc {
+					binary.LittleEndian.PutUint64(pub[8+8*j:], math.Float64bits(v))
+				}
+				if err := w.Write(slot, pub); err != nil {
+					return err
+				}
+				if err := bar.Arrive(w, id, iter); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		roiStart = main.Now()
+		ws := make([]*dex.Thread, 0, threads)
+		for i := 0; i < threads; i++ {
+			id := i
+			node := nodeOf(id, threads, cfg.Nodes)
+			w, err := main.SpawnRestartable(func(t *dex.Thread, blob []byte) error {
+				start := 0
+				if len(blob) >= 4 {
+					start = int(binary.LittleEndian.Uint32(blob))
+				}
+				// Migration is best effort here: after a restart the
+				// preferred node is dead and the worker computes on at the
+				// origin instead — slower, but alive.
+				if cfg.Variant != Baseline {
+					_ = t.Migrate(node)
+				}
+				if err := body(t, id, start); err != nil {
+					return err
+				}
+				if cfg.Variant != Baseline {
+					_ = t.MigrateBack()
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+
+		for iter := 0; iter < p.iters; iter++ {
+			total := make([]float64, accLen)
+			for id := 0; id < threads; id++ {
+				if err := bar.Collect(main, id, iter); err != nil {
+					return err
+				}
+				slot := slots + dex.Addr(id)*dex.PageSize
+				// The arrival word proves the worker reached the barrier,
+				// not that its slot survived: a crash between the publish
+				// and the death declaration can zero-fill the slot page.
+				// Poll the tag until the (possibly restarted) worker's
+				// publication for this iteration is visible.
+				main.SetSite("kmn/collect")
+				for {
+					tag, err := main.ReadUint32(slot)
+					if err != nil {
+						return err
+					}
+					if tag == uint32(iter+1) {
+						break
+					}
+					main.Compute(50 * time.Microsecond)
+				}
+				part, err := readFloat64s(main, slot+8, accLen)
+				if err != nil {
+					return err
+				}
+				for j, v := range part {
+					total[j] += v
+				}
+			}
+			main.SetSite("kmn/reduce")
+			newCenters := make([]float64, p.k*kmnDims)
+			old, err := readFloat64s(main, centers, p.k*kmnDims)
+			if err != nil {
+				return err
+			}
+			for c := 0; c < p.k; c++ {
+				cnt := total[c*(kmnDims+1)+kmnDims]
+				for d := 0; d < kmnDims; d++ {
+					if cnt > 0 {
+						newCenters[c*kmnDims+d] = total[c*(kmnDims+1)+d] / cnt
+					} else {
+						newCenters[c*kmnDims+d] = old[c*kmnDims+d]
+					}
+				}
+			}
+			if err := writeFloat64s(main, centers, newCenters); err != nil {
+				return err
+			}
+			main.Compute(time.Duration(p.k) * time.Microsecond / 4)
+			if err := bar.Release(main, iter); err != nil {
+				return err
+			}
+		}
+		var joinErr error
+		for _, w := range ws {
+			if err := main.Join(w); err != nil && joinErr == nil {
+				joinErr = err
+			}
+		}
+		if joinErr != nil {
+			return joinErr
+		}
+		roiEnd = main.Now()
+		finalCenters, err = readFloat64s(main, centers, p.k*kmnDims)
+		return err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	ref := kmnReference(pts, p)
+	for i := range ref {
+		if math.Abs(ref[i]-finalCenters[i]) > 1e-6*(1+math.Abs(ref[i])) {
+			return Result{}, fmt.Errorf("kmn: center component %d = %g, want %g", i, finalCenters[i], ref[i])
+		}
+	}
+	return Result{
+		App:     "kmn",
+		Variant: cfg.Variant,
+		Nodes:   cfg.Nodes,
+		Threads: cfg.threads(),
+		Elapsed: roiEnd - roiStart,
+		Report:  report,
+		Check:   checksumFloats(finalCenters, 1e-6),
+	}, nil
+}

@@ -42,6 +42,12 @@ type ChaosReport struct {
 	// LeaseSuspects counts lease expiries that did NOT confirm as crashes
 	// (partitions or delay storms starving heartbeats).
 	LeaseSuspects uint64
+	// ThreadsRestarted is how many lost threads were re-spawned at the
+	// origin from their latest checkpoint instead of being declared dead.
+	ThreadsRestarted int
+	// PagesRestored is how many pages whose only copy died with a node were
+	// repopulated from a thread checkpoint instead of zero-filling.
+	PagesRestored int
 }
 
 // crashNode executes a scheduled whole-node crash: from this instant the
@@ -139,9 +145,11 @@ func (p *Process) leaseTick() {
 }
 
 // declareNodeDead is the origin's commit point for a node crash: the worker
-// is retired, page ownership is reclaimed to the origin, and every thread
-// located at the node is marked dead with an attributable error so its
-// joiners resume instead of hanging. Idempotent.
+// is retired and page ownership is reclaimed to the origin. Threads located
+// at the node are then either re-spawned at the origin from their latest
+// checkpoint (when every one of them is restartable and has checkpointed)
+// or marked dead with an attributable error so their joiners resume instead
+// of hanging. Idempotent.
 func (p *Process) declareNodeDead(node int) {
 	if p.deadNodes[node] {
 		return
@@ -151,35 +159,72 @@ func (p *Process) declareNodeDead(node int) {
 	if w, ok := p.workers[node]; ok {
 		w.dead = true
 	}
-	p.mgr.ReclaimDeadNode(node)
-	// Node death poisons futex-based synchronization (robust-futex style):
-	// a barrier or lock involving the dead node's threads can never be
-	// satisfied again, and the origin cannot tell which waits those are. All
-	// in-flight waits are interrupted and later waits fail fast; survivors
-	// surface the error instead of hanging.
-	if p.futexPoisoned == nil {
-		p.futexPoisoned = fmt.Errorf("core: futex wait interrupted: node %d crashed", node)
+	lost, err := p.mgr.ReclaimDeadNode(node)
+	if err != nil && p.firstErr == nil {
+		p.firstErr = err
 	}
-	p.fut.ExpireAll()
+	var dead []*Thread
 	for _, th := range p.threads {
-		if th.done || th.node != node {
-			continue
+		if !th.done && th.node == node {
+			dead = append(dead, th)
 		}
-		th.crashErr = fmt.Errorf("core: thread %d lost: node %d crashed", th.id, node)
-		p.threadsLost++
-		if th.futexWaiter != nil {
-			// The thread died while its delegated futex wait was queued at
-			// the origin: unwind the origin-side waiter so the table holds
-			// no dead entries and the delegated task can finish.
-			th.futexWaiter.Expire()
-			th.futexWaiter = nil
+	}
+	restartAll := len(dead) > 0
+	for _, th := range dead {
+		if th.restartable == nil || th.ckpt == nil {
+			restartAll = false
 		}
-		th.done = true
-		for _, j := range th.joiners {
-			j.Unpark()
+	}
+	if restartAll {
+		// Every lost thread can come back from a checkpoint: repopulate the
+		// pages whose only copy died with the node from the snapshots, then
+		// re-spawn the threads at the origin. No futex poisoning — the
+		// restarted bodies replay from their last quiescent point and
+		// re-deliver any wakeups the survivors are waiting on.
+		for _, th := range dead {
+			for _, vpn := range lost {
+				if data, ok := th.ckpt.pages[vpn]; ok {
+					if p.mgr.RestorePage(vpn, data) {
+						p.pagesRestored++
+					}
+				}
+			}
 		}
-		th.joiners = nil
-		p.liveCount--
+		for _, th := range dead {
+			if th.futexWaiter != nil {
+				// The thread died while its delegated futex wait was queued
+				// at the origin: unwind the origin-side waiter so the table
+				// holds no dead entries and the delegated task can finish.
+				th.futexWaiter.Expire()
+				th.futexWaiter = nil
+			}
+			p.restartThread(th)
+			p.threadsRestarted++
+		}
+	} else {
+		// Node death poisons futex-based synchronization (robust-futex
+		// style): a barrier or lock involving the dead node's threads can
+		// never be satisfied again, and the origin cannot tell which waits
+		// those are. All in-flight waits are interrupted and later waits
+		// fail fast; survivors surface the error instead of hanging.
+		if p.futexPoisoned == nil {
+			p.futexPoisoned = fmt.Errorf("core: futex wait interrupted: node %d crashed", node)
+		}
+		p.fut.ExpireAll()
+		for _, th := range dead {
+			th.crashErr = fmt.Errorf("core: thread %d lost: node %d crashed", th.id, node)
+			p.threadsLost++
+			if th.futexWaiter != nil {
+				th.futexWaiter.Expire()
+				th.futexWaiter = nil
+			}
+			th.done = true
+			for _, j := range th.joiners {
+				j.Unpark()
+			}
+			th.joiners = nil
+			p.liveCount--
+		}
 	}
 	if p.m.params.Obs != nil {
 		p.m.params.Obs.SpanAt("chaos", "node.dead", node, -1, p.m.eng.Now(), 0)
@@ -187,6 +232,31 @@ func (p *Process) declareNodeDead(node int) {
 	if p.liveCount == 0 {
 		p.finishedAt = p.m.eng.Now()
 		p.m.eng.Spawn("process-exit", func(t *sim.Task) { p.shutdownWorkers(t) })
+	}
+}
+
+// restartThread re-launches a lost restartable thread at the origin from its
+// last checkpoint. The thread keeps its identity — id, joiners, futex
+// address space — so to the rest of the process it simply went quiet for a
+// lease interval and resumed: Join keeps waiting on it rather than
+// surfacing a crash error.
+func (p *Process) restartThread(th *Thread) {
+	th.node = p.origin
+	th.restarts++
+	th.pending = 0
+	blob := append([]byte(nil), th.ckpt.data...)
+	fn := th.restartable
+	name := fmt.Sprintf("pid%d/t%d#r%d", p.pid, th.id, th.restarts)
+	th.task = p.m.eng.Spawn(name, func(t *sim.Task) {
+		th.task = t
+		if err := fn(th, blob); err != nil && p.firstErr == nil {
+			p.firstErr = fmt.Errorf("thread %d: %w", th.id, err)
+		}
+		p.threadDone(t, th)
+	})
+	th.task.SetDetail(fmt.Sprintf("node %d", p.origin))
+	if p.m.params.Obs != nil {
+		p.m.params.Obs.SpanAt("chaos", "thread.restart", p.origin, th.id, p.m.eng.Now(), 0)
 	}
 }
 

@@ -49,12 +49,14 @@ type Process struct {
 	delegations      uint64
 
 	// Fault-injection state (nil/zero when no plan is active).
-	deadNodes     []bool                // nodes this process has declared dead
-	lastSeen      map[int]time.Duration // per remote node: last lease refresh
-	nodesLost     int
-	threadsLost   int
-	leaseSuspects uint64
-	futexPoisoned error // set on first node death; fails futex waits fast
+	deadNodes        []bool                // nodes this process has declared dead
+	lastSeen         map[int]time.Duration // per remote node: last lease refresh
+	nodesLost        int
+	threadsLost      int
+	threadsRestarted int
+	pagesRestored    int
+	leaseSuspects    uint64
+	futexPoisoned    error // set on first node death; fails futex waits fast
 }
 
 // remoteWorker is the per-(process, node) worker thread of §III-A: it forks
@@ -184,10 +186,12 @@ func (p *Process) Report() Report {
 	var cr *ChaosReport
 	if p.m.inj != nil {
 		cr = &ChaosReport{
-			Injected:      p.m.inj.Stats(),
-			NodesLost:     p.nodesLost,
-			ThreadsLost:   p.threadsLost,
-			LeaseSuspects: p.leaseSuspects,
+			Injected:         p.m.inj.Stats(),
+			NodesLost:        p.nodesLost,
+			ThreadsLost:      p.threadsLost,
+			LeaseSuspects:    p.leaseSuspects,
+			ThreadsRestarted: p.threadsRestarted,
+			PagesRestored:    p.pagesRestored,
 		}
 	}
 	return Report{

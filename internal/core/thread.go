@@ -38,6 +38,24 @@ type Thread struct {
 	// futexWaiter is the thread's origin-side futex queue entry while a
 	// delegated FutexWait is blocked, so node death can unwind it.
 	futexWaiter *futex.Waiter
+
+	// restartable, when non-nil, is the thread's restart body (set by
+	// SpawnRestartable): if the thread's node is declared dead, the thread
+	// is re-spawned at the origin from its latest checkpoint instead of
+	// surfacing a crash error.
+	restartable func(*Thread, []byte) error
+	// ckpt is the latest state snapshot taken by Checkpoint.
+	ckpt *checkpoint
+	// restarts counts how many times this thread has been re-spawned.
+	restarts int
+}
+
+// checkpoint is one quiescent-point snapshot of a restartable thread: the
+// caller's register blob plus copies of every page resident at the
+// thread's node when the snapshot was taken.
+type checkpoint struct {
+	data  []byte
+	pages map[uint64][]byte
 }
 
 // smallAccess is the size threshold below which an access charges batched
@@ -118,6 +136,50 @@ func (th *Thread) Spawn(fn func(*Thread) error) (*Thread, error) {
 	th.Compute(th.proc.m.params.SpawnCost)
 	return th.proc.newThread(th.proc.origin, fn, th), nil
 }
+
+// SpawnRestartable creates a thread like Spawn whose body can be restarted
+// if the node executing it is declared dead: fn receives the blob passed to
+// the thread's last Checkpoint (nil on first launch) and is re-spawned at
+// the origin with the checkpointed pages restored. The body must be
+// deterministic and idempotent when replayed from its last quiescent point
+// — shared writes it re-issues must land the same bytes.
+func (th *Thread) SpawnRestartable(fn func(*Thread, []byte) error) (*Thread, error) {
+	if th.node != th.proc.origin {
+		return nil, fmt.Errorf("%w: spawn from node %d", ErrNotAtOrigin, th.node)
+	}
+	th.Compute(th.proc.m.params.SpawnCost)
+	nt := th.proc.newThread(th.proc.origin, func(t *Thread) error { return fn(t, nil) }, th)
+	nt.restartable = fn
+	// Seed an empty checkpoint so the thread is restartable from birth: a
+	// node that dies before the body's first Checkpoint restarts it from
+	// the beginning (nil blob, no pages to restore).
+	nt.ckpt = &checkpoint{}
+	return nt, nil
+}
+
+// Checkpoint captures the thread's execution state at a quiescent point: a
+// caller-provided register blob (loop indices and the like) plus a copy of
+// every page resident at the thread's node. If the node is later declared
+// dead, a restartable thread is re-spawned at the origin from its latest
+// checkpoint instead of surfacing a crash error. Checkpoint is a no-op
+// without fault injection, so checkpoint-capable applications pay nothing
+// on clean runs; under injection the snapshot's pages are charged to the
+// node's memory bus like any other resident-set copy.
+func (th *Thread) Checkpoint(data []byte) error {
+	if th.proc.m.inj == nil {
+		return nil
+	}
+	snap := th.proc.mgr.SnapshotPages(th.node)
+	th.ckpt = &checkpoint{data: append([]byte(nil), data...), pages: snap}
+	if len(snap) > 0 {
+		th.proc.m.nodes[th.node].bus.Transfer(th.task, len(snap)*mem.PageSize)
+	}
+	return nil
+}
+
+// Restarts reports how many times this thread has been re-spawned from a
+// checkpoint after its node was declared dead.
+func (th *Thread) Restarts() int { return th.restarts }
 
 // Join blocks until other finishes. It returns nil when other completed
 // normally, or the attributable crash error when other was lost with its

@@ -134,9 +134,12 @@ func TestChaosCrashReclaimsOwnership(t *testing.T) {
 		afterB = e.read(tk, 1, addrB)
 		// Crash node 1 the way core does: mark it dead, then reclaim.
 		e.net.Chaos().MarkDead(1)
-		lost := e.m.ReclaimDeadNode(1)
-		if lost != 1 {
-			t.Errorf("ReclaimDeadNode = %d pages lost, want 1", lost)
+		lost, err := e.m.ReclaimDeadNode(1)
+		if err != nil {
+			t.Errorf("ReclaimDeadNode: %v", err)
+		}
+		if len(lost) != 1 {
+			t.Errorf("ReclaimDeadNode = %d pages lost, want 1", len(lost))
 		}
 		// The page's only fresh copy died with node 1: it reads back
 		// zero-filled at the origin, and stays writable by the survivors.

@@ -88,6 +88,10 @@ const (
 	// EvReclaimHome returns a page whose exclusive writer is gone to the
 	// home node (lost writers, rolled-back write grants, dead-node reclaim).
 	EvReclaimHome
+	// EvRehome moves the directory home of a page to a new node and makes
+	// that node the sole owner (HomeMigrate dead-home recovery: the old home
+	// died, ownership is reclaimed to the origin shard).
+	EvRehome
 
 	eventCount
 )
@@ -112,6 +116,8 @@ func (e Event) String() string {
 		return "DropOwner"
 	case EvReclaimHome:
 		return "ReclaimHome"
+	case EvRehome:
+		return "Rehome"
 	default:
 		return fmt.Sprintf("Event(%d)", uint8(e))
 	}
@@ -127,17 +133,20 @@ var legalTransitions = [pageStateCount][eventCount]bool{
 	StateSharedRead: {
 		EvBegin:     true,
 		EvDropOwner: true, // dead-node reclaim outside a transaction
+		EvRehome:    true, // dead-home reclaim outside a transaction
 	},
 	StateExclusiveWrite: {
 		EvBegin:       true,
 		EvDropOwner:   true, // no-op mask clear during dead-node reclaim
 		EvReclaimHome: true, // dead writer found outside a transaction
+		EvRehome:      true, // dead-home reclaim outside a transaction
 	},
 	StateTransferShared: {
 		EvEnd:            true,
 		EvGrantShared:    true,
 		EvGrantExclusive: true,
 		EvDropOwner:      true, // dead readers, read-grant rollback
+		EvRehome:         true, // dead-home recovery during a serve
 	},
 	StateTransferExclusive: {
 		EvEnd:             true,
@@ -146,6 +155,7 @@ var legalTransitions = [pageStateCount][eventCount]bool{
 		EvGrantExclusive:  true, // ownership hand-off writer→writer
 		EvDropOwner:       true, // no-op mask clear on a dead non-owner
 		EvReclaimHome:     true, // lost writer, write-grant rollback
+		EvRehome:          true, // dead-home recovery during a serve
 	},
 }
 
@@ -303,6 +313,23 @@ func (d *dirEntry) reclaimHome() {
 	d.step(EvReclaimHome)
 	d.writer = -1
 	d.owners = 1 << uint(d.home)
+	if d.busy() {
+		d.state = StateTransferShared
+	} else {
+		d.state = StateSharedRead
+	}
+	d.check()
+}
+
+// rehome moves the directory home to newHome and makes it the sole owner
+// of the (replacement) copy. Used by HomeMigrate dead-home recovery: the
+// previous home died, so the origin shard takes the page back. The caller
+// maps newHome's replacement frame and scrubs every other node's PTE.
+func (d *dirEntry) rehome(newHome int) {
+	d.step(EvRehome)
+	d.home = newHome
+	d.owners = 1 << uint(newHome)
+	d.writer = -1
 	if d.busy() {
 		d.state = StateTransferShared
 	} else {

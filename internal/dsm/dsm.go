@@ -163,6 +163,8 @@ type Stats struct {
 	Retransmits     uint64 // protocol messages re-sent after a retry timeout
 	DupsIgnored     uint64 // duplicate protocol messages detected and dropped
 	PagesLost       uint64 // pages whose only fresh copy died with a node
+	HomeFailovers   uint64 // HomeMigrate requests re-targeted after a home died
+	PagesRehomed    uint64 // pages reclaimed to the origin after their home died
 	TotalLatency    time.Duration
 }
 
@@ -191,7 +193,8 @@ type outstanding struct {
 	stale     bool
 	withData  bool
 	redirect  bool
-	home      int // authoritative home carried by a redirect reply
+	home      int  // authoritative home carried by a redirect reply
+	deadHome  bool // the wait was abandoned because the target home died
 	installed bool
 	deferred  []func()
 }
@@ -209,14 +212,22 @@ type nodeState struct {
 	// Chaos-only receiver-side dedup state (nil when no injector is
 	// attached, so the fault-free protocol pays nothing for it).
 	//
-	// completed records when each granted token's install finished: a
-	// duplicated grant reply for such a token re-sends the installAck
-	// instead of re-running the install. appliedRevokes records every
-	// revocation this node has admitted, so a duplicated revokeMsg is either
-	// ignored (still pending) or answered with a fresh ack carrying the
-	// retained page data. Both are pruned by the engine's watermark sweep.
-	completed      map[uint64]time.Duration
+	// completed records when each granted token's install finished (and
+	// which node served the grant): a duplicated grant reply for such a
+	// token re-sends the installAck — to the serving home, which under
+	// HomeMigrate need not be the origin — instead of re-running the
+	// install. appliedRevokes records every revocation this node has
+	// admitted, so a duplicated revokeMsg is either ignored (still pending)
+	// or answered with a fresh ack carrying the retained page data. Both are
+	// pruned by the engine's watermark sweep.
+	completed      map[uint64]completedGrant
 	appliedRevokes map[uint64]*appliedRevoke
+}
+
+// completedGrant is the receiver-side record of one finished install.
+type completedGrant struct {
+	at   time.Duration // when the install finished (for pruning)
+	home int           // the node that served the grant (re-ack target)
 }
 
 // appliedRevoke is the receiver-side record of one admitted revocation.
@@ -239,6 +250,9 @@ type serveState struct {
 	nack     bool
 	stale    bool
 	withData bool
+	redirect bool          // the request was bounced with a redirect reply
+	home     int           // the node that served (or bounced) this token
+	redirTo  int           // redirect target carried by the original bounce
 	closed   bool          // the serving task has finished with this token
 	closedAt time.Duration // when it finished (for pruning)
 	data     []byte        // page snapshot retained for grant re-sends
@@ -327,7 +341,7 @@ func New(eng *sim.Engine, net *fabric.Network, params Params, pid, origin, nodes
 			outstanding: make(map[uint64]*outstanding),
 		}
 		if m.chaos != nil {
-			m.nodes[i].completed = make(map[uint64]time.Duration)
+			m.nodes[i].completed = make(map[uint64]completedGrant)
 			m.nodes[i].appliedRevokes = make(map[uint64]*appliedRevoke)
 		}
 	}
@@ -504,38 +518,136 @@ func (m *Manager) backoff(t *sim.Task, attempt int) {
 	t.Sleep(d)
 }
 
-// ReclaimDeadNode returns all page ownership held by a crashed node to the
-// origin and reports how many exclusively-held pages were lost. Shared
-// copies are dropped from the owner masks; pages the dead node held
-// exclusively come back zero-filled (their fresh contents died with the
-// node) and are counted in PagesLost. Busy entries are skipped: the
-// transaction holding them discovers the death through its own
-// retransmission timeout and rolls back. The dead node's page table and
-// request state are cleared so its frames recycle. (Fault injection implies
-// the WriteInvalidate policy, so every entry's home is the origin.)
-func (m *Manager) ReclaimDeadNode(node int) int {
-	if node == m.origin {
-		panic("dsm: cannot reclaim the origin node")
+// recoverDeadHome reclaims a page whose directory home died back to the
+// origin shard (HomeMigrate only: under WriteInvalidate the home is always
+// the origin, which cannot be reclaimed). The origin keeps its own replica
+// if it has one, adopts a surviving reader's copy otherwise, then falls
+// back to the caller-supplied snapshot (a serve's retained grant data), and
+// only as a last resort to a zero-filled frame (counted in PagesLost).
+// Surviving replicas elsewhere are dropped — those nodes re-fault and the
+// redirect machinery repairs their hints. Reports whether the page's
+// contents were lost.
+func (m *Manager) recoverDeadHome(vpn uint64, de *dirEntry, dead int, fallback []byte) bool {
+	var frame []byte
+	if pte := m.nodes[m.origin].pt.Lookup(vpn); pte != nil && pte.Present {
+		frame = pte.Frame
+	} else {
+		for _, n := range de.ownerList(dead) {
+			if m.chaos != nil && m.chaos.NodeDead(n) {
+				continue
+			}
+			if pte := m.nodes[n].pt.Lookup(vpn); pte != nil && pte.Present {
+				frame = mem.CloneFrame(pte.Frame)
+				break
+			}
+		}
+		if frame == nil && fallback != nil {
+			frame = mem.CloneFrame(fallback)
+		}
 	}
-	lost := 0
+	// Drop every surviving replica other than the origin's: after the
+	// rehome the origin is the sole owner, and the directory invariant ties
+	// owner-mask membership to PTE presence.
+	for _, n := range de.ownerList(dead) {
+		if n == m.origin {
+			continue
+		}
+		if pte := m.nodes[n].pt.Lookup(vpn); pte != nil && pte.Present {
+			f := pte.Frame
+			m.nodes[n].pt.Invalidate(vpn)
+			m.freeFrame(f)
+		}
+	}
+	de.rehome(m.origin)
+	lost := frame == nil
+	if lost {
+		frame = m.frames.GetZeroed()
+		m.stats.PagesLost++
+	}
+	m.nodes[m.origin].pt.SetAccess(vpn, frame, mem.AccessRead)
+	m.stats.PagesRehomed++
+	return lost
+}
+
+// ReclaimDeadNode returns all page ownership held by a crashed node to the
+// origin shard and returns the VPNs whose contents were lost with the node.
+// Shared copies are dropped from the owner masks; pages the dead node held
+// exclusively come back zero-filled (their fresh contents died with the
+// node) and are counted in PagesLost; pages whose directory home was the
+// dead node (HomeMigrate) are rehomed to the origin, adopting a surviving
+// replica when one exists. Busy entries are skipped: the transaction
+// holding them discovers the death through its own retransmission timeout
+// and rolls back. Every node's home hint pointing at the dead node is
+// invalidated, and the dead node's page table and request state are
+// cleared so its frames recycle. Reclaiming the origin itself is not
+// survivable and is reported as an error rather than attempted.
+func (m *Manager) ReclaimDeadNode(node int) ([]uint64, error) {
+	if node == m.origin {
+		return nil, fmt.Errorf("dsm: cannot reclaim the origin node %d: the process dies with its origin", node)
+	}
+	var lost []uint64
 	m.dir.ForRange(0, ^uint64(0), func(vpn uint64, de *dirEntry) bool {
 		if de.busy() {
 			return true
 		}
-		if de.writer == node {
-			m.nodes[m.origin].pt.SetAccess(vpn, m.frames.GetZeroed(), mem.AccessRead)
+		switch {
+		case de.home == node:
+			if m.recoverDeadHome(vpn, de, node, nil) {
+				lost = append(lost, vpn)
+			}
+		case de.writer == node:
+			m.nodes[de.home].pt.SetAccess(vpn, m.frames.GetZeroed(), mem.AccessRead)
 			de.reclaimHome()
 			m.stats.PagesLost++
-			lost++
-		} else if de.has(node) {
+			lost = append(lost, vpn)
+		case de.has(node):
 			de.dropOwner(node)
 		}
 		return true
 	})
+	for _, ns := range m.nodes {
+		for vpn, h := range ns.homeHint {
+			if h == node {
+				delete(ns.homeHint, vpn)
+			}
+		}
+	}
 	ns := m.nodes[node]
 	ns.outstanding = make(map[uint64]*outstanding)
 	ns.pt.ReclaimRange(0, ^uint64(0), m.freeFrame)
-	return lost
+	return lost, nil
+}
+
+// SnapshotPages returns copies of every page node currently holds mapped,
+// keyed by VPN. The checkpoint layer calls this at a thread's quiescent
+// points: the snapshot, together with the thread's register blob, is enough
+// to restart the thread's computation at the origin if the node later dies.
+// Pages are cloned so later writes at node do not leak into the snapshot.
+func (m *Manager) SnapshotPages(node int) map[uint64][]byte {
+	snap := make(map[uint64][]byte)
+	pt := &m.nodes[node].pt
+	m.dir.ForRange(0, ^uint64(0), func(vpn uint64, de *dirEntry) bool {
+		if pte := pt.Lookup(vpn); pte != nil && pte.Present {
+			snap[vpn] = mem.CloneFrame(pte.Frame)
+		}
+		return true
+	})
+	return snap
+}
+
+// RestorePage copies a checkpointed page image over the origin's current
+// frame for vpn. It is called after ReclaimDeadNode has landed a
+// zero-filled replacement at the origin for each lost page; restoring
+// rewinds the page to the crashed thread's last quiescent point so a
+// restarted thread replays from consistent bytes. Reports whether the
+// origin held a frame to restore into.
+func (m *Manager) RestorePage(vpn uint64, data []byte) bool {
+	pte := m.nodes[m.origin].pt.Lookup(vpn)
+	if pte == nil || !pte.Present {
+		return false
+	}
+	copy(pte.Frame, data)
+	return true
 }
 
 // DropDirectoryRange removes all ownership state for pages lo..hi

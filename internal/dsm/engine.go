@@ -91,6 +91,13 @@ func (e *engine) awaitReply(t *sim.Task, node, target int, req *outstanding, msg
 		if t.ParkTimeout(parkReason, rto) || req.done {
 			continue
 		}
+		if target != m.origin && m.chaos.NodeDead(target) {
+			// The believed home died with the request (or its reply) in
+			// flight: abandon the wait; the caller re-routes via the origin.
+			req.done = true
+			req.deadHome = true
+			break
+		}
 		m.stats.Retransmits++
 		m.net.Send(t, node, target, msg)
 		if rto *= 2; rto > m.params.RetryTimeoutMax {
@@ -123,6 +130,19 @@ func (e *engine) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
 				w.lost = w.msg.needData
 				break
 			}
+			if w.msg.home != m.origin && m.chaos.NodeDead(w.msg.home) {
+				// The issuing home itself died mid-serve: every ack sent to
+				// it is dropped, so stop retransmitting. Deliver the
+				// revocation's effect directly — the fabric would drop the
+				// real message (its source is dead), and no stale replica
+				// may outlive the dead home's last transaction.
+				delete(e.revokeWait, w.msg.seq)
+				w.done = true
+				if e.admitRevoke(w.target, w.msg) {
+					m.applyRevokeAdmitted(w.target, w.msg)
+				}
+				break
+			}
 			m.stats.Retransmits++
 			m.net.Send(t, w.msg.home, w.target, w.msg)
 			if rto *= 2; rto > m.params.RetryTimeoutMax {
@@ -136,7 +156,7 @@ func (e *engine) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
 // fault injection. It returns the fresh serve record to thread through the
 // transaction, or handled=true if the request was a duplicate and has been
 // fully dealt with here.
-func (e *engine) admitServe(req *pageRequest) (st *serveState, handled bool) {
+func (e *engine) admitServe(node int, req *pageRequest) (st *serveState, handled bool) {
 	m := e.m
 	if prev, ok := e.served[req.token]; ok {
 		e.redeliverServe(req, prev)
@@ -148,7 +168,7 @@ func (e *engine) admitServe(req *pageRequest) (st *serveState, handled bool) {
 		m.stats.DupsIgnored++
 		return nil, true
 	}
-	st = &serveState{req: req, write: req.write}
+	st = &serveState{req: req, write: req.write, home: node}
 	e.served[req.token] = st
 	e.maybeSweep()
 	return st, false
@@ -184,11 +204,12 @@ func (e *engine) admitRevoke(node int, msg *revokeMsg) bool {
 	return true
 }
 
-// noteInstalled records a completed grant install at the requester so a
-// duplicated grant reply re-acks instead of re-running the install.
-func (e *engine) noteInstalled(ns *nodeState, token uint64) {
+// noteInstalled records a completed grant install at the requester (and the
+// node that served it) so a duplicated grant reply re-acks the serving home
+// instead of re-running the install.
+func (e *engine) noteInstalled(ns *nodeState, token uint64, home int) {
 	if e.m.chaos != nil {
-		ns.completed[token] = e.m.eng.Now()
+		ns.completed[token] = completedGrant{at: e.m.eng.Now(), home: home}
 	}
 }
 
@@ -239,8 +260,8 @@ func (e *engine) sweep() {
 		}
 	}
 	for _, ns := range m.nodes {
-		for tok, at := range ns.completed {
-			if tok < floor && now-at >= horizon {
+		for tok, cg := range ns.completed {
+			if tok < floor && now-cg.at >= horizon {
 				delete(ns.completed, tok)
 			}
 		}
@@ -269,23 +290,24 @@ func (e *engine) sweep() {
 }
 
 // redeliverServe answers a duplicated page request from the home-side serve
-// record. Bounced requests get the same bounce again; in-flight or granted
-// requests are ignored, because the serving task's install-wait loop owns
-// grant retransmission. Crucially a duplicate is never served fresh: the
-// requester may have released its landing zone after the first outcome.
-// (Fault injection implies the WriteInvalidate policy, so the home here is
-// always the origin.)
+// record. Bounced requests (nack/stale/redirect) get the same bounce again;
+// in-flight or granted requests are ignored, because the serving task's
+// install-wait loop owns grant retransmission. Crucially a duplicate is
+// never served fresh: the requester may have released its landing zone
+// after the first outcome.
 func (e *engine) redeliverServe(req *pageRequest, st *serveState) {
 	m := e.m
-	if !st.closed || (!st.nack && !st.stale) {
+	if !st.closed || (!st.nack && !st.stale && !st.redirect) {
 		m.stats.DupsIgnored++
 		return
 	}
 	m.stats.Retransmits++
-	reply := &pageReply{pid: m.pid, token: req.token, nack: st.nack, stale: st.stale}
+	reply := &pageReply{pid: m.pid, token: req.token, nack: st.nack, stale: st.stale,
+		redirect: st.redirect, home: st.redirTo}
+	from := st.home
 	m.eng.Spawn("dsm-resend", func(t *sim.Task) {
 		t.Sleep(m.params.OriginDispatch)
-		m.net.Send(t, m.origin, req.node, reply)
+		m.net.Send(t, from, req.node, reply)
 	})
 }
 
@@ -296,9 +318,9 @@ func (e *engine) resendGrant(t *sim.Task, st *serveState) {
 	req := st.req
 	reply := &pageReply{pid: m.pid, token: req.token, withData: st.withData}
 	if st.withData {
-		m.net.SendPageBuf(t, m.origin, req.node, req.pr, st.data, reply, m.frames.Get())
+		m.net.SendPageBuf(t, st.home, req.node, req.pr, st.data, reply, m.frames.Get())
 	} else {
-		m.net.Send(t, m.origin, req.node, reply)
+		m.net.Send(t, st.home, req.node, reply)
 	}
 }
 
@@ -322,10 +344,9 @@ func (e *engine) resendRevokeAck(node int, msg *revokeMsg, prev *appliedRevoke) 
 // rollbackGrant undoes a grant whose requester died before acknowledging
 // its PTE install. The directory still holds the entry busy, so no other
 // transaction can have observed the half-finished transfer. For a write
-// grant that carried data the home restores its copy from the retained
-// snapshot; for an ownership-only write grant the requester's copy was the
-// only fresh one, so the page is lost and comes back zero-filled. (Fault
-// injection implies WriteInvalidate, so the home is the origin.)
+// grant that carried data the serving home restores its copy from the
+// retained snapshot; for an ownership-only write grant the requester's copy
+// was the only fresh one, so the page is lost and comes back zero-filled.
 func (e *engine) rollbackGrant(req *pageRequest, st *serveState) {
 	m := e.m
 	de, _ := m.entry(req.vpn)
@@ -333,14 +354,15 @@ func (e *engine) rollbackGrant(req *pageRequest, st *serveState) {
 		de.dropOwner(req.node)
 		return
 	}
+	home := de.home
 	de.reclaimHome()
 	if st.withData && st.data != nil {
 		f := m.frames.Get()
 		copy(f, st.data)
-		m.nodes[m.origin].pt.SetAccess(req.vpn, f, mem.AccessRead)
+		m.nodes[home].pt.SetAccess(req.vpn, f, mem.AccessRead)
 		return
 	}
-	m.nodes[m.origin].pt.SetAccess(req.vpn, m.frames.GetZeroed(), mem.AccessRead)
+	m.nodes[home].pt.SetAccess(req.vpn, m.frames.GetZeroed(), mem.AccessRead)
 	m.stats.PagesLost++
 }
 

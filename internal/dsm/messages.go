@@ -255,6 +255,24 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 				outcome = "rollback"
 				break
 			}
+			if home != m.origin && m.chaos.NodeDead(home) {
+				// This serving home died mid-window: the serve task itself
+				// survives the crash, but every message to or from the node
+				// is dropped, so the ack can never arrive. Settle the page:
+				// a grant that reached the requester is finalized exactly as
+				// its install ack would have been; an undelivered one is
+				// undone and the page reclaimed to the origin shard from the
+				// retained snapshot.
+				delete(m.e.installWait, req.token)
+				if m.granteeDelivered(req) {
+					ack.done = true
+					outcome = "dead-home-finalize"
+					break
+				}
+				m.recoverDeadHome(req.vpn, de, home, st.data)
+				outcome = "dead-home"
+				break
+			}
 			m.stats.Retransmits++
 			m.e.resendGrant(t, st)
 			if rto *= 2; rto > m.params.RetryTimeoutMax {
@@ -263,13 +281,33 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 		}
 		st.close(m.eng.Now())
 	}
-	if outcome != "rollback" && ack.done {
+	if outcome != "rollback" && outcome != "dead-home" && ack.done {
 		// The requester installed its grant: let the policy finalize the
 		// transaction (HomeMigrate flips the page's home to a new writer).
 		m.policy.grantCompleted(de, req)
 	}
 	de.end()
+	if st != nil && de.home != m.origin && m.chaos.NodeDead(de.home) {
+		// The entry settled homed at a node that died during this serve:
+		// reclaim it to the origin shard immediately rather than waiting
+		// for a later request to stumble into the failover path.
+		m.recoverDeadHome(req.vpn, de, de.home, st.data)
+	}
 	m.serveSpan(serveAt, home, req, outcome)
+}
+
+// granteeDelivered reports whether the grant for req demonstrably reached
+// the requester: it either finished installing, or holds the grant reply
+// and will finish the install without further protocol traffic.
+func (m *Manager) granteeDelivered(req *pageRequest) bool {
+	ns := m.nodes[req.node]
+	if _, ok := ns.completed[req.token]; ok {
+		return true
+	}
+	if o, ok := ns.outstanding[req.token]; ok {
+		return o.done && !o.nack && !o.stale && !o.redirect && !o.deadHome
+	}
+	return false
 }
 
 // serveSpan records the home-side span of one page transaction, from
@@ -296,12 +334,13 @@ func (m *Manager) handleReply(node int, rep *pageReply) {
 	req, ok := ns.outstanding[rep.token]
 	if !ok {
 		if m.chaos != nil {
-			if _, done := ns.completed[rep.token]; done {
+			if cg, done := ns.completed[rep.token]; done {
 				// A grant reply re-sent after our install ack was lost:
-				// re-ack so the home can close its transition window.
+				// re-ack the serving home (which under HomeMigrate need not
+				// be the origin) so it can close its transition window.
 				m.stats.Retransmits++
 				m.eng.Spawn("dsm-reack", func(t *sim.Task) {
-					m.net.Send(t, node, m.origin, &installAck{pid: m.pid, token: rep.token})
+					m.net.Send(t, node, cg.home, &installAck{pid: m.pid, token: rep.token})
 				})
 			} else {
 				m.stats.DupsIgnored++

@@ -32,7 +32,8 @@ const (
 	// HomeMigrate is the ownership-migration variant: the directory home of
 	// a page follows its last writer, cutting origin round trips for
 	// write-local access patterns. Stale home hints are repaired with
-	// redirect replies. It does not support fault injection.
+	// redirect replies. Under fault injection, pages whose home is declared
+	// dead are reclaimed to the origin shard and requests fail over there.
 	HomeMigrate
 )
 
@@ -98,9 +99,6 @@ func newPolicy(m *Manager) policy {
 	case WriteInvalidate:
 		return &writeInvalidate{m: m}
 	case HomeMigrate:
-		if m.chaos != nil {
-			panic("dsm: the home-migrate protocol does not support fault injection; use the default write-invalidate policy with chaos plans")
-		}
 		for _, ns := range m.nodes {
 			ns.homeHint = make(map[uint64]int)
 		}
@@ -156,7 +154,7 @@ func (p *writeInvalidate) dispatchRequest(node int, req *pageRequest) {
 	var st *serveState
 	if m.chaos != nil {
 		var handled bool
-		if st, handled = m.e.admitServe(req); handled {
+		if st, handled = m.e.admitServe(m.origin, req); handled {
 			return
 		}
 	}
@@ -312,7 +310,13 @@ func (p *homeMigrate) leadFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) (i
 			return attempt - 1, false
 		}
 		if de.home != ctx.Node {
-			return m.requestFault(t, ctx, vpn, write) + attempt - 1, true
+			if m.chaos != nil && ctx.Node == m.origin && m.chaos.NodeDead(de.home) && !de.busy() {
+				// Fault at the origin on a page whose home died: reclaim it
+				// to the origin shard and fall through to the local serve.
+				m.recoverDeadHome(vpn, de, de.home, nil)
+			} else {
+				return m.requestFault(t, ctx, vpn, write) + attempt - 1, true
+			}
 		}
 		// Fault at the page's current home: resolve through the local
 		// directory. The home is re-checked after every wait — the busy
@@ -343,21 +347,53 @@ func (p *homeMigrate) leadFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) (i
 
 // dispatchRequest serves a page request at its authoritative home; a
 // request that lands anywhere else (the requester held a stale hint, or no
-// hint and the home has migrated away from the origin) is redirected.
+// hint and the home has migrated away from the origin) is redirected. Under
+// fault injection the transport engine deduplicates by token first, and a
+// request reaching the origin for a page whose home is confirmed dead
+// triggers dead-home recovery: the page is reclaimed to the origin shard
+// and served right here.
 func (p *homeMigrate) dispatchRequest(node int, req *pageRequest) {
 	m := p.m
+	var st *serveState
+	if m.chaos != nil {
+		var handled bool
+		if st, handled = m.e.admitServe(node, req); handled {
+			return
+		}
+	}
 	target := m.origin
-	if de, ok := m.dir.Get(req.vpn); ok {
+	de, ok := m.dir.Get(req.vpn)
+	if ok {
 		target = de.home
 	}
+	if node != target && node == m.origin && m.chaos != nil && m.chaos.NodeDead(target) {
+		if de.busy() {
+			// The dead home's last transaction has not unwound yet: bounce
+			// the requester; it backs off and retries after recovery.
+			st.nack = true
+			st.close(m.eng.Now())
+			m.eng.Spawn("dsm-nack", func(t *sim.Task) {
+				t.Sleep(m.params.OriginDispatch)
+				m.net.Send(t, node, req.node, &pageReply{pid: m.pid, token: req.token, nack: true})
+			})
+			return
+		}
+		m.recoverDeadHome(req.vpn, de, target, nil)
+		target = node
+	}
 	if node != target {
+		if st != nil {
+			st.redirect = true
+			st.redirTo = target
+			st.close(m.eng.Now())
+		}
 		m.eng.Spawn("dsm-redirect", func(t *sim.Task) {
 			t.Sleep(m.params.OriginDispatch)
 			m.net.Send(t, node, req.node, &pageReply{pid: m.pid, token: req.token, redirect: true, home: target})
 		})
 		return
 	}
-	m.eng.Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, node, req, nil) })
+	m.eng.Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, node, req, st) })
 }
 
 func (p *homeMigrate) serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
@@ -402,6 +438,11 @@ func (p *homeMigrate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uin
 			t.Sleep(m.params.InvalidateApply)
 			m.stats.Invalidations++
 			m.emitInvalidate(home, vpn)
+			continue
+		}
+		if m.chaos != nil && m.chaos.NodeDead(owner) {
+			// A crashed reader's copy died with it; nothing to revoke.
+			de.dropOwner(owner)
 			continue
 		}
 		acks = append(acks, m.sendRevoke(t, home, owner, vpn, false, reqNode, nil))
@@ -462,6 +503,14 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			reqAt = m.eng.Now()
 		}
 		target := m.policy.requestTarget(node, vpn)
+		if m.chaos != nil && target != m.origin && target != node && m.chaos.NodeDead(target) {
+			// The believed home is confirmed dead: skip the doomed round
+			// trip and route through the origin, which reclaims dead-home
+			// pages on arrival.
+			m.policy.learnHome(node, vpn, m.origin)
+			m.stats.HomeFailovers++
+			target = m.origin
+		}
 		if target == node {
 			// The believed home is this very node: either our own write
 			// grant is still in its install window (the directory home flips
@@ -490,6 +539,8 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 		if m.rec != nil {
 			outcome := "grant"
 			switch {
+			case req.deadHome:
+				outcome = "dead-home"
 			case req.nack:
 				outcome = "nack"
 			case req.stale:
@@ -503,6 +554,17 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 				obs.Hex("vpn", vpn),
 				obs.Int("attempt", int64(attempt)),
 				obs.String("outcome", outcome))
+		}
+		if req.deadHome {
+			// The believed home died with our request (or its reply) in
+			// flight: forget the hint and retry through the origin after a
+			// backoff, giving the failover path time to reclaim the page.
+			delete(ns.outstanding, token)
+			pr.Release()
+			m.policy.learnHome(node, vpn, m.origin)
+			m.stats.HomeFailovers++
+			m.backoff(t, attempt)
+			continue
 		}
 		if req.redirect {
 			// Stale home hint: learn the authoritative home and retry there
@@ -562,7 +624,7 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 				obs.Hex("vpn", vpn))
 		}
 		req.installed = true
-		m.e.noteInstalled(ns, token)
+		m.e.noteInstalled(ns, token, target)
 		delete(ns.outstanding, token)
 		m.net.Send(t, node, target, &installAck{pid: m.pid, token: token})
 		// A successful grant pins down where the page's home is right now:

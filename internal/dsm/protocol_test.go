@@ -2,7 +2,6 @@ package dsm
 
 import (
 	"math/rand"
-	"strings"
 	"testing"
 	"time"
 
@@ -233,22 +232,19 @@ func TestHomeMigratePrefetchBounce(t *testing.T) {
 	e.run(t)
 }
 
-// TestHomeMigrateRejectsChaos pins the guard: the second policy's recovery
-// paths are not hardened against message loss, so combining it with a fault
-// injector must fail loudly at construction, not corrupt memory later.
-func TestHomeMigrateRejectsChaos(t *testing.T) {
+// TestHomeMigrateAcceptsChaos pins the removal of the old construction-time
+// guard: home-migrate's recovery paths are hardened against fault injection
+// (retransmission, dead-home failover, rehoming), so a manager with an
+// injector attached must construct and serve traffic normally.
+func TestHomeMigrateAcceptsChaos(t *testing.T) {
 	eng := sim.NewEngine(1)
 	net := fabric.New(eng, fabric.DefaultParams(2))
 	net.SetChaos(chaos.NewInjector(&chaos.Plan{
 		Seed: 1,
 		Drop: []chaos.LinkRule{{Src: chaos.Any, Dst: chaos.Any, Prob: 0.1}},
 	}, 2))
-	msg, panicked := panics(func() { New(eng, net, homeParams(), 1, 0, 2, nil) })
-	if !panicked {
-		t.Fatal("New accepted home-migrate with a chaos injector attached")
-	}
-	if !strings.Contains(msg, "does not support fault injection") {
-		t.Fatalf("wrong panic: %s", msg)
+	if _, panicked := panics(func() { New(eng, net, homeParams(), 1, 0, 2, nil) }); panicked {
+		t.Fatal("New rejected home-migrate with a chaos injector attached")
 	}
 }
 

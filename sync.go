@@ -161,6 +161,112 @@ func (b *Barrier) Wait(t *Thread) error {
 	}
 }
 
+// PhasedBarrier is a crash-tolerant barrier for one coordinator and n
+// participants, built for restartable threads. Unlike Barrier, whose shared
+// arrival counter makes a replayed Wait double-count, every word here has a
+// single writer and carries an absolute phase number, so re-executing any
+// step after a checkpoint restart is harmless: writes are guarded
+// ("only advance"), rewrites land the same value, and wakes at worst wake a
+// waiter that re-checks and parks again.
+//
+// Layout: page 0 holds the coordinator's 4-byte generation word; pages
+// 1..n hold one 4-byte arrival word per participant. The generation word
+// lives at the origin with the coordinator, so it is never lost to a node
+// crash; a participant's arrival word is republished by that participant's
+// own restart.
+type PhasedBarrier struct {
+	n   int
+	gen Addr // coordinator-owned generation word (page 0)
+}
+
+// NewPhasedBarrier allocates a phased barrier for one coordinator plus n
+// participants, one page per word to keep every word single-writer without
+// false sharing.
+func NewPhasedBarrier(t *Thread, n int) (*PhasedBarrier, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dex: phased barrier needs at least one participant, got %d", n)
+	}
+	addr, err := t.Mmap(uint64(n+1)*PageSize, ProtRead|ProtWrite, "phased-barrier")
+	if err != nil {
+		return nil, fmt.Errorf("dex: allocate phased barrier: %w", err)
+	}
+	return &PhasedBarrier{n: n, gen: addr}, nil
+}
+
+// word returns participant i's arrival word.
+func (b *PhasedBarrier) word(i int) Addr {
+	return b.gen + Addr(uint64(i+1)*PageSize)
+}
+
+// Arrive publishes participant i's arrival at phase (0-based) and blocks
+// until the coordinator releases that phase. Safe to replay: the arrival
+// write is skipped once the word already covers the phase, and the release
+// wait is level-triggered on the generation word.
+func (b *PhasedBarrier) Arrive(t *Thread, i, phase int) error {
+	want := uint32(phase + 1)
+	v, err := t.ReadUint32(b.word(i))
+	if err != nil {
+		return err
+	}
+	if v < want {
+		if err := t.WriteUint32(b.word(i), want); err != nil {
+			return err
+		}
+		if _, err := t.FutexWake(b.word(i), 1); err != nil {
+			return err
+		}
+	}
+	for {
+		g, err := t.ReadUint32(b.gen)
+		if err != nil {
+			return err
+		}
+		if g >= want {
+			return nil
+		}
+		if _, err := t.FutexWait(b.gen, g); err != nil {
+			return err
+		}
+	}
+}
+
+// Collect blocks the coordinator until participant i has arrived at phase.
+// Call it for each participant before Release.
+func (b *PhasedBarrier) Collect(t *Thread, i, phase int) error {
+	want := uint32(phase + 1)
+	for {
+		v, err := t.ReadUint32(b.word(i))
+		if err != nil {
+			return err
+		}
+		if v >= want {
+			return nil
+		}
+		if _, err := t.FutexWait(b.word(i), v); err != nil {
+			return err
+		}
+	}
+}
+
+// Release opens phase's gate, letting every participant parked in Arrive
+// proceed. Idempotent: a replayed Release of an already-open phase neither
+// rolls the generation back nor wakes anyone spuriously (the woken waiters
+// re-check the word).
+func (b *PhasedBarrier) Release(t *Thread, phase int) error {
+	want := uint32(phase + 1)
+	g, err := t.ReadUint32(b.gen)
+	if err != nil {
+		return err
+	}
+	if g < want {
+		if err := t.WriteUint32(b.gen, want); err != nil {
+			return err
+		}
+	}
+	_, err = t.FutexWake(b.gen, b.n)
+	return err
+}
+
 // WaitGroup counts outstanding work, like sync.WaitGroup, across nodes.
 type WaitGroup struct {
 	addr Addr // 4-byte counter (the futex word)
