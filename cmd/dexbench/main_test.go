@@ -58,6 +58,27 @@ func TestBenchGoldenBytes(t *testing.T) {
 	}
 }
 
+// TestBenchCoresGoldenBytes pins the conservative-parallel simulator core:
+// running every cell on 4 simulator cores must reproduce the committed
+// golden bytes exactly — -cores trades wall-clock time only.
+func TestBenchCoresGoldenBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	golden, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-quiet", "-cores", "4"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Fatalf("dexbench -cores 4 output diverged from testdata/golden.txt (%d vs %d bytes); the parallel core must be byte-identical",
+			out.Len(), len(golden))
+	}
+}
+
 // TestBenchParallelOutputByteIdentical is the harness-level determinism
 // guarantee: the tables on stdout are byte-for-byte the same whatever the
 // worker-pool width. Experiments that share memoized cells (table2/figure3)

@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		protocol  = fs.String("protocol", "wi", "coherence protocol: wi (write-invalidate) | home (home-migrate)")
 		restart   = fs.Bool("restart", false, "run checkpoint/restart-capable workers: threads lost to a crash resume from their last checkpoint")
 		failUnder = fs.Float64("fail-under", 0, "minimum surviving fraction of cells (0..1); exit non-zero below it")
+		cores     = fs.Int("cores", 1, "simulator cores per cell (conservative-parallel scheduler; output identical at any value)")
 		parallel  = fs.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS)")
 		quiet     = fs.Bool("quiet", false, "suppress timing output on stderr")
 	)
@@ -108,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			sem <- struct{}{}
 			defer func() { <-sem; done <- i }()
 			plan := planFor(*seed, rate, *dup, *delay, *crash, *nodes)
-			opts := []dex.Option{dex.WithChaos(plan)}
+			opts := []dex.Option{dex.WithChaos(plan), dex.WithCores(*cores)}
 			if proto != dex.WriteInvalidate {
 				opts = append(opts, dex.WithProtocol(proto))
 			}

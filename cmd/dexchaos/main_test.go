@@ -56,6 +56,26 @@ func TestChaosParallelOutputByteIdentical(t *testing.T) {
 	}
 }
 
+// TestChaosCoresByteIdentical pins the conservative-parallel simulator
+// core under fault injection, for both coherence protocols: -cores 4 must
+// reproduce the committed goldens byte for byte.
+func TestChaosCoresByteIdentical(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := campaign(t, "-cores", "4"); got != string(golden) {
+		t.Fatalf("dexchaos -cores 4 diverged from testdata/golden.txt; the parallel core must be byte-identical:\n%s", got)
+	}
+	home, err := os.ReadFile("testdata/golden_home.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := campaign(t, "-cores", "4", "-protocol", "home", "-restart"); got != string(home) {
+		t.Fatalf("dexchaos -cores 4 -protocol home diverged from testdata/golden_home.txt:\n%s", got)
+	}
+}
+
 // TestChaosHomeGoldenBytes pins the same campaigns under the home-migrate
 // protocol with checkpoint/restart: every cell survives (no FAIL rows),
 // including the crash campaign that fails without restart. Regenerate with:

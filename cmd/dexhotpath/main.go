@@ -57,6 +57,8 @@ var benches = []struct {
 	{"FaultSlowPath", bench.FaultSlowPath},
 	{"EventDispatch", bench.EventDispatch},
 	{"Experiment", bench.Experiment},
+	{"ParallelCoreSerial", bench.ParallelCoreSerial},
+	{"ParallelCore", bench.ParallelCore},
 }
 
 func main() {

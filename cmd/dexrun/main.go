@@ -42,6 +42,7 @@ func run(args []string) error {
 		variant  = fs.String("variant", "optimized", "baseline | initial | optimized")
 		size     = fs.String("size", "test", "test | full")
 		seed     = fs.Int64("seed", 1, "simulation seed")
+		cores    = fs.Int("cores", 1, "simulator cores (conservative-parallel scheduler; report identical at any value)")
 		list     = fs.Bool("list", false, "list available applications")
 		traceOut = fs.String("trace", "", "write Perfetto trace-event JSON to this file")
 		chaosFn  = fs.String("chaos", "", "JSON fault-injection plan to run the application under")
@@ -64,6 +65,9 @@ func run(args []string) error {
 		return fmt.Errorf("unknown application %q (use -list)", *appName)
 	}
 	cfg := apps.Config{Nodes: *nodes, ThreadsPerNode: *threads, Seed: *seed, Restart: *restart}
+	if *cores > 1 {
+		cfg.Opts = append(cfg.Opts, dex.WithCores(*cores))
+	}
 	proto, err := dex.ParseProtocol(*protocol)
 	if err != nil {
 		return err

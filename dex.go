@@ -132,6 +132,17 @@ func WithSeed(seed int64) Option {
 	return optionFunc(func(p *core.Params) { p.Seed = seed })
 }
 
+// WithCores runs the simulator's event loop on up to n host cores using the
+// conservative-parallel scheduler (per-node event lanes with link-latency
+// lookahead). Reports, stats, and rendered output are byte-identical at any
+// core count — n trades wall-clock time only, never results. n <= 1 (the
+// default) keeps the proven serial loop. Clusters using observability hooks
+// (WithObserver, WithTrace) or the home-migrate protocol clamp back to
+// serial automatically.
+func WithCores(n int) Option {
+	return optionFunc(func(p *core.Params) { p.Cores = n })
+}
+
 // WithTrace attaches a page-fault profiler to the cluster. It composes with
 // any hook already installed (and with WithObserver's recorder), so the
 // profiler and the observability layer share the single fault-event stream
@@ -227,12 +238,15 @@ func WithProtocol(proto Protocol) Option {
 }
 
 // WithRawParams replaces the full low-level parameter set; the experiment
-// harness uses it for ablations. Nodes is still taken from NewCluster.
+// harness uses it for ablations. Nodes is still taken from NewCluster, and
+// Cores survives the overwrite so host parallelism (WithCores) composes with
+// raw-parameter ablations — it cannot change results either way.
 func WithRawParams(params core.Params) Option {
 	return optionFunc(func(p *core.Params) {
-		nodes := p.Nodes
+		nodes, cores := p.Nodes, p.Cores
 		*p = params
 		p.Nodes = nodes
+		p.Cores = cores
 		p.Fabric.Nodes = nodes
 	})
 }

@@ -21,9 +21,11 @@
 package bench
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
+	"dex"
 	"dex/internal/apps"
 	"dex/internal/dsm"
 	"dex/internal/exper"
@@ -115,6 +117,36 @@ func EventDispatch(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// parallelCoreAt runs one full application simulation per iteration — kmn
+// optimized on four nodes, the configuration with the richest cross-node
+// traffic — at the given simulator core count. Comparing the cores=1 and
+// cores=N variants measures the conservative-parallel scheduler's wall-clock
+// win (and, at GOMAXPROCS=1, its overhead): the simulated results are
+// byte-identical either way.
+func parallelCoreAt(b *testing.B, cores int) {
+	b.ReportAllocs()
+	app, ok := apps.ByName("kmn")
+	if !ok {
+		b.Fatal("unknown application \"kmn\"")
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := apps.Config{
+			Nodes:   4,
+			Variant: apps.Optimized,
+			Opts:    []dex.Option{dex.WithCores(cores)},
+		}
+		if _, err := app.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ParallelCoreSerial is the cores=1 reference for ParallelCore.
+func ParallelCoreSerial(b *testing.B) { parallelCoreAt(b, 1) }
+
+// ParallelCore runs the same workload on every available host core.
+func ParallelCore(b *testing.B) { parallelCoreAt(b, runtime.GOMAXPROCS(0)) }
 
 // Experiment regenerates one end-to-end experiment table (the §V-D
 // fault-handling microbenchmark) at test scale per iteration.

@@ -6,7 +6,9 @@ import "testing"
 // `go test -bench` (and the CI -benchtime=1x smoke run); cmd/dexhotpath
 // runs the same bodies through testing.Benchmark to emit BENCH_hotpath.json.
 
-func BenchmarkFaultFastPath(b *testing.B) { FaultFastPath(b) }
-func BenchmarkFaultSlowPath(b *testing.B) { FaultSlowPath(b) }
-func BenchmarkEventDispatch(b *testing.B) { EventDispatch(b) }
-func BenchmarkExperiment(b *testing.B)    { Experiment(b) }
+func BenchmarkFaultFastPath(b *testing.B)      { FaultFastPath(b) }
+func BenchmarkFaultSlowPath(b *testing.B)      { FaultSlowPath(b) }
+func BenchmarkEventDispatch(b *testing.B)      { EventDispatch(b) }
+func BenchmarkExperiment(b *testing.B)         { Experiment(b) }
+func BenchmarkParallelCoreSerial(b *testing.B) { ParallelCoreSerial(b) }
+func BenchmarkParallelCore(b *testing.B)       { ParallelCore(b) }

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,9 +27,25 @@ type Stats struct {
 	Crashes      int    `json:"crashes"`
 }
 
-// Injector executes a Plan. It owns a private PRNG stream seeded from the
-// plan; the fabric consults it once per send, in deterministic event order,
-// which makes every fault schedule a pure function of (seed, plan).
+// injStats is the live counter set. Counters are bumped from whichever
+// simulation lane executes the send or arrival, so they are atomic; each is
+// a pure sum, independent of bump order, so Stats snapshots are identical at
+// any core count.
+type injStats struct {
+	dropped      atomic.Uint64
+	droppedBytes atomic.Uint64
+	duplicated   atomic.Uint64
+	delayed      atomic.Uint64
+	held         atomic.Uint64
+	stormStalled atomic.Uint64
+	crashes      atomic.Int64
+}
+
+// Injector executes a Plan. It owns one private PRNG stream per directed
+// link; the fabric consults it once per send. Sends on one link execute in a
+// deterministic order (they run on the source node's lane, or in serialized
+// windows), which makes every fault schedule a pure function of (seed, plan)
+// at any core count — streams of different links never interleave.
 //
 // The injector is also the ground truth for node liveness: the fabric asks
 // NodeDead to drop traffic of crashed machines, and the lease protocol in
@@ -36,19 +53,37 @@ type Stats struct {
 // partition or delay storm can expire a lease without the node being gone).
 type Injector struct {
 	plan  *Plan
-	rng   *rand.Rand
+	nodes int
+	links []*rand.Rand // links[src*nodes+dst]
 	dead  []bool
-	stats Stats
+	stats injStats
+}
+
+// splitmix64 derives statistically independent per-link seeds from the plan
+// seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // NewInjector builds an injector for a cluster of the given size. The plan
 // must be non-nil and validated.
 func NewInjector(plan *Plan, nodes int) *Injector {
-	return &Injector{
-		plan: plan,
-		rng:  rand.New(rand.NewSource(plan.Seed)),
-		dead: make([]bool, nodes),
+	inj := &Injector{
+		plan:  plan,
+		nodes: nodes,
+		links: make([]*rand.Rand, nodes*nodes),
+		dead:  make([]bool, nodes),
 	}
+	for src := 0; src < nodes; src++ {
+		for dst := 0; dst < nodes; dst++ {
+			seed := splitmix64(uint64(plan.Seed) ^ splitmix64(uint64(src)<<32|uint64(dst)))
+			inj.links[src*nodes+dst] = rand.New(rand.NewSource(int64(seed)))
+		}
+	}
+	return inj
 }
 
 // Plan returns the plan this injector executes.
@@ -57,34 +92,36 @@ func (inj *Injector) Plan() *Plan { return inj.plan }
 // Verdict decides the fate of one message of size bytes sent src→dst at
 // virtual time now. Only expendable messages (idempotent protocol traffic
 // covered by retransmission) may be dropped or duplicated; delay jitter
-// applies to everything. Each matching rule consumes exactly one PRNG draw,
-// so the fault schedule is reproducible for a given event order.
+// applies to everything. Each matching rule consumes exactly one draw from
+// the link's private PRNG stream, so the fault schedule is reproducible for
+// a given per-link send order.
 func (inj *Injector) Verdict(now time.Duration, src, dst, bytes int, expendable bool) Verdict {
 	var v Verdict
+	rng := inj.links[src*inj.nodes+dst]
 	if expendable {
 		for _, r := range inj.plan.Drop {
-			if r.matches(now, src, dst) && inj.rng.Float64() < r.Prob {
+			if r.matches(now, src, dst) && rng.Float64() < r.Prob {
 				v.Drop = true
-				inj.stats.Dropped++
-				inj.stats.DroppedBytes += uint64(bytes)
+				inj.stats.dropped.Add(1)
+				inj.stats.droppedBytes.Add(uint64(bytes))
 				return v
 			}
 		}
 		for _, r := range inj.plan.Dup {
-			if r.matches(now, src, dst) && inj.rng.Float64() < r.Prob {
+			if r.matches(now, src, dst) && rng.Float64() < r.Prob {
 				v.Dup = true
-				inj.stats.Duplicated++
+				inj.stats.duplicated.Add(1)
 				break
 			}
 		}
 	}
 	for _, r := range inj.plan.Delay {
-		if r.matches(now, src, dst) && inj.rng.Float64() < r.Prob {
-			v.Delay += time.Duration(inj.rng.Int63n(int64(r.Jitter))) + 1
+		if r.matches(now, src, dst) && rng.Float64() < r.Prob {
+			v.Delay += time.Duration(rng.Int63n(int64(r.Jitter))) + 1
 		}
 	}
 	if v.Delay > 0 {
-		inj.stats.Delayed++
+		inj.stats.delayed.Add(1)
 	}
 	return v
 }
@@ -104,7 +141,7 @@ func (inj *Injector) HeldUntil(now time.Duration, src, dst int) (time.Duration, 
 		}
 	}
 	if held {
-		inj.stats.Held++
+		inj.stats.held.Add(1)
 	}
 	return until, held
 }
@@ -123,17 +160,19 @@ func (inj *Injector) RNRUntil(now time.Duration, dst int) (time.Duration, bool) 
 		}
 	}
 	if storming {
-		inj.stats.StormStalled++
+		inj.stats.stormStalled.Add(1)
 	}
 	return until, storming
 }
 
 // MarkDead records that a node crashed. From this moment the fabric drops
-// all traffic to and from it.
+// all traffic to and from it. Crashes execute on the global lane (serialized
+// windows), so the liveness flags need no synchronization: lane reads are
+// never concurrent with a write.
 func (inj *Injector) MarkDead(node int) {
 	if !inj.dead[node] {
 		inj.dead[node] = true
-		inj.stats.Crashes++
+		inj.stats.crashes.Add(1)
 	}
 }
 
@@ -156,10 +195,20 @@ func (inj *Injector) DeadNodes() []int {
 }
 
 // Stats returns the fault counters accumulated so far.
-func (inj *Injector) Stats() Stats { return inj.stats }
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Dropped:      inj.stats.dropped.Load(),
+		DroppedBytes: inj.stats.droppedBytes.Load(),
+		Duplicated:   inj.stats.duplicated.Load(),
+		Delayed:      inj.stats.delayed.Load(),
+		Held:         inj.stats.held.Load(),
+		StormStalled: inj.stats.stormStalled.Load(),
+		Crashes:      int(inj.stats.crashes.Load()),
+	}
+}
 
 // CountDrop records a drop decided outside Verdict (dead-endpoint traffic).
 func (inj *Injector) CountDrop(bytes int) {
-	inj.stats.Dropped++
-	inj.stats.DroppedBytes += uint64(bytes)
+	inj.stats.dropped.Add(1)
+	inj.stats.droppedBytes.Add(uint64(bytes))
 }

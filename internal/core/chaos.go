@@ -231,7 +231,8 @@ func (p *Process) declareNodeDead(node int) {
 	}
 	if p.liveCount == 0 {
 		p.finishedAt = p.m.eng.Now()
-		p.m.eng.Spawn("process-exit", func(t *sim.Task) { p.shutdownWorkers(t) })
+		// Teardown sends from the origin, so it runs on the origin's lane.
+		p.m.view(p.origin).Spawn("process-exit", func(t *sim.Task) { p.shutdownWorkers(t) })
 	}
 }
 
@@ -247,12 +248,9 @@ func (p *Process) restartThread(th *Thread) {
 	blob := append([]byte(nil), th.ckpt.data...)
 	fn := th.restartable
 	name := fmt.Sprintf("pid%d/t%d#r%d", p.pid, th.id, th.restarts)
-	th.task = p.m.eng.Spawn(name, func(t *sim.Task) {
+	th.task = p.m.view(p.origin).Spawn(name, func(t *sim.Task) {
 		th.task = t
-		if err := fn(th, blob); err != nil && p.firstErr == nil {
-			p.firstErr = fmt.Errorf("thread %d: %w", th.id, err)
-		}
-		p.threadDone(t, th)
+		p.threadDone(t, th, fn(th, blob))
 	})
 	th.task.SetDetail(fmt.Sprintf("node %d", p.origin))
 	if p.m.params.Obs != nil {

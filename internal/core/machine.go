@@ -73,6 +73,14 @@ type Params struct {
 	Nodes int
 	// CoresPerNode is the number of CPU cores per machine.
 	CoresPerNode int
+	// Cores is the number of host CPU cores the simulator itself may use:
+	// 1 (the default) runs the classic serial loop, >1 enables the
+	// conservative-parallel scheduler, which executes distinct node lanes
+	// concurrently within each link-latency lookahead window. Reports are
+	// byte-identical at any value. Features whose bookkeeping crosses node
+	// lanes in event context (Obs, Hook, the HomeMigrate protocol) force
+	// serial execution regardless of this setting.
+	Cores int
 	// MemBandwidth is the per-node memory-bus bandwidth in bytes/second
 	// shared by all cores of a node; it is what saturates first for
 	// memory-bound applications (the paper's BP observation, §V-B).
@@ -148,6 +156,7 @@ type Node struct {
 // Machine is a simulated cluster running DeX processes.
 type Machine struct {
 	eng     *sim.Engine
+	views   []*sim.Engine // per-node lane views of eng
 	net     *fabric.Network
 	params  Params
 	nodes   []*Node
@@ -168,11 +177,32 @@ func NewMachine(params Params) *Machine {
 	if params.Fabric.Nodes != params.Nodes {
 		params.Fabric.Nodes = params.Nodes
 	}
+	cores := params.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	// Serialization clamps. The observability recorder and fault hooks append
+	// to shared slices from whichever lane triggers them, and HomeMigrate
+	// serves page requests (mutating shared directory state) at arbitrary
+	// nodes; all three are correct only under serial execution. Lanes are
+	// still configured identically so the event order — and every report —
+	// matches what the parallel scheduler produces for the same workload.
+	if params.Obs != nil || params.Hook != nil || params.DSM.Protocol == dsm.HomeMigrate {
+		cores = 1
+	}
+	// Lanes and lookahead must exist before fabric.New: the network binds its
+	// per-node lane views at construction.
+	eng.ConfigureLanes(params.Nodes, cores)
+	eng.SetLookahead(params.Fabric.LinkLatency)
 	m := &Machine{
 		eng:    eng,
 		net:    fabric.New(eng, params.Fabric),
 		params: params,
 		nodes:  make([]*Node, params.Nodes),
+	}
+	m.views = make([]*sim.Engine, params.Nodes)
+	for i := range m.views {
+		m.views[i] = eng.LaneView(i)
 	}
 	if params.Obs != nil {
 		params.Obs.SetClock(eng.Now)
@@ -198,7 +228,10 @@ func NewMachine(params Params) *Machine {
 		m.nodes[i] = &Node{
 			id:    i,
 			cores: sim.NewSemaphore(fmt.Sprintf("cores@%d", i), params.CoresPerNode),
-			bus:   sim.NewBus(eng, fmt.Sprintf("membus@%d", i), params.MemBandwidth),
+			// The bus is node-local state touched on every Compute/Work call,
+			// so it must observe the node lane's clock, not the root view's
+			// (which is stale while lanes execute concurrently).
+			bus: sim.NewBus(m.views[i], fmt.Sprintf("membus@%d", i), params.MemBandwidth),
 		}
 		m.nodes[i].bus.SetCongestion(params.BusCongestion)
 		node := i
@@ -222,6 +255,42 @@ func (m *Machine) Nodes() int { return m.params.Nodes }
 // Injector exposes the fault injector, nil when no plan is active.
 func (m *Machine) Injector() *chaos.Injector { return m.inj }
 
+// view returns the lane view bound to node.
+func (m *Machine) view(node int) *sim.Engine { return m.views[node] }
+
+// commitGlobal runs fn in serialized (global-lane) context, where it may
+// touch process-wide state and any lane's tasks. From the global lane it
+// runs immediately; from a node lane it is scheduled one lookahead later —
+// the earliest instant a lane is allowed to affect global state. The branch
+// depends only on the caller's lane, never on the core count, so outcomes
+// stay byte-identical.
+func (m *Machine) commitGlobal(t *sim.Task, fn func()) {
+	v := t.Engine()
+	if v.Lane() == sim.GlobalLane {
+		fn()
+		return
+	}
+	v.AfterOn(sim.GlobalLane, m.eng.Lookahead(), fn)
+}
+
+// commitGlobalWait is commitGlobal blocking the task until fn has run.
+func (m *Machine) commitGlobalWait(t *sim.Task, fn func()) {
+	v := t.Engine()
+	if v.Lane() == sim.GlobalLane {
+		fn()
+		return
+	}
+	done := false
+	v.AfterOn(sim.GlobalLane, m.eng.Lookahead(), func() {
+		fn()
+		done = true
+		t.Unpark()
+	})
+	for !done {
+		t.Park("global commit")
+	}
+}
+
 // envelope is the core-layer message: a closure delivered at the
 // destination node in event context. Migration requests, delegated work,
 // and worker commands all travel as envelopes over the same fabric as the
@@ -232,6 +301,12 @@ type envelope struct {
 }
 
 func (e *envelope) Size() int { return e.bytes }
+
+// DeliverGlobal marks envelopes for the fabric's control queue pair: their
+// closures run against process-wide structures (worker mailboxes, delegation
+// state, migration bookkeeping), so they execute on the simulator's global
+// lane, where every node lane is quiescent.
+func (e *envelope) DeliverGlobal() {}
 
 // route dispatches an incoming fabric message at a node.
 func (m *Machine) route(node, src int, msg fabric.Message) {

@@ -101,15 +101,18 @@ func (th *Thread) migrateForward(to int) error {
 	}
 	if p.m.inj != nil && p.m.inj.NodeDead(to) {
 		// The fork completed but the node died before the thread resumed;
-		// stay at the source.
+		// stay at the source. The resume commit already rebound the task to
+		// the destination lane, so move it back in serialized context.
+		from := mg.record.From
+		p.m.commitGlobalWait(th.task, func() { th.task.SetLane(from) })
 		return fmt.Errorf("core: migration of thread %d to node %d failed: node crashed on arrival", th.id, to)
 	}
-	// Execution continues at the destination.
+	// Execution continues at the destination (the resume commit rebound the
+	// task to the destination's lane before waking it).
 	th.node = to
 	th.task.SetDetail(fmt.Sprintf("node %d", to))
 	mg.record.Total = th.task.Now() - start
-	p.migrations++
-	p.migrationRecords = append(p.migrationRecords, mg.record)
+	p.commitMigration(th.task, mg.record)
 
 	if rec := p.m.params.Obs; rec != nil {
 		from := mg.record.From
@@ -150,8 +153,31 @@ func (p *Process) serveFork(t *sim.Task, mg *migration) {
 		t.Sleep(costs.Schedule)
 		mg.record.Sched = costs.Schedule
 	}
-	mg.resumed = true
-	mg.th.task.Unpark()
+	// The handoff moves the thread's task from the source lane to the
+	// destination lane and wakes it across lanes — both require serialized
+	// context, so it commits on the global lane one lookahead later (the
+	// context switch into the resumed thread, charged at fabric latency).
+	p.m.commitGlobal(t, func() {
+		if p.m.inj != nil && p.m.inj.NodeDead(mg.to) {
+			// The destination died after the fork: leave the thread parked on
+			// its source lane; its in-flight re-check surfaces the error.
+			return
+		}
+		mg.resumed = true
+		mg.th.task.SetLane(mg.to)
+		mg.th.task.Unpark()
+	})
+}
+
+// commitMigration appends one completed migration to the process counters.
+// Threads finish migrations on their destination's lane, and the records are
+// process-wide, so the append runs as a global-lane commit; record is fully
+// populated by then, and global events order deterministically.
+func (p *Process) commitMigration(t *sim.Task, record MigrationRecord) {
+	p.m.commitGlobal(t, func() {
+		p.migrations++
+		p.migrationRecords = append(p.migrationRecords, record)
+	})
 }
 
 // migrateBackward implements the cheap return path: collect the remote
@@ -174,12 +200,15 @@ func (th *Thread) migrateBackward() {
 	sentAt := th.task.Now()
 	p.m.net.Send(th.task, from, p.origin, &envelope{bytes: costs.ContextSize, deliver: func() {
 		record.Transfer = p.m.eng.Now() - sentAt
-		// The original thread's context is updated and it is resumed;
-		// charge the update cost on the origin side.
+		// The original thread's context is updated and it is resumed; charge
+		// the update cost on the origin side. The task is spawned from the
+		// envelope's global-lane delivery and stays global, so the final
+		// cross-lane handoff (SetLane + Unpark) runs in serialized context.
 		p.m.eng.Spawn("backward-update", func(t *sim.Task) {
 			t.Sleep(costs.BackwardUpdate)
 			record.Ctx = costs.BackwardUpdate
 			resumed = true
+			th.task.SetLane(p.origin)
 			th.task.Unpark()
 		})
 	}})
@@ -189,8 +218,7 @@ func (th *Thread) migrateBackward() {
 	th.node = p.origin
 	th.task.SetDetail(fmt.Sprintf("node %d", p.origin))
 	record.Total = th.task.Now() - start
-	p.migrations++
-	p.migrationRecords = append(p.migrationRecords, record)
+	p.commitMigration(th.task, record)
 
 	if rec := p.m.params.Obs; rec != nil {
 		rec.SpanAt("core", "migrate.backward", from, th.id, start, record.Total,

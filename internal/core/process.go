@@ -223,32 +223,44 @@ func (p *Process) newThread(node int, fn func(*Thread) error, parent *Thread) *T
 	p.threads = append(p.threads, th)
 	p.liveCount++
 	name := fmt.Sprintf("pid%d/t%d", p.pid, th.id)
-	th.task = p.m.eng.Spawn(name, func(t *sim.Task) {
+	th.task = p.m.view(node).Spawn(name, func(t *sim.Task) {
 		th.task = t
-		err := fn(th)
-		if err != nil && p.firstErr == nil {
-			p.firstErr = fmt.Errorf("thread %d: %w", th.id, err)
-		}
-		p.threadDone(t, th)
+		p.threadDone(t, th, fn(th))
 	})
 	th.task.SetDetail(fmt.Sprintf("node %d", node))
 	return th
 }
 
-// threadDone marks a thread finished, wakes joiners, and tears the process
-// down when the last thread exits.
-func (p *Process) threadDone(t *sim.Task, th *Thread) {
-	th.done = true
-	for _, j := range th.joiners {
-		j.Unpark()
-	}
-	th.joiners = nil
-	p.liveCount--
-	if p.liveCount > 0 {
-		return
-	}
-	p.finishedAt = p.m.eng.Now()
-	p.shutdownWorkers(t)
+// threadDone commits a thread's exit: the error (if any), the done flag,
+// joiner wakeups, and the live count are process-wide state shared with
+// threads on every node, so the bookkeeping runs in serialized global-lane
+// context — a joiner parked on another lane can then be woken safely. When
+// the last thread exits, worker teardown is handed to a fresh origin-lane
+// task (the teardown sends from the origin, so it must execute there).
+func (p *Process) threadDone(t *sim.Task, th *Thread, err error) {
+	p.m.commitGlobalWait(t, func() {
+		if th.done {
+			// The thread's node was declared dead between its return and this
+			// commit; declareNodeDead already accounted for it.
+			return
+		}
+		if err != nil && p.firstErr == nil {
+			p.firstErr = fmt.Errorf("thread %d: %w", th.id, err)
+		}
+		th.done = true
+		for _, j := range th.joiners {
+			j.Unpark()
+		}
+		th.joiners = nil
+		p.liveCount--
+		if p.liveCount > 0 {
+			return
+		}
+		p.finishedAt = p.m.eng.Now()
+		p.m.view(p.origin).Spawn("process-exit", func(st *sim.Task) {
+			p.shutdownWorkers(st)
+		})
+	})
 }
 
 // shutdownWorkers broadcasts process exit to every remote worker (§III-A:
@@ -282,7 +294,7 @@ func (p *Process) worker(node int) (*remoteWorker, bool) {
 	}
 	p.workers[node] = w
 	p.vmaCache[node] = &mem.VMASet{}
-	w.task = p.m.eng.Spawn(fmt.Sprintf("worker pid%d@%d", p.pid, node), func(t *sim.Task) {
+	w.task = p.m.view(node).Spawn(fmt.Sprintf("worker pid%d@%d", p.pid, node), func(t *sim.Task) {
 		// Per-process setup: address space bootstrap, messaging state,
 		// process-level bookkeeping (the 620 µs of Figure 3).
 		t.Sleep(p.m.params.Migration.RemoteWorkerSetup)
@@ -336,14 +348,17 @@ func (p *Process) delegate(th *Thread, name string, op func(t *sim.Task) any) an
 	if th.node == p.origin {
 		return op(th.task)
 	}
-	p.delegations++
 	node := th.node
 	var (
 		resVal  any
 		resDone bool
 	)
 	p.m.net.Send(th.task, node, p.origin, &envelope{bytes: p.m.params.DelegateSize, deliver: func() {
-		p.m.eng.Spawn("delegate "+name, func(t *sim.Task) {
+		// The handler-thread context runs at the origin, on the origin's
+		// lane: delegated operations touch origin-owned state (address
+		// space, futex table, file table, delegation counter).
+		p.m.view(p.origin).Spawn("delegate "+name, func(t *sim.Task) {
+			p.delegations++
 			t.Sleep(p.m.params.DelegateDispatch)
 			v := op(t)
 			p.m.net.Send(t, p.origin, node, &envelope{bytes: p.m.params.DelegateSize, deliver: func() {
@@ -375,8 +390,9 @@ func (p *Process) broadcastVMA(t *sim.Task, apply func(node int, t *sim.Task)) {
 			w.mb.Send(workerMsg{
 				apply: func(wt *sim.Task) { apply(w.node, wt) },
 				done: func() {
-					// Ack travels back to the origin.
-					p.m.eng.Spawn("vma-ack", func(at *sim.Task) {
+					// Ack travels back to the origin. The ack task is spawned
+					// from worker context, so it lives on the worker's lane.
+					p.m.view(w.node).Spawn("vma-ack", func(at *sim.Task) {
 						p.m.net.Send(at, w.node, p.origin, &envelope{bytes: 48, deliver: done})
 					})
 				},
@@ -454,12 +470,12 @@ func (p *Process) mprotectAt(t *sim.Task, addr mem.Addr, size uint64, prot mem.P
 // thread that sees a missing VMA asks the origin whether the access is
 // legitimate.
 func (p *Process) queryVMA(th *Thread, addr mem.Addr) (mem.VMA, bool) {
-	p.vmaQueries++
 	type res struct {
 		v  mem.VMA
 		ok bool
 	}
 	r := p.delegate(th, "vma-query", func(t *sim.Task) any {
+		p.vmaQueries++ // origin-side counter, bumped in origin context
 		v, ok := p.as.VMAs.Find(addr)
 		return res{v: v, ok: ok}
 	}).(res)

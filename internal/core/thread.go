@@ -184,9 +184,20 @@ func (th *Thread) Restarts() int { return th.restarts }
 // Join blocks until other finishes. It returns nil when other completed
 // normally, or the attributable crash error when other was lost with its
 // node under fault injection — a joiner never hangs on a dead thread.
+//
+// The joiner list is process-wide state written from whichever node the
+// joiner runs on, so registration goes through a serialized global-lane
+// commit; thread exits (also committed globally) then wake joiners from a
+// context where every lane is quiescent.
 func (th *Thread) Join(other *Thread) error {
 	for !other.done {
-		other.joiners = append(other.joiners, th.task)
+		th.proc.m.commitGlobal(th.task, func() {
+			if other.done {
+				th.task.Unpark()
+				return
+			}
+			other.joiners = append(other.joiners, th.task)
+		})
 		th.task.Park(fmt.Sprintf("join t%d", other.id))
 	}
 	return other.crashErr

@@ -388,7 +388,7 @@ func (m *Manager) entry(vpn uint64) (*dirEntry, bool) {
 	created := false
 	de, _ := m.dir.GetOrCreate(vpn, func() *dirEntry {
 		created = true
-		m.nodes[m.origin].pt.SetAccess(vpn, m.frames.GetZeroed(), mem.AccessWrite)
+		m.nodes[m.origin].pt.SetAccess(vpn, m.pool(m.origin).GetZeroed(), mem.AccessWrite)
 		d := newDirEntry(m.origin)
 		d.firstTouch()
 		return d

@@ -33,6 +33,7 @@ package dsm
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dex/internal/chaos"
@@ -171,6 +172,28 @@ type Stats struct {
 // Faults returns the total number of lead faults handled by the protocol.
 func (s Stats) Faults() uint64 { return s.ReadFaults + s.WriteFaults }
 
+// dsmStats is the live counter set behind Stats. Counters are bumped from
+// whichever simulation lane runs the protocol step (requester, serving home,
+// or revocation target), so they are atomic; each is a pure sum, independent
+// of bump order, so snapshots are identical at any core count.
+type dsmStats struct {
+	readFaults      atomic.Uint64
+	writeFaults     atomic.Uint64
+	followerJoins   atomic.Uint64
+	nacks           atomic.Uint64
+	invalidations   atomic.Uint64
+	downgrades      atomic.Uint64
+	pageTransfers   atomic.Uint64
+	ownershipGrants atomic.Uint64
+	prefetchedPages atomic.Uint64
+	retransmits     atomic.Uint64
+	dupsIgnored     atomic.Uint64
+	pagesLost       atomic.Uint64
+	homeFailovers   atomic.Uint64
+	pagesRehomed    atomic.Uint64
+	totalLatency    atomic.Int64 // nanoseconds
+}
+
 type fkey struct {
 	vpn   uint64
 	write bool
@@ -203,6 +226,19 @@ type nodeState struct {
 	pt          mem.PageTable
 	faults      map[fkey]*faultGroup
 	outstanding map[uint64]*outstanding // keyed by request token
+
+	// reqCtr is this node's request-token allocator. Tokens carry the
+	// allocating node in their top bits (engine.nextToken), giving every
+	// node a private, monotonic token space it can allocate from on its own
+	// simulation lane without synchronization.
+	reqCtr uint64
+	// sweepBudget counts down dedup admissions on this node's lane; when it
+	// hits zero a global watermark sweep is scheduled (engine.admitted).
+	sweepBudget int
+	// latencies holds this node's per-fault latency samples (when
+	// Params.RecordLatency is set). Kept per node so requester lanes append
+	// without synchronization; Latencies() concatenates in node order.
+	latencies []time.Duration
 
 	// homeHint is this node's believed home per page under the HomeMigrate
 	// policy (nil otherwise); absent means the origin. Hints are repaired
@@ -273,7 +309,13 @@ type Manager struct {
 	nodes  []*nodeState
 	dir    radix.Tree[*dirEntry]
 	hook   Hook
-	stats  Stats
+	stats  dsmStats
+
+	// views caches one lane view of the engine per node (plus the root
+	// engine for nodes without a configured lane), so protocol tasks spawn
+	// on the simulation lane of the node they execute at. On an engine
+	// without lanes every view is the root engine — classic serial behavior.
+	views []*sim.Engine
 
 	// policy is the pluggable coherence layer (protocol.go).
 	policy policy
@@ -281,26 +323,27 @@ type Manager struct {
 	// duplicate detection, rollback.
 	e engine
 
-	// frames recycles page frames across the whole process: a frame dropped
-	// by a revocation or unmap re-emerges as the staging buffer of a later
-	// page transfer or as a demand-zero frame, so the steady-state transfer
-	// path allocates nothing. Frames are returned only at the points where
-	// the protocol can prove no reference remains (see freeFrame callers).
-	frames mem.FramePool
+	// pools recycle page frames, one free list per node: a frame dropped by
+	// a revocation or unmap re-emerges as the staging buffer of a later page
+	// transfer or as a demand-zero frame, so the steady-state transfer path
+	// allocates nothing. Per-node lists keep Get/Put lane-local (each lane
+	// only touches its own node's pool), which makes the recycle/alloc
+	// counters deterministic at any core count. Frames are returned only at
+	// the points where the protocol can prove no reference remains (see
+	// freeFrame callers).
+	pools []mem.FramePool
 
 	// chaos is the fault injector attached to the fabric, or nil. When set,
 	// every wait on a protocol acknowledgment runs under a retransmission
 	// timeout and the engine's dedup/recovery state is maintained.
 	chaos *chaos.Injector
 
-	latencies []time.Duration
-
 	// rec is the observability recorder; nil (the default) disables every
 	// interior span with a single branch, like the hook.
 	rec *obs.Recorder
 	// inflight counts lead faults currently inside the protocol; the
-	// sampler exposes it as a gauge.
-	inflight int
+	// sampler exposes it as a gauge. Faults enter from any node lane.
+	inflight atomic.Int64
 }
 
 type revokeWaiter struct {
@@ -334,6 +377,8 @@ func New(eng *sim.Engine, net *fabric.Network, params Params, pid, origin, nodes
 		hook:   hook,
 		chaos:  net.Chaos(),
 		nodes:  make([]*nodeState, nodes),
+		views:  make([]*sim.Engine, nodes),
+		pools:  make([]mem.FramePool, nodes),
 	}
 	for i := range m.nodes {
 		m.nodes[i] = &nodeState{
@@ -344,11 +389,22 @@ func New(eng *sim.Engine, net *fabric.Network, params Params, pid, origin, nodes
 			m.nodes[i].completed = make(map[uint64]completedGrant)
 			m.nodes[i].appliedRevokes = make(map[uint64]*appliedRevoke)
 		}
+		if i < eng.Lanes() {
+			m.views[i] = eng.LaneView(i)
+		} else {
+			m.views[i] = eng
+		}
 	}
 	m.e.init(m)
 	m.policy = newPolicy(m)
 	return m
 }
+
+// view returns the engine lane view protocol work at node runs on.
+func (m *Manager) view(node int) *sim.Engine { return m.views[node] }
+
+// pool returns node's frame free list.
+func (m *Manager) pool(node int) *mem.FramePool { return &m.pools[node] }
 
 // SetRecorder attaches the observability recorder for interior protocol
 // spans (ownership requests, PTE installs, revocations). The fault-level
@@ -357,7 +413,7 @@ func (m *Manager) SetRecorder(rec *obs.Recorder) { m.rec = rec }
 
 // InFlightFaults returns the number of lead faults currently being handled
 // across all nodes (the sampler's in-flight gauge).
-func (m *Manager) InFlightFaults() int { return m.inflight }
+func (m *Manager) InFlightFaults() int { return int(m.inflight.Load()) }
 
 // PID returns the process id this manager serves.
 func (m *Manager) PID() int { return m.pid }
@@ -369,18 +425,43 @@ func (m *Manager) Origin() int { return m.origin }
 func (m *Manager) Protocol() Protocol { return m.policy.proto() }
 
 // Stats returns a snapshot of the protocol counters.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	return Stats{
+		ReadFaults:      m.stats.readFaults.Load(),
+		WriteFaults:     m.stats.writeFaults.Load(),
+		FollowerJoins:   m.stats.followerJoins.Load(),
+		Nacks:           m.stats.nacks.Load(),
+		Invalidations:   m.stats.invalidations.Load(),
+		Downgrades:      m.stats.downgrades.Load(),
+		PageTransfers:   m.stats.pageTransfers.Load(),
+		OwnershipGrants: m.stats.ownershipGrants.Load(),
+		PrefetchedPages: m.stats.prefetchedPages.Load(),
+		Retransmits:     m.stats.retransmits.Load(),
+		DupsIgnored:     m.stats.dupsIgnored.Load(),
+		PagesLost:       m.stats.pagesLost.Load(),
+		HomeFailovers:   m.stats.homeFailovers.Load(),
+		PagesRehomed:    m.stats.pagesRehomed.Load(),
+		TotalLatency:    time.Duration(m.stats.totalLatency.Load()),
+	}
+}
 
 // Latencies returns a copy of the recorded per-fault latencies (empty
-// unless Params.RecordLatency is set). Callers get their own slice: the
-// manager keeps appending to its internal one as faults complete, and
-// handing that out by reference would let callers corrupt the accounting.
+// unless Params.RecordLatency is set), concatenated in node order. Callers
+// get their own slice: the manager keeps appending to its per-node ones as
+// faults complete, and handing those out by reference would let callers
+// corrupt the accounting.
 func (m *Manager) Latencies() []time.Duration {
-	if len(m.latencies) == 0 {
+	n := 0
+	for _, ns := range m.nodes {
+		n += len(ns.latencies)
+	}
+	if n == 0 {
 		return nil
 	}
-	out := make([]time.Duration, len(m.latencies))
-	copy(out, m.latencies)
+	out := make([]time.Duration, 0, n)
+	for _, ns := range m.nodes {
+		out = append(out, ns.latencies...)
+	}
 	return out
 }
 
@@ -407,24 +488,30 @@ func (m *Manager) TLBStats() mem.TLBStats {
 	return s
 }
 
-// FrameStats reports frame free-list activity: frames served from the pool
-// and frames that fell through to a fresh allocation.
+// FrameStats reports frame free-list activity summed over all nodes:
+// frames served from a pool and frames that fell through to a fresh
+// allocation.
 func (m *Manager) FrameStats() (recycled, allocs uint64) {
-	return m.frames.Recycled(), m.frames.Allocs()
+	for i := range m.pools {
+		recycled += m.pools[i].Recycled()
+		allocs += m.pools[i].Allocs()
+	}
+	return recycled, allocs
 }
 
-// freeFrame returns an orphaned frame to the process free list. Callers
-// must guarantee the frame is no longer mapped in any page table and not
+// freeFrame returns an orphaned frame to node's free list. node is the node
+// whose simulation lane is executing (pools are lane-local). Callers must
+// guarantee the frame is no longer mapped in any page table and not
 // captured by an in-flight transfer (SendPage snapshots its payload before
 // yielding, so a frame is safe to free as soon as the send call returns).
-func (m *Manager) freeFrame(f []byte) { m.frames.Put(f) }
+func (m *Manager) freeFrame(node int, f []byte) { m.pool(node).Put(f) }
 
 // ReclaimRange invalidates all present mappings of node in [lo, hi] and
 // recycles the dropped frames. The caller must have quiesced protocol
 // activity on the range (as munmap does: VMAs are carved first and busy
 // directory entries waited out).
 func (m *Manager) ReclaimRange(node int, lo, hi uint64) int {
-	return m.nodes[node].pt.ReclaimRange(lo, hi, m.freeFrame)
+	return m.nodes[node].pt.ReclaimRange(lo, hi, func(f []byte) { m.freeFrame(node, f) })
 }
 
 // EnsurePage makes the page containing addr accessible at ctx.Node with the
@@ -448,13 +535,13 @@ func (m *Manager) EnsurePage(t *sim.Task, ctx Ctx, addr mem.Addr, write bool) *m
 			// same in-flight group must not re-register it or inflate
 			// FollowerJoins.
 			if g != joined {
-				m.stats.FollowerJoins++
+				m.stats.followerJoins.Add(1)
 				g.followers = append(g.followers, t)
 				joined = g
 			}
 			var parkedAt time.Duration
 			if m.rec != nil {
-				parkedAt = m.eng.Now()
+				parkedAt = t.Now()
 			}
 			t.Park("fault follower " + addr.String())
 			t.Sleep(m.params.FollowerWake)
@@ -466,12 +553,12 @@ func (m *Manager) EnsurePage(t *sim.Task, ctx Ctx, addr mem.Addr, write bool) *m
 		}
 		g := &faultGroup{}
 		ns.faults[key] = g
-		m.inflight++
+		m.inflight.Add(1)
 		start := t.Now()
 		t.Sleep(m.params.FaultEntry)
 		retries, protocol := m.policy.leadFault(t, ctx, vpn, write)
 		delete(ns.faults, key)
-		m.inflight--
+		m.inflight.Add(-1)
 		for _, f := range g.followers {
 			f.Unpark()
 		}
@@ -484,13 +571,14 @@ func (m *Manager) EnsurePage(t *sim.Task, ctx Ctx, addr mem.Addr, write bool) *m
 
 func (m *Manager) recordFault(ctx Ctx, addr mem.Addr, write bool, latency time.Duration, retries int) {
 	if write {
-		m.stats.WriteFaults++
+		m.stats.writeFaults.Add(1)
 	} else {
-		m.stats.ReadFaults++
+		m.stats.readFaults.Add(1)
 	}
-	m.stats.TotalLatency += latency
+	m.stats.totalLatency.Add(int64(latency))
 	if m.params.RecordLatency {
-		m.latencies = append(m.latencies, latency)
+		ns := m.nodes[ctx.Node]
+		ns.latencies = append(ns.latencies, latency)
 	}
 	if m.hook != nil {
 		kind := KindRead
@@ -510,10 +598,14 @@ func (m *Manager) recordFault(ctx Ctx, addr mem.Addr, write bool, latency time.D
 	}
 }
 
-func (m *Manager) backoff(t *sim.Task, attempt int) {
+// backoff sleeps t before retrying a NACKed request. node is the faulting
+// node: jitter draws come from its lane's split RNG, so backoff schedules
+// are lane-deterministic at any core count (the root engine's RNG may not
+// be touched from a worker lane).
+func (m *Manager) backoff(t *sim.Task, node, attempt int) {
 	d := m.params.NackBackoffBase * time.Duration(attempt)
 	if m.params.NackBackoffJitter > 0 {
-		d += time.Duration(m.eng.Rand().Int63n(int64(m.params.NackBackoffJitter)))
+		d += time.Duration(m.view(node).Rand().Int63n(int64(m.params.NackBackoffJitter)))
 	}
 	t.Sleep(d)
 }
@@ -555,17 +647,17 @@ func (m *Manager) recoverDeadHome(vpn uint64, de *dirEntry, dead int, fallback [
 		if pte := m.nodes[n].pt.Lookup(vpn); pte != nil && pte.Present {
 			f := pte.Frame
 			m.nodes[n].pt.Invalidate(vpn)
-			m.freeFrame(f)
+			m.freeFrame(n, f)
 		}
 	}
 	de.rehome(m.origin)
 	lost := frame == nil
 	if lost {
-		frame = m.frames.GetZeroed()
-		m.stats.PagesLost++
+		frame = m.pool(m.origin).GetZeroed()
+		m.stats.pagesLost.Add(1)
 	}
 	m.nodes[m.origin].pt.SetAccess(vpn, frame, mem.AccessRead)
-	m.stats.PagesRehomed++
+	m.stats.pagesRehomed.Add(1)
 	return lost
 }
 
@@ -596,9 +688,9 @@ func (m *Manager) ReclaimDeadNode(node int) ([]uint64, error) {
 				lost = append(lost, vpn)
 			}
 		case de.writer == node:
-			m.nodes[de.home].pt.SetAccess(vpn, m.frames.GetZeroed(), mem.AccessRead)
+			m.nodes[de.home].pt.SetAccess(vpn, m.pool(de.home).GetZeroed(), mem.AccessRead)
 			de.reclaimHome()
-			m.stats.PagesLost++
+			m.stats.pagesLost.Add(1)
 			lost = append(lost, vpn)
 		case de.has(node):
 			de.dropOwner(node)
@@ -614,7 +706,7 @@ func (m *Manager) ReclaimDeadNode(node int) ([]uint64, error) {
 	}
 	ns := m.nodes[node]
 	ns.outstanding = make(map[uint64]*outstanding)
-	ns.pt.ReclaimRange(0, ^uint64(0), m.freeFrame)
+	ns.pt.ReclaimRange(0, ^uint64(0), func(f []byte) { m.freeFrame(node, f) })
 	return lost, nil
 }
 
@@ -623,11 +715,13 @@ func (m *Manager) ReclaimDeadNode(node int) ([]uint64, error) {
 // points: the snapshot, together with the thread's register blob, is enough
 // to restart the thread's computation at the origin if the node later dies.
 // Pages are cloned so later writes at node do not leak into the snapshot.
+// The walk covers only node's own page table — never the shared directory —
+// so a checkpoint may run on node's simulation lane while other lanes serve
+// unrelated transactions.
 func (m *Manager) SnapshotPages(node int) map[uint64][]byte {
 	snap := make(map[uint64][]byte)
-	pt := &m.nodes[node].pt
-	m.dir.ForRange(0, ^uint64(0), func(vpn uint64, de *dirEntry) bool {
-		if pte := pt.Lookup(vpn); pte != nil && pte.Present {
+	m.nodes[node].pt.ForEach(func(vpn uint64, pte *mem.PTE) bool {
+		if pte.Present {
 			snap[vpn] = mem.CloneFrame(pte.Frame)
 		}
 		return true

@@ -16,8 +16,14 @@ import (
 
 const (
 	// dedupSweepInterval amortizes dedup-state pruning: one sweep per this
-	// many admitted transactions.
+	// many admitted transactions on any one node's lane.
 	dedupSweepInterval = 256
+	// dedupSweepDelay is how far in the future an exhausted admission budget
+	// schedules the sweep. The sweep reads every node's outstanding tables,
+	// so it runs as a global-lane event; the delay must clear the engine's
+	// lookahead window so a node lane may legally stage it (admitted()
+	// raises it to the lookahead when a fabric has a larger one).
+	dedupSweepDelay = 200 * time.Microsecond
 	// dedupHorizonFactor sizes the retransmit horizon in units of
 	// RetryTimeoutMax: a closed dedup record older than the horizon AND below
 	// the open-transaction watermark can no longer receive a duplicate that
@@ -25,12 +31,27 @@ const (
 	dedupHorizonFactor = 4
 )
 
+// tokenNodeShift positions the allocating node in a request token's top
+// bits: every node allocates from a private, monotonic token space on its
+// own simulation lane, with no shared counter. Watermark comparisons only
+// ever relate tokens of the same node, where the suffix counter makes them
+// totally ordered.
+const tokenNodeShift = 48
+
+// tokenNode recovers the allocating node from a request token.
+func tokenNode(tok uint64) int { return int(tok >> tokenNodeShift) }
+
 // engine owns the transport-layer state of one Manager.
 type engine struct {
 	m *Manager
 
-	reqSeq    uint64 // request-token allocator (globally monotonic)
-	revokeSeq uint64 // revocation-sequence allocator (globally monotonic)
+	// revokeSeq allocates revocation sequence numbers. Unlike request
+	// tokens it stays a single monotonic counter: revocations are only
+	// issued by a page's serving home while it holds the directory entry
+	// busy — under WriteInvalidate always the origin's lane, and under
+	// HomeMigrate the whole run is serialized — so allocation is never
+	// concurrent.
+	revokeSeq uint64
 
 	revokeWait  map[uint64]*revokeWaiter // open revocations, keyed by seq
 	installWait map[uint64]*revokeWaiter // open grant windows, keyed by token
@@ -39,32 +60,35 @@ type engine struct {
 	// kept only under fault injection (nil otherwise) and pruned by sweep.
 	served map[uint64]*serveState
 
-	// prunedReqBelow / prunedRevokeBelow are the dedup watermarks: every
-	// token (resp. seq) below the watermark belongs to a transaction that was
-	// fully closed before the last sweep, so an arriving message carrying one
-	// — with no surviving dedup record — is necessarily a stale duplicate and
-	// is dropped. Tokens and seqs are allocated monotonically, which is what
-	// makes the watermark sound: a live transaction can never be below it.
-	prunedReqBelow    uint64
+	// prunedReqBelow (per allocating node) / prunedRevokeBelow are the dedup
+	// watermarks: every token (resp. seq) below the watermark belongs to a
+	// transaction that was fully closed before the last sweep, so an
+	// arriving message carrying one — with no surviving dedup record — is
+	// necessarily a stale duplicate and is dropped. Each node's tokens are
+	// allocated monotonically, which is what makes the watermark sound: a
+	// live transaction can never be below it.
+	prunedReqBelow    []uint64
 	prunedRevokeBelow uint64
-
-	sweepBudget int
 }
 
 func (e *engine) init(m *Manager) {
 	e.m = m
 	e.revokeWait = make(map[uint64]*revokeWaiter)
 	e.installWait = make(map[uint64]*revokeWaiter)
+	e.prunedReqBelow = make([]uint64, len(m.nodes))
 	if m.chaos != nil {
 		e.served = make(map[uint64]*serveState)
 	}
-	e.sweepBudget = dedupSweepInterval
+	for _, ns := range m.nodes {
+		ns.sweepBudget = dedupSweepInterval
+	}
 }
 
-// nextToken allocates a page-request token.
-func (e *engine) nextToken() uint64 {
-	e.reqSeq++
-	return e.reqSeq
+// nextToken allocates a page-request token from node's private space.
+func (e *engine) nextToken(node int) uint64 {
+	ns := e.m.nodes[node]
+	ns.reqCtr++
+	return uint64(node)<<tokenNodeShift | ns.reqCtr
 }
 
 // nextRevokeSeq allocates a revocation sequence number.
@@ -98,7 +122,7 @@ func (e *engine) awaitReply(t *sim.Task, node, target int, req *outstanding, msg
 			req.deadHome = true
 			break
 		}
-		m.stats.Retransmits++
+		m.stats.retransmits.Add(1)
 		m.net.Send(t, node, target, msg)
 		if rto *= 2; rto > m.params.RetryTimeoutMax {
 			rto = m.params.RetryTimeoutMax
@@ -143,7 +167,7 @@ func (e *engine) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
 				}
 				break
 			}
-			m.stats.Retransmits++
+			m.stats.retransmits.Add(1)
 			m.net.Send(t, w.msg.home, w.target, w.msg)
 			if rto *= 2; rto > m.params.RetryTimeoutMax {
 				rto = m.params.RetryTimeoutMax
@@ -155,22 +179,22 @@ func (e *engine) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
 // admitServe is the home-side dedup gate for an incoming page request under
 // fault injection. It returns the fresh serve record to thread through the
 // transaction, or handled=true if the request was a duplicate and has been
-// fully dealt with here.
+// fully dealt with here. node is the serving node (whose lane is running).
 func (e *engine) admitServe(node int, req *pageRequest) (st *serveState, handled bool) {
 	m := e.m
 	if prev, ok := e.served[req.token]; ok {
 		e.redeliverServe(req, prev)
 		return nil, true
 	}
-	if req.token < e.prunedReqBelow {
+	if req.token < e.prunedReqBelow[req.node] {
 		// The record was pruned: the transaction closed long before the last
 		// sweep, so this can only be a stale duplicate.
-		m.stats.DupsIgnored++
+		m.stats.dupsIgnored.Add(1)
 		return nil, true
 	}
 	st = &serveState{req: req, write: req.write, home: node}
 	e.served[req.token] = st
-	e.maybeSweep()
+	e.admitted(node)
 	return st, false
 }
 
@@ -187,7 +211,7 @@ func (e *engine) admitRevoke(node int, msg *revokeMsg) bool {
 		if prev.pending {
 			// The original is still being applied (or deferred); its ack
 			// will cover this duplicate.
-			m.stats.DupsIgnored++
+			m.stats.dupsIgnored.Add(1)
 		} else {
 			// Already applied: the ack must have been lost. Re-ack from
 			// the retained snapshot.
@@ -196,78 +220,95 @@ func (e *engine) admitRevoke(node int, msg *revokeMsg) bool {
 		return false
 	}
 	if msg.seq < e.prunedRevokeBelow {
-		m.stats.DupsIgnored++
+		m.stats.dupsIgnored.Add(1)
 		return false
 	}
 	ns.appliedRevokes[msg.seq] = &appliedRevoke{pending: true}
-	e.maybeSweep()
+	e.admitted(node)
 	return true
 }
 
 // noteInstalled records a completed grant install at the requester (and the
 // node that served it) so a duplicated grant reply re-acks the serving home
 // instead of re-running the install.
-func (e *engine) noteInstalled(ns *nodeState, token uint64, home int) {
+func (e *engine) noteInstalled(ns *nodeState, token uint64, home int, now time.Duration) {
 	if e.m.chaos != nil {
-		ns.completed[token] = completedGrant{at: e.m.eng.Now(), home: home}
+		ns.completed[token] = completedGrant{at: now, home: home}
 	}
 }
 
-// maybeSweep runs one dedup-state sweep every dedupSweepInterval admissions.
-func (e *engine) maybeSweep() {
-	e.sweepBudget--
-	if e.sweepBudget > 0 {
+// admitted notes one dedup admission on node's lane and, once the node's
+// budget is spent, schedules a watermark sweep. The sweep runs as a
+// global-lane event rather than inline: it reads every node's outstanding
+// tables, which only the serialized global lane may do while node lanes run
+// in parallel. Scheduling through the admitting node's own lane view keeps
+// the sweep's (time, lane) deterministic at any core count — each lane's
+// admission counter is a pure function of that lane's event sequence.
+func (e *engine) admitted(node int) {
+	ns := e.m.nodes[node]
+	ns.sweepBudget--
+	if ns.sweepBudget > 0 {
 		return
 	}
-	e.sweepBudget = dedupSweepInterval
-	e.sweep()
+	ns.sweepBudget = dedupSweepInterval
+	v := e.m.view(node)
+	d := dedupSweepDelay
+	if la := v.Lookahead(); la > d {
+		d = la
+	}
+	v.AfterOn(sim.GlobalLane, d, e.sweep)
 }
 
 // sweep bounds the chaos dedup maps. A record may be dropped once two
-// conditions hold: (1) its token/seq is below the open-transaction floor —
-// no in-flight transaction still references it, so only duplicates of a
-// closed exchange can ever carry it again — and (2) it has been closed for
-// longer than the retransmit horizon, so the sender's own RTO loop has long
-// stopped producing retransmissions (only fabric-duplicated stragglers
-// remain, and those are answered from the watermark). Advancing the
-// watermark to the floor is what keeps correctness unconditional: even a
-// straggler older than the horizon is still *detected* as a duplicate, it
-// just no longer gets a content-carrying re-ack (it no longer needs one —
-// its transaction closed).
+// conditions hold: (1) its token/seq is below the open-transaction floor of
+// its allocating node — no in-flight transaction still references it, so
+// only duplicates of a closed exchange can ever carry it again — and (2) it
+// has been closed for longer than the retransmit horizon, so the sender's
+// own RTO loop has long stopped producing retransmissions (only
+// fabric-duplicated stragglers remain, and those are answered from the
+// watermark). Advancing the watermark to the floor is what keeps
+// correctness unconditional: even a straggler older than the horizon is
+// still *detected* as a duplicate, it just no longer gets a
+// content-carrying re-ack (it no longer needs one — its transaction
+// closed). It runs on the global lane (see admitted).
 func (e *engine) sweep() {
 	m := e.m
 	now := m.eng.Now()
 	horizon := time.Duration(dedupHorizonFactor) * m.params.RetryTimeoutMax
 
-	// Request-token side: the floor is the smallest token still referenced
-	// by an outstanding request at any node or by an open home-side serve.
-	floor := e.reqSeq + 1
-	for _, ns := range m.nodes {
+	// Request-token side: each node's floor is the smallest of its tokens
+	// still referenced by an outstanding request there or by an open
+	// home-side serve anywhere.
+	floors := make([]uint64, len(m.nodes))
+	for i, ns := range m.nodes {
+		floors[i] = uint64(i)<<tokenNodeShift | (ns.reqCtr + 1)
 		for tok := range ns.outstanding {
-			if tok < floor {
-				floor = tok
+			if tok < floors[i] {
+				floors[i] = tok
 			}
 		}
 	}
 	for tok, st := range e.served {
-		if !st.closed && tok < floor {
-			floor = tok
+		if n := tokenNode(tok); !st.closed && tok < floors[n] {
+			floors[n] = tok
 		}
 	}
 	for tok, st := range e.served {
-		if st.closed && tok < floor && now-st.closedAt >= horizon {
+		if st.closed && tok < floors[tokenNode(tok)] && now-st.closedAt >= horizon {
 			delete(e.served, tok)
 		}
 	}
 	for _, ns := range m.nodes {
 		for tok, cg := range ns.completed {
-			if tok < floor && now-cg.at >= horizon {
+			if tok < floors[tokenNode(tok)] && now-cg.at >= horizon {
 				delete(ns.completed, tok)
 			}
 		}
 	}
-	if floor > e.prunedReqBelow {
-		e.prunedReqBelow = floor
+	for i, f := range floors {
+		if f > e.prunedReqBelow[i] {
+			e.prunedReqBelow[i] = f
+		}
 	}
 
 	// Revocation side: the floor is the smallest seq with an open waiter.
@@ -298,14 +339,14 @@ func (e *engine) sweep() {
 func (e *engine) redeliverServe(req *pageRequest, st *serveState) {
 	m := e.m
 	if !st.closed || (!st.nack && !st.stale && !st.redirect) {
-		m.stats.DupsIgnored++
+		m.stats.dupsIgnored.Add(1)
 		return
 	}
-	m.stats.Retransmits++
+	m.stats.retransmits.Add(1)
 	reply := &pageReply{pid: m.pid, token: req.token, nack: st.nack, stale: st.stale,
 		redirect: st.redirect, home: st.redirTo}
 	from := st.home
-	m.eng.Spawn("dsm-resend", func(t *sim.Task) {
+	m.view(from).Spawn("dsm-resend", func(t *sim.Task) {
 		t.Sleep(m.params.OriginDispatch)
 		m.net.Send(t, from, req.node, reply)
 	})
@@ -318,7 +359,7 @@ func (e *engine) resendGrant(t *sim.Task, st *serveState) {
 	req := st.req
 	reply := &pageReply{pid: m.pid, token: req.token, withData: st.withData}
 	if st.withData {
-		m.net.SendPageBuf(t, st.home, req.node, req.pr, st.data, reply, m.frames.Get())
+		m.net.SendPageBuf(t, st.home, req.node, req.pr, st.data, reply, m.pool(st.home).Get())
 	} else {
 		m.net.Send(t, st.home, req.node, reply)
 	}
@@ -329,12 +370,12 @@ func (e *engine) resendGrant(t *sim.Task, st *serveState) {
 // is simply sent again.
 func (e *engine) resendRevokeAck(node int, msg *revokeMsg, prev *appliedRevoke) {
 	m := e.m
-	m.stats.Retransmits++
-	m.eng.Spawn("dsm-reack", func(t *sim.Task) {
+	m.stats.retransmits.Add(1)
+	m.view(node).Spawn("dsm-reack", func(t *sim.Task) {
 		t.Sleep(m.params.InvalidateApply)
 		ack := &revokeAck{pid: m.pid, seq: msg.seq}
 		if msg.needData {
-			m.net.SendPageBuf(t, node, msg.home, msg.pr, prev.data, ack, m.frames.Get())
+			m.net.SendPageBuf(t, node, msg.home, msg.pr, prev.data, ack, m.pool(node).Get())
 		} else {
 			m.net.Send(t, node, msg.home, ack)
 		}
@@ -357,18 +398,19 @@ func (e *engine) rollbackGrant(req *pageRequest, st *serveState) {
 	home := de.home
 	de.reclaimHome()
 	if st.withData && st.data != nil {
-		f := m.frames.Get()
+		f := m.pool(home).Get()
 		copy(f, st.data)
 		m.nodes[home].pt.SetAccess(req.vpn, f, mem.AccessRead)
 		return
 	}
-	m.nodes[home].pt.SetAccess(req.vpn, m.frames.GetZeroed(), mem.AccessRead)
-	m.stats.PagesLost++
+	m.nodes[home].pt.SetAccess(req.vpn, m.pool(home).GetZeroed(), mem.AccessRead)
+	m.stats.pagesLost.Add(1)
 }
 
 // installingFor returns the outstanding request at ns that has been granted
 // ownership of vpn but has not yet installed its PTE, if any. Tokens are
-// scanned in ascending order for determinism.
+// scanned in ascending order for determinism (all of one node's tokens
+// share the node prefix, so the suffix counter orders them).
 func (e *engine) installingFor(ns *nodeState, vpn uint64) *outstanding {
 	var best *outstanding
 	var bestToken uint64

@@ -70,21 +70,32 @@ func TestChaosDedupStateStaysBounded(t *testing.T) {
 	e.run(t)
 
 	eng := &e.m.e
-	if eng.reqSeq < iters {
-		t.Fatalf("reqSeq = %d; the workload should have allocated at least %d tokens", eng.reqSeq, iters)
+	var tokens uint64
+	for _, ns := range e.m.nodes {
+		tokens += ns.reqCtr
+	}
+	if tokens < iters {
+		t.Fatalf("allocated %d tokens; the workload should have allocated at least %d", tokens, iters)
 	}
 	if eng.revokeSeq < iters/2 {
 		t.Fatalf("revokeSeq = %d, want at least %d", eng.revokeSeq, iters/2)
 	}
-	if eng.prunedReqBelow == 0 || eng.prunedRevokeBelow == 0 {
-		t.Fatalf("watermarks never advanced: req=%d revoke=%d", eng.prunedReqBelow, eng.prunedRevokeBelow)
+	// Every node that allocated tokens must have had its per-node watermark
+	// advanced by the sweep.
+	for i, ns := range e.m.nodes {
+		if ns.reqCtr > 0 && eng.prunedReqBelow[i] == 0 {
+			t.Fatalf("node %d request watermark never advanced (%d tokens allocated)", i, ns.reqCtr)
+		}
+	}
+	if eng.prunedRevokeBelow == 0 {
+		t.Fatalf("revoke watermark never advanced")
 	}
 	// The bound: one sweep interval of fresh admissions plus the horizon's
 	// worth of still-warm records. An unpruned map would hold one record
 	// per token — over twice this.
 	const bound = 700
 	if n := len(eng.served); n >= bound {
-		t.Errorf("served map holds %d records after %d tokens; pruning is not bounding it", n, eng.reqSeq)
+		t.Errorf("served map holds %d records after %d tokens; pruning is not bounding it", n, tokens)
 	}
 	for i, ns := range e.m.nodes {
 		if n := len(ns.completed); n >= bound {

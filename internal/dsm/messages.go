@@ -109,7 +109,7 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		if node != m.origin {
 			panic(fmt.Sprintf("dsm: prefetch request delivered to node %d (origin %d)", node, m.origin))
 		}
-		m.eng.Spawn("dsm-prefetch", func(t *sim.Task) { m.servePrefetch(t, mm) })
+		m.view(m.origin).Spawn("dsm-prefetch", func(t *sim.Task) { m.servePrefetch(t, mm) })
 		return true
 	case *pageRequest:
 		if mm.pid != m.pid {
@@ -139,7 +139,7 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		if !ok {
 			if m.chaos != nil {
 				// Duplicate of an ack that already closed the window.
-				m.stats.DupsIgnored++
+				m.stats.dupsIgnored.Add(1)
 				return true
 			}
 			panic(fmt.Sprintf("dsm: stray install ack token %d", mm.token))
@@ -155,7 +155,7 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		w, ok := m.e.revokeWait[mm.seq]
 		if !ok {
 			if m.chaos != nil {
-				m.stats.DupsIgnored++
+				m.stats.dupsIgnored.Add(1)
 				return true
 			}
 			panic(fmt.Sprintf("dsm: stray revoke ack seq %d", mm.seq))
@@ -178,12 +178,12 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *serveState) {
 	var serveAt time.Duration
 	if m.rec != nil {
-		serveAt = m.eng.Now()
+		serveAt = t.Now()
 	}
 	t.Sleep(m.params.OriginDispatch)
 	if st != nil && m.chaos.NodeDead(req.node) {
 		// The requester died before we dispatched; its landing zone is gone.
-		st.close(m.eng.Now())
+		st.close(t.Now())
 		m.serveSpan(serveAt, home, req, "dead")
 		return
 	}
@@ -191,7 +191,7 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 	if de.busy() {
 		if st != nil {
 			st.nack = true
-			st.close(m.eng.Now())
+			st.close(t.Now())
 		}
 		m.net.Send(t, home, req.node, &pageReply{pid: m.pid, token: req.token, nack: true})
 		m.serveSpan(serveAt, home, req, "nack")
@@ -203,7 +203,7 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 		// requester to re-validate its PTE.
 		if st != nil {
 			st.stale = true
-			st.close(m.eng.Now())
+			st.close(t.Now())
 		}
 		m.net.Send(t, home, req.node, &pageReply{pid: m.pid, token: req.token, stale: true})
 		m.serveSpan(serveAt, home, req, "stale")
@@ -223,12 +223,12 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 		}
 	}
 	if withData {
-		m.net.SendPageBuf(t, home, req.node, req.pr, data, reply, m.frames.Get())
+		m.net.SendPageBuf(t, home, req.node, req.pr, data, reply, m.pool(home).Get())
 		if req.write {
 			// A write grant revoked the home's own copy inside serveWrite,
 			// so data is now an orphan; the send above snapshotted it before
 			// yielding. Recycle it.
-			m.freeFrame(data)
+			m.freeFrame(home, data)
 		}
 	} else {
 		m.net.Send(t, home, req.node, reply)
@@ -273,13 +273,13 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 				outcome = "dead-home"
 				break
 			}
-			m.stats.Retransmits++
+			m.stats.retransmits.Add(1)
 			m.e.resendGrant(t, st)
 			if rto *= 2; rto > m.params.RetryTimeoutMax {
 				rto = m.params.RetryTimeoutMax
 			}
 		}
-		st.close(m.eng.Now())
+		st.close(t.Now())
 	}
 	if outcome != "rollback" && outcome != "dead-home" && ack.done {
 		// The requester installed its grant: let the policy finalize the
@@ -338,12 +338,12 @@ func (m *Manager) handleReply(node int, rep *pageReply) {
 				// A grant reply re-sent after our install ack was lost:
 				// re-ack the serving home (which under HomeMigrate need not
 				// be the origin) so it can close its transition window.
-				m.stats.Retransmits++
-				m.eng.Spawn("dsm-reack", func(t *sim.Task) {
+				m.stats.retransmits.Add(1)
+				m.view(node).Spawn("dsm-reack", func(t *sim.Task) {
 					m.net.Send(t, node, cg.home, &installAck{pid: m.pid, token: rep.token})
 				})
 			} else {
-				m.stats.DupsIgnored++
+				m.stats.dupsIgnored.Add(1)
 			}
 			return
 		}
@@ -351,7 +351,7 @@ func (m *Manager) handleReply(node int, rep *pageReply) {
 	}
 	if req.done {
 		// A duplicated reply raced in before the requester task resumed.
-		m.stats.DupsIgnored++
+		m.stats.dupsIgnored.Add(1)
 		return
 	}
 	req.done = true
@@ -375,10 +375,10 @@ func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
 		o.deferred = append(o.deferred, func() { m.applyRevokeAdmitted(node, msg) })
 		return
 	}
-	m.eng.Spawn("dsm-revoke", func(t *sim.Task) {
+	m.view(node).Spawn("dsm-revoke", func(t *sim.Task) {
 		var applyAt time.Duration
 		if m.rec != nil {
-			applyAt = m.eng.Now()
+			applyAt = t.Now()
 		}
 		t.Sleep(m.params.InvalidateApply)
 		pte := ns.pt.Lookup(msg.vpn)
@@ -403,7 +403,7 @@ func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
 			if frame == nil {
 				panic(fmt.Sprintf("dsm: revoke needs data for vpn %#x but node %d has no frame", msg.vpn, node))
 			}
-			m.net.SendPageBuf(t, node, msg.home, msg.pr, frame, ack, m.frames.Get())
+			m.net.SendPageBuf(t, node, msg.home, msg.pr, frame, ack, m.pool(node).Get())
 		} else {
 			m.net.Send(t, node, msg.home, ack)
 		}
@@ -411,7 +411,7 @@ func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
 		if m.chaos != nil {
 			rec := ns.appliedRevokes[msg.seq]
 			rec.pending = false
-			rec.appliedAt = m.eng.Now()
+			rec.appliedAt = t.Now()
 			if msg.needData {
 				// Retain the page contents so a re-sent revocation (our ack
 				// was lost) can be answered with the same data.
@@ -426,7 +426,7 @@ func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
 		if dropped && !retained {
 			// The invalidation orphaned this node's frame; any outbound copy
 			// was snapshotted by the send above. Recycle it.
-			m.freeFrame(frame)
+			m.freeFrame(node, frame)
 		}
 		if m.rec != nil {
 			mode := "invalidate"

@@ -77,7 +77,7 @@ func (m *Manager) prefetchBatch(t *sim.Task, node int, batch []uint64) (int, err
 			continue // a demand fault is already in flight
 		}
 		pr := m.net.PreparePageRecv(t, m.origin, node)
-		token := m.e.nextToken()
+		token := m.e.nextToken(node)
 		o := &outstanding{vpn: vpn, task: t}
 		ns.outstanding[token] = o
 		outs = append(outs, o)
@@ -118,7 +118,7 @@ func (m *Manager) prefetchBatch(t *sim.Task, node int, batch []uint64) (int, err
 		}
 		granted++
 	}
-	m.stats.PrefetchedPages += uint64(granted)
+	m.stats.prefetchedPages.Add(uint64(granted))
 	if granted > 0 {
 		// The origin registered an install-wait when it granted the first
 		// page of the batch; a fully skipped batch expects no ack.
@@ -161,7 +161,7 @@ func (m *Manager) servePrefetch(t *sim.Task, req *prefetchRequest) {
 			m.e.installWait[ackToken] = acked
 		}
 		m.net.SendPageBuf(t, m.origin, req.node, req.prs[i], data,
-			&pageReply{pid: m.pid, token: token, withData: true}, m.frames.Get())
+			&pageReply{pid: m.pid, token: token, withData: true}, m.pool(m.origin).Get())
 	}
 	if needAck {
 		m.e.waitRevokes(t, []*revokeWaiter{acked})

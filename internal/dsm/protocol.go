@@ -158,7 +158,7 @@ func (p *writeInvalidate) dispatchRequest(node int, req *pageRequest) {
 			return
 		}
 	}
-	m.eng.Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, m.origin, req, st) })
+	m.view(m.origin).Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, m.origin, req, st) })
 }
 
 func (p *writeInvalidate) serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
@@ -200,7 +200,7 @@ func (p *writeInvalidate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn
 		if owner == m.origin {
 			m.nodes[m.origin].pt.SetAccess(vpn, nil, mem.AccessNone)
 			t.Sleep(m.params.InvalidateApply)
-			m.stats.Invalidations++
+			m.stats.invalidations.Add(1)
 			m.emitInvalidate(m.origin, vpn)
 			continue
 		}
@@ -213,7 +213,7 @@ func (p *writeInvalidate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn
 	}
 	m.e.waitRevokes(t, acks)
 	if !needData {
-		m.stats.OwnershipGrants++
+		m.stats.ownershipGrants.Add(1)
 	}
 	de.grantExclusive(reqNode)
 	if reqNode == m.origin {
@@ -243,7 +243,7 @@ func (m *Manager) fetchFromWriter(t *sim.Task, de *dirEntry, vpn uint64, downgra
 	}
 	data := pr.Claim(t)
 	m.nodes[m.origin].pt.SetAccess(vpn, data, mem.AccessRead)
-	m.stats.PageTransfers++
+	m.stats.pageTransfers.Add(1)
 	de.pullHome(downgrade)
 }
 
@@ -252,8 +252,8 @@ func (m *Manager) fetchFromWriter(t *sim.Task, de *dirEntry, vpn uint64, downgra
 // frame and the page is counted as lost. The application sees well-defined
 // (if stale) contents rather than a hang.
 func (m *Manager) reclaimLostWriter(de *dirEntry, vpn uint64) {
-	m.nodes[m.origin].pt.SetAccess(vpn, m.frames.GetZeroed(), mem.AccessRead)
-	m.stats.PagesLost++
+	m.nodes[m.origin].pt.SetAccess(vpn, m.pool(m.origin).GetZeroed(), mem.AccessRead)
+	m.stats.pagesLost.Add(1)
 	de.reclaimHome()
 }
 
@@ -327,7 +327,7 @@ func (p *homeMigrate) leadFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) (i
 			// rather than paying the remote requester's NACK backoff; the
 			// common case is the entry settling within one fabric latency.
 			if attempt == 1 {
-				m.stats.Nacks++
+				m.stats.nacks.Add(1)
 			}
 			t.Sleep(homeBusyPoll)
 			continue
@@ -371,8 +371,8 @@ func (p *homeMigrate) dispatchRequest(node int, req *pageRequest) {
 			// The dead home's last transaction has not unwound yet: bounce
 			// the requester; it backs off and retries after recovery.
 			st.nack = true
-			st.close(m.eng.Now())
-			m.eng.Spawn("dsm-nack", func(t *sim.Task) {
+			st.close(m.view(node).Now())
+			m.view(node).Spawn("dsm-nack", func(t *sim.Task) {
 				t.Sleep(m.params.OriginDispatch)
 				m.net.Send(t, node, req.node, &pageReply{pid: m.pid, token: req.token, nack: true})
 			})
@@ -385,15 +385,15 @@ func (p *homeMigrate) dispatchRequest(node int, req *pageRequest) {
 		if st != nil {
 			st.redirect = true
 			st.redirTo = target
-			st.close(m.eng.Now())
+			st.close(m.view(node).Now())
 		}
-		m.eng.Spawn("dsm-redirect", func(t *sim.Task) {
+		m.view(node).Spawn("dsm-redirect", func(t *sim.Task) {
 			t.Sleep(m.params.OriginDispatch)
 			m.net.Send(t, node, req.node, &pageReply{pid: m.pid, token: req.token, redirect: true, home: target})
 		})
 		return
 	}
-	m.eng.Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, node, req, st) })
+	m.view(node).Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, node, req, st) })
 }
 
 func (p *homeMigrate) serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
@@ -436,7 +436,7 @@ func (p *homeMigrate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uin
 		if owner == home {
 			m.nodes[home].pt.SetAccess(vpn, nil, mem.AccessNone)
 			t.Sleep(m.params.InvalidateApply)
-			m.stats.Invalidations++
+			m.stats.invalidations.Add(1)
 			m.emitInvalidate(home, vpn)
 			continue
 		}
@@ -449,7 +449,7 @@ func (p *homeMigrate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uin
 	}
 	m.e.waitRevokes(t, acks)
 	if !needData {
-		m.stats.OwnershipGrants++
+		m.stats.ownershipGrants.Add(1)
 	}
 	de.grantExclusive(reqNode)
 	if reqNode == home {
@@ -473,8 +473,8 @@ func (m *Manager) homeFault(t *sim.Task, node int, vpn uint64, write bool) (int,
 			return attempt - 1, false
 		}
 		if de.busy() {
-			m.stats.Nacks++
-			m.backoff(t, attempt)
+			m.stats.nacks.Add(1)
+			m.backoff(t, node, attempt)
 			continue
 		}
 		if m.Lookup(node, vpn, write) != nil {
@@ -500,7 +500,7 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 	for attempt := 1; ; attempt++ {
 		var reqAt time.Duration
 		if m.rec != nil {
-			reqAt = m.eng.Now()
+			reqAt = t.Now()
 		}
 		target := m.policy.requestTarget(node, vpn)
 		if m.chaos != nil && target != m.origin && target != node && m.chaos.NodeDead(target) {
@@ -508,7 +508,7 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			// trip and route through the origin, which reclaims dead-home
 			// pages on arrival.
 			m.policy.learnHome(node, vpn, m.origin)
-			m.stats.HomeFailovers++
+			m.stats.homeFailovers.Add(1)
 			target = m.origin
 		}
 		if target == node {
@@ -523,7 +523,7 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			return attempt - 1
 		}
 		pr := m.net.PreparePageRecv(t, target, node)
-		token := m.e.nextToken()
+		token := m.e.nextToken(node)
 		req := &outstanding{vpn: vpn, task: t}
 		ns.outstanding[token] = req
 		msg := &pageRequest{
@@ -562,8 +562,8 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			delete(ns.outstanding, token)
 			pr.Release()
 			m.policy.learnHome(node, vpn, m.origin)
-			m.stats.HomeFailovers++
-			m.backoff(t, attempt)
+			m.stats.homeFailovers.Add(1)
+			m.backoff(t, node, attempt)
 			continue
 		}
 		if req.redirect {
@@ -577,8 +577,8 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 		if req.nack {
 			delete(ns.outstanding, token)
 			pr.Release()
-			m.stats.Nacks++
-			m.backoff(t, attempt)
+			m.stats.nacks.Add(1)
+			m.backoff(t, node, attempt)
 			continue
 		}
 		if req.stale {
@@ -592,7 +592,7 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 		if req.withData {
 			var claimAt time.Duration
 			if m.rec != nil {
-				claimAt = m.eng.Now()
+				claimAt = t.Now()
 			}
 			frame = pr.Claim(t)
 			if m.rec != nil {
@@ -610,21 +610,21 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 		}
 		var installAt time.Duration
 		if m.rec != nil {
-			installAt = m.eng.Now()
+			installAt = t.Now()
 		}
 		t.Sleep(m.params.PTEInstall)
 		// A grant that carries data over an existing local copy (the
 		// AlwaysSendData ablation's read-to-write upgrade) orphans the old
 		// frame: recycle it.
 		if prev := ns.pt.SetAccess(vpn, frame, mem.GrantAccess(write)); prev != nil && &prev[0] != &frame[0] {
-			m.freeFrame(prev)
+			m.freeFrame(node, prev)
 		}
 		if m.rec != nil {
 			m.rec.Span("dsm", "fault.install", node, ctx.Task, installAt,
 				obs.Hex("vpn", vpn))
 		}
 		req.installed = true
-		m.e.noteInstalled(ns, token, target)
+		m.e.noteInstalled(ns, token, target, t.Now())
 		delete(ns.outstanding, token)
 		m.net.Send(t, node, target, &installAck{pid: m.pid, token: token})
 		// A successful grant pins down where the page's home is right now:
@@ -659,9 +659,9 @@ func (m *Manager) sendRevoke(t *sim.Task, from, target int, vpn uint64, downgrad
 	m.e.revokeWait[seq] = w
 	m.net.Send(t, from, target, msg)
 	if downgrade {
-		m.stats.Downgrades++
+		m.stats.downgrades.Add(1)
 	} else {
-		m.stats.Invalidations++
+		m.stats.invalidations.Add(1)
 	}
 	return w
 }

@@ -14,6 +14,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dex/internal/chaos"
@@ -135,6 +136,23 @@ func expendable(m Message) bool {
 	return ok
 }
 
+// GlobalDelivery marks messages whose receive-side processing must run on the
+// simulator's global lane rather than the destination node's lane: handlers
+// that touch cross-cutting state (core's execution-context envelopes run
+// arbitrary closures against process-wide structures). Global-lane events
+// serialize their window, so such handlers may safely touch any node's state.
+type GlobalDelivery interface {
+	Message
+	DeliverGlobal()
+}
+
+func deliveryLane(m Message, dst int) int {
+	if _, ok := m.(GlobalDelivery); ok {
+		return sim.GlobalLane
+	}
+	return dst
+}
+
 // Stats aggregates fabric activity counters.
 type Stats struct {
 	SmallSends    uint64
@@ -149,14 +167,33 @@ type Stats struct {
 	SinkWaits     uint64
 }
 
+// netStats is the live counter set. Counters are bumped from whichever lane
+// executes the send or receive path, so they are atomic; every counter is a
+// pure sum and therefore independent of bump order — Stats snapshots stay
+// byte-identical at any core count.
+type netStats struct {
+	smallSends    atomic.Uint64
+	smallBytes    atomic.Uint64
+	pageSends     atomic.Uint64
+	pageBytes     atomic.Uint64
+	rdmaWrites    atomic.Uint64
+	registrations atomic.Uint64
+	memcpyBytes   atomic.Uint64
+	sendPoolWaits atomic.Uint64
+	recvRNRStalls atomic.Uint64
+	sinkWaits     atomic.Uint64
+}
+
 // Network is the simulated interconnect connecting Params.Nodes nodes with a
 // full mesh of RC connections.
 type Network struct {
 	eng      *sim.Engine
+	views    []*sim.Engine // per-node lane views (the root view when lanes are absent)
+	gview    *sim.Engine   // global-lane view for envelope delivery
 	params   Params
 	conns    [][]*conn // conns[src][dst]
 	handlers []Handler
-	stats    Stats
+	stats    netStats
 	rec      *obs.Recorder
 	inj      *chaos.Injector
 }
@@ -180,7 +217,12 @@ func (n *Network) SetChaos(inj *chaos.Injector) { n.inj = inj }
 // ground truth for node liveness.
 func (n *Network) Chaos() *chaos.Injector { return n.inj }
 
-// conn is one directed connection src -> dst.
+// conn is one directed connection src -> dst. Its fields split into two lane
+// ownership groups: the send side (link, sendPool, deliverAt) is only touched
+// by the sending path, which runs on src's lane (or on the global lane, which
+// serializes); the receive side (posted, rnrQueue, stormDrainAt, sinkPool) is
+// only touched by arrival events, which run on dst's lane (or global). Within
+// a parallel window each group is therefore confined to one goroutine.
 type conn struct {
 	link      *sim.Bus
 	sendPool  *sim.Semaphore
@@ -191,6 +233,17 @@ type conn struct {
 	// stormDrainAt is the latest scheduled RNR-storm drain; it keeps one
 	// storm from scheduling a drain event per stalled message.
 	stormDrainAt time.Duration
+
+	// Control-QP receive state. GlobalDelivery messages ride a dedicated
+	// control queue pair per connection — its arrivals execute on the global
+	// lane and must never be entangled with the data QP's in-order drain
+	// (a data completion on the destination lane cannot hand work to the
+	// global lane mid-window). The control QP has its own posted receives,
+	// so data backlog does not head-of-line-block control traffic; RNR
+	// storms and partitions still apply to it.
+	deliverAtG    time.Duration
+	rnrQueueG     []pending
+	stormDrainAtG time.Duration
 }
 
 // pending is one in-order connection event: either a VERB message awaiting
@@ -235,9 +288,21 @@ func New(eng *sim.Engine, p Params) *Network {
 	}
 	n := &Network{
 		eng:      eng,
+		gview:    eng.LaneView(sim.GlobalLane),
 		params:   p,
 		conns:    make([][]*conn, p.Nodes),
 		handlers: make([]Handler, p.Nodes),
+	}
+	// Bind a lane view per node; engines configured without lanes (unit
+	// tests, microbenchmarks) fall back to the root view, which schedules
+	// everything on the global lane — the classic serial behavior.
+	n.views = make([]*sim.Engine, p.Nodes)
+	for i := 0; i < p.Nodes; i++ {
+		if i < eng.Lanes() {
+			n.views[i] = eng.LaneView(i)
+		} else {
+			n.views[i] = eng
+		}
 	}
 	for src := 0; src < p.Nodes; src++ {
 		n.conns[src] = make([]*conn, p.Nodes)
@@ -247,7 +312,10 @@ func New(eng *sim.Engine, p Params) *Network {
 			}
 			name := fmt.Sprintf("link%d->%d", src, dst)
 			n.conns[src][dst] = &conn{
-				link:     sim.NewBus(eng, name, p.LinkBandwidth),
+				// The link bus is send-side state: it is bound to the source
+				// node's lane view so Occupy reads the clock of the lane the
+				// send chain executes on.
+				link:     sim.NewBus(n.views[src], name, p.LinkBandwidth),
 				sendPool: sim.NewSemaphore("sendpool "+name, p.SendPoolChunks),
 				sinkPool: sim.NewSemaphore("sink "+name, p.SinkChunks),
 				posted:   p.RecvPoolSlots,
@@ -257,11 +325,32 @@ func New(eng *sim.Engine, p Params) *Network {
 	return n
 }
 
+// view returns the lane view for node i.
+func (n *Network) view(i int) *sim.Engine { return n.views[i] }
+
+// Lookahead returns the conservative cross-lane latency bound this fabric
+// guarantees: no effect of a send reaches another node earlier than the
+// one-way link latency after it was posted.
+func (n *Network) Lookahead() time.Duration { return n.params.LinkLatency }
+
 // Params returns the network configuration.
 func (n *Network) Params() Params { return n.params }
 
 // Stats returns a snapshot of the activity counters.
-func (n *Network) Stats() Stats { return n.stats }
+func (n *Network) Stats() Stats {
+	return Stats{
+		SmallSends:    n.stats.smallSends.Load(),
+		SmallBytes:    n.stats.smallBytes.Load(),
+		PageSends:     n.stats.pageSends.Load(),
+		PageBytes:     n.stats.pageBytes.Load(),
+		RDMAWrites:    n.stats.rdmaWrites.Load(),
+		Registrations: n.stats.registrations.Load(),
+		MemcpyBytes:   n.stats.memcpyBytes.Load(),
+		SendPoolWaits: n.stats.sendPoolWaits.Load(),
+		RecvRNRStalls: n.stats.recvRNRStalls.Load(),
+		SinkWaits:     n.stats.sinkWaits.Load(),
+	}
+}
 
 // SetHandler installs the message handler for a node. It must be set before
 // any message is sent to that node.
@@ -286,7 +375,7 @@ func (n *Network) conn(src, dst int) *conn {
 func (n *Network) Send(t *sim.Task, src, dst int, m Message) {
 	var v chaos.Verdict
 	if n.inj != nil {
-		v = n.inj.Verdict(n.eng.Now(), src, dst, m.Size(), expendable(m))
+		v = n.inj.Verdict(t.Engine().Now(), src, dst, m.Size(), expendable(m))
 	}
 	n.sendWith(t, src, dst, m, v)
 }
@@ -297,38 +386,43 @@ func (n *Network) Send(t *sim.Task, src, dst int, m Message) {
 // is invisible from the sending side until a timeout notices it.
 func (n *Network) sendWith(t *sim.Task, src, dst int, m Message, v chaos.Verdict) {
 	c := n.conn(src, dst)
+	// sv is the lane the send chain executes on: the sending task's lane
+	// (the source node's lane for application threads, the global lane for
+	// core worker tasks — which serialize, so touching src's send-side conn
+	// state from there is safe).
+	sv := t.Engine()
 	p := pending{src: src, m: m}
 	if n.rec != nil {
-		p.sentAt = n.eng.Now()
+		p.sentAt = sv.Now()
 		p.bytes = m.Size()
 	}
 	t.Sleep(n.params.SendCPU)
 	chunks := n.chunksFor(m.Size())
 	n.acquireSendChunks(t, c, chunks)
-	n.stats.SmallSends++
-	n.stats.SmallBytes += uint64(m.Size())
+	n.stats.smallSends.Add(1)
+	n.stats.smallBytes.Add(uint64(m.Size()))
 	serDone := c.link.Occupy(m.Size())
 	// The DMA-ready buffer is reclaimed by the pool when the send completes.
-	n.eng.After(serDone-n.eng.Now(), func() {
+	sv.After(serDone-sv.Now(), func() {
 		for i := 0; i < chunks; i++ {
 			c.sendPool.Release()
 		}
 	})
 	if v.Drop {
 		if n.rec != nil {
-			n.rec.SpanAt("chaos", "drop", dst, fabricLane+src, n.eng.Now(), 0,
+			n.rec.SpanAt("chaos", "drop", dst, fabricLane+src, sv.Now(), 0,
 				obs.Int("src", int64(src)), obs.Int("bytes", int64(m.Size())))
 		}
 		return
 	}
 	at := serDone + n.params.LinkLatency + v.Delay
-	n.deliverAt(c, at, dst, p)
+	n.deliver(sv, c, at, dst, p)
 	if v.Dup {
 		if n.rec != nil {
-			n.rec.SpanAt("chaos", "dup", dst, fabricLane+src, n.eng.Now(), 0,
+			n.rec.SpanAt("chaos", "dup", dst, fabricLane+src, sv.Now(), 0,
 				obs.Int("src", int64(src)))
 		}
-		n.deliverAt(c, at, dst, p)
+		n.deliver(sv, c, at, dst, p)
 	}
 }
 
@@ -343,33 +437,52 @@ func (n *Network) chunksFor(size int) int {
 func (n *Network) acquireSendChunks(t *sim.Task, c *conn, chunks int) {
 	for i := 0; i < chunks; i++ {
 		if !c.sendPool.TryAcquire() {
-			n.stats.SendPoolWaits++
+			n.stats.sendPoolWaits.Add(1)
 			c.sendPool.Acquire(t)
 		}
 	}
 }
 
-// deliverAt is the single per-connection ordering point: it schedules a
-// connection event (VERB delivery or RDMA data placement) at the destination
-// no earlier than `at`, preserving per-connection FIFO across both event
-// kinds and modeling receiver-not-ready stalls when the posted-receive pool
-// is empty.
-func (n *Network) deliverAt(c *conn, at time.Duration, dst int, p pending) {
+// deliver is the per-connection ordering point: it schedules a connection
+// event (VERB delivery, RDMA data placement, or control envelope) at the
+// destination no earlier than `at`, preserving per-QP FIFO and modeling
+// receiver-not-ready stalls when the posted-receive pool is empty. sv is the
+// lane view of the sending context; the arrival event is staged onto the
+// message's delivery lane (destination node, or global for GlobalDelivery
+// messages) and executes there.
+func (n *Network) deliver(sv *sim.Engine, c *conn, at time.Duration, dst int, p pending) {
 	if n.inj != nil {
 		// A partition holds the whole connection: delivery resumes when it
 		// heals. Holding (not dropping) keeps every message class safe.
-		if until, held := n.inj.HeldUntil(n.eng.Now(), p.src, dst); held && at < until {
+		if until, held := n.inj.HeldUntil(sv.Now(), p.src, dst); held && at < until {
 			at = until
 		}
 	}
-	if at < c.deliverAt {
-		at = c.deliverAt
+	lane := dst
+	if p.m != nil {
+		lane = deliveryLane(p.m, dst)
+	}
+	if lane == sim.GlobalLane {
+		// Control QP: its own strictly monotone clock keeps control arrivals
+		// in send order regardless of which lane each send executed on.
+		if at <= c.deliverAtG {
+			at = c.deliverAtG + 1
+		}
+		c.deliverAtG = at
+		sv.AfterOn(sim.GlobalLane, at-sv.Now(), func() { n.arriveControl(c, dst, p) })
+		return
+	}
+	// Data QP. The clamp is strictly monotone so same-instant arrivals can
+	// never be reordered by lane-key tie-breaks: arrival order is send order.
+	if at <= c.deliverAt {
+		at = c.deliverAt + 1
 	}
 	c.deliverAt = at
-	n.eng.After(at-n.eng.Now(), func() { n.arrive(c, dst, p) })
+	sv.AfterOn(dst, at-sv.Now(), func() { n.arrive(c, dst, p) })
 }
 
 func (n *Network) arrive(c *conn, dst int, p pending) {
+	dv := n.view(dst)
 	if n.inj != nil {
 		// A crashed machine neither sends nor receives: traffic touching it
 		// vanishes, including messages already in flight at crash time.
@@ -379,18 +492,18 @@ func (n *Network) arrive(c *conn, dst int, p pending) {
 		}
 		// An RNR storm forces receiver-not-ready for everything that arrives
 		// during the window; the backlog drains in order when it ends.
-		if until, storming := n.inj.RNRUntil(n.eng.Now(), dst); storming {
+		if until, storming := n.inj.RNRUntil(dv.Now(), dst); storming {
 			if p.data == nil {
-				n.stats.RecvRNRStalls++
+				n.stats.recvRNRStalls.Add(1)
 			}
 			if n.rec != nil {
 				p.stalled = true
-				p.stallAt = n.eng.Now()
+				p.stallAt = dv.Now()
 			}
 			c.rnrQueue = append(c.rnrQueue, p)
 			if c.stormDrainAt < until {
 				c.stormDrainAt = until
-				n.eng.After(until-n.eng.Now(), func() { n.drainStorm(c, dst) })
+				dv.After(until-dv.Now(), func() { n.drainStorm(c, dst) })
 			}
 			return
 		}
@@ -401,16 +514,90 @@ func (n *Network) arrive(c *conn, dst int, p pending) {
 		// after an RNR NAK, so even an RDMA placement may not pass a
 		// stalled send.
 		if p.data == nil {
-			n.stats.RecvRNRStalls++
+			n.stats.recvRNRStalls.Add(1)
 		}
 		if n.rec != nil {
 			p.stalled = true
-			p.stallAt = n.eng.Now()
+			p.stallAt = dv.Now()
 		}
 		c.rnrQueue = append(c.rnrQueue, p)
 		return
 	}
 	n.accept(c, dst, p)
+}
+
+// arriveControl is the control QP's arrival point; it always executes on the
+// global lane, where every other lane is quiescent, so the handler may touch
+// cross-cutting state. The control QP has dedicated posted receives: only
+// storms and partitions stall it, not data backlog.
+func (n *Network) arriveControl(c *conn, dst int, p pending) {
+	gv := n.gview
+	if n.inj != nil {
+		if n.inj.NodeDead(dst) || n.inj.NodeDead(p.src) {
+			n.inj.CountDrop(messageBytes(p))
+			return
+		}
+		if until, storming := n.inj.RNRUntil(gv.Now(), dst); storming {
+			n.stats.recvRNRStalls.Add(1)
+			if n.rec != nil {
+				p.stalled = true
+				p.stallAt = gv.Now()
+			}
+			c.rnrQueueG = append(c.rnrQueueG, p)
+			if c.stormDrainAtG < until {
+				c.stormDrainAtG = until
+				gv.After(until-gv.Now(), func() { n.drainStormControl(c, dst) })
+			}
+			return
+		}
+	}
+	if len(c.rnrQueueG) > 0 {
+		n.stats.recvRNRStalls.Add(1)
+		if n.rec != nil {
+			p.stalled = true
+			p.stallAt = gv.Now()
+		}
+		c.rnrQueueG = append(c.rnrQueueG, p)
+		return
+	}
+	n.acceptControl(c, dst, p)
+}
+
+// drainStormControl restarts control delivery once an RNR storm ends.
+func (n *Network) drainStormControl(c *conn, dst int) {
+	if len(c.rnrQueueG) == 0 {
+		return
+	}
+	q := c.rnrQueueG[0]
+	c.rnrQueueG = c.rnrQueueG[1:]
+	n.acceptControl(c, dst, q) // its completion continues the drain
+}
+
+// acceptControl consumes one control envelope: receive-completion cost, then
+// the handler, on the global lane.
+func (n *Network) acceptControl(c *conn, dst int, p pending) {
+	gv := n.gview
+	if n.rec != nil && p.stalled {
+		n.rec.SpanAt("fabric", "rnr.stall", dst, fabricLane+p.src, p.stallAt,
+			gv.Now()-p.stallAt, obs.Int("src", int64(p.src)))
+	}
+	gv.After(n.params.RecvCPU, func() {
+		h := n.handlers[dst]
+		if h == nil {
+			panic(fmt.Sprintf("fabric: no handler on node %d for message from %d", dst, p.src))
+		}
+		if n.rec != nil {
+			n.rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
+				obs.Int("src", int64(p.src)), obs.Int("bytes", int64(p.bytes)))
+			n.rec.Observe(p.spanName(), gv.Now()-p.sentAt)
+		}
+		h(p.src, p.m)
+		if len(c.rnrQueueG) > 0 {
+			q := c.rnrQueueG[0]
+			c.rnrQueueG = c.rnrQueueG[1:]
+			n.acceptControl(c, dst, q)
+		}
+	})
 }
 
 // messageBytes is the payload size of a connection event, for drop
@@ -439,23 +626,25 @@ func (n *Network) drainStorm(c *conn, dst int) {
 	}
 }
 
-// accept consumes one connection event whose turn has come.
+// accept consumes one connection event whose turn has come. It runs on the
+// destination node's lane.
 func (n *Network) accept(c *conn, dst int, p pending) {
+	dv := n.view(dst)
 	if n.rec != nil && p.stalled {
 		n.rec.SpanAt("fabric", "rnr.stall", dst, fabricLane+p.src, p.stallAt,
-			n.eng.Now()-p.stallAt, obs.Int("src", int64(p.src)))
+			dv.Now()-p.stallAt, obs.Int("src", int64(p.src)))
 	}
 	if p.data != nil {
 		p.data()
 		if n.rec != nil {
 			n.rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
 				obs.Int("src", int64(p.src)), obs.Int("bytes", int64(p.bytes)))
-			n.rec.Observe(p.spanName(), n.eng.Now()-p.sentAt)
+			n.rec.Observe(p.spanName(), dv.Now()-p.sentAt)
 		}
 		return
 	}
 	c.posted--
-	n.eng.After(n.params.RecvCPU, func() {
+	dv.After(n.params.RecvCPU, func() {
 		h := n.handlers[dst]
 		if h == nil {
 			panic(fmt.Sprintf("fabric: no handler on node %d for message from %d", dst, p.src))
@@ -465,7 +654,7 @@ func (n *Network) accept(c *conn, dst int, p pending) {
 			// the protocol handler: enqueue → (stall) → deliver.
 			n.rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
 				obs.Int("src", int64(p.src)), obs.Int("bytes", int64(p.bytes)))
-			n.rec.Observe(p.spanName(), n.eng.Now()-p.sentAt)
+			n.rec.Observe(p.spanName(), dv.Now()-p.sentAt)
 		}
 		h(p.src, p.m)
 		// Recycle the DMA-ready receive buffer by reposting it, then drain
@@ -507,11 +696,11 @@ func (n *Network) PreparePageRecv(t *sim.Task, peer, self int) *PageRecv {
 		c := n.conn(peer, self)
 		pr.conn = c
 		if !c.sinkPool.TryAcquire() {
-			n.stats.SinkWaits++
+			n.stats.sinkWaits.Add(1)
 			c.sinkPool.Acquire(t)
 		}
 	case PerPageReg:
-		n.stats.Registrations++
+		n.stats.registrations.Add(1)
 		t.Sleep(n.params.RegisterCost)
 	case VerbOnly:
 		// Page data will ride the VERB path; nothing to reserve.
@@ -547,8 +736,9 @@ func (n *Network) SendPageBuf(t *sim.Task, src, dst int, pr *PageRecv, data []by
 		panic("fabric: SendPage requires a prepared PageRecv")
 	}
 	c := n.conn(src, dst)
-	n.stats.PageSends++
-	n.stats.PageBytes += uint64(len(data))
+	sv := t.Engine()
+	n.stats.pageSends.Add(1)
+	n.stats.pageBytes.Add(uint64(len(data)))
 	if len(buf) != len(data) {
 		buf = make([]byte, len(data))
 	}
@@ -558,14 +748,14 @@ func (n *Network) SendPageBuf(t *sim.Task, src, dst int, pr *PageRecv, data []by
 	// reply that announces it, or vice versa.
 	var v chaos.Verdict
 	if n.inj != nil {
-		v = n.inj.Verdict(n.eng.Now(), src, dst, len(data)+reply.Size(), expendable(reply))
+		v = n.inj.Verdict(sv.Now(), src, dst, len(data)+reply.Size(), expendable(reply))
 	}
 	switch pr.mode {
 	case HybridSink, PerPageReg:
-		n.stats.RDMAWrites++
+		n.stats.rdmaWrites.Add(1)
 		place := pending{src: src, bytes: len(data), data: func() { pr.data = buf }}
 		if n.rec != nil {
-			place.sentAt = n.eng.Now()
+			place.sentAt = sv.Now()
 			place.page = true
 		}
 		t.Sleep(n.params.RDMAPostCPU)
@@ -574,28 +764,28 @@ func (n *Network) SendPageBuf(t *sim.Task, src, dst int, pr *PageRecv, data []by
 			// Route the placement through the connection's ordering point so
 			// page data and VERB messages keep one per-connection FIFO.
 			at := done + n.params.LinkLatency + v.Delay
-			n.deliverAt(c, at, dst, place)
+			n.deliver(sv, c, at, dst, place)
 			if v.Dup {
-				n.deliverAt(c, at, dst, place)
+				n.deliver(sv, c, at, dst, place)
 			}
 		}
 		n.sendWith(t, src, dst, reply, v) // same connection: FIFO after the RDMA write
 	case VerbOnly:
 		p := pending{src: src, m: reply}
 		if n.rec != nil {
-			p.sentAt = n.eng.Now()
+			p.sentAt = sv.Now()
 			p.bytes = len(data) + reply.Size()
 			p.page = true
 		}
 		t.Sleep(n.memcpyCost(len(data))) // stage into send chunks
-		n.stats.MemcpyBytes += uint64(len(data))
+		n.stats.memcpyBytes.Add(uint64(len(data)))
 		chunks := n.chunksFor(len(data) + reply.Size())
 		n.acquireSendChunks(t, c, chunks)
 		t.Sleep(n.params.SendCPU)
-		n.stats.SmallSends++
-		n.stats.SmallBytes += uint64(reply.Size()) // page payload counted above
+		n.stats.smallSends.Add(1)
+		n.stats.smallBytes.Add(uint64(reply.Size())) // page payload counted above
 		done := c.link.Occupy(len(data) + reply.Size())
-		n.eng.After(done-n.eng.Now(), func() {
+		sv.After(done-sv.Now(), func() {
 			for i := 0; i < chunks; i++ {
 				c.sendPool.Release()
 			}
@@ -605,9 +795,9 @@ func (n *Network) SendPageBuf(t *sim.Task, src, dst int, pr *PageRecv, data []by
 			return
 		}
 		at := done + n.params.LinkLatency + v.Delay
-		n.deliverAt(c, at, dst, p)
+		n.deliver(sv, c, at, dst, p)
 		if v.Dup {
-			n.deliverAt(c, at, dst, p)
+			n.deliver(sv, c, at, dst, p)
 		}
 	}
 }
@@ -627,13 +817,13 @@ func (pr *PageRecv) Claim(t *sim.Task) []byte {
 	switch pr.mode {
 	case HybridSink:
 		t.Sleep(pr.net.memcpyCost(len(pr.data)))
-		pr.net.stats.MemcpyBytes += uint64(len(pr.data))
+		pr.net.stats.memcpyBytes.Add(uint64(len(pr.data)))
 		pr.conn.sinkPool.Release()
 	case PerPageReg:
 		// Zero copy: RDMA wrote straight into the registered page.
 	case VerbOnly:
 		t.Sleep(pr.net.memcpyCost(len(pr.data)))
-		pr.net.stats.MemcpyBytes += uint64(len(pr.data))
+		pr.net.stats.memcpyBytes.Add(uint64(len(pr.data)))
 	}
 	return pr.data
 }

@@ -108,6 +108,13 @@ func (pt *PageTable) ReclaimRange(lo, hi uint64, reclaim func([]byte)) int {
 	return len(victims)
 }
 
+// ForEach visits every tracked PTE in ascending VPN order, stopping early
+// if fn returns false. Non-present entries are included; callers that only
+// want mapped pages check pte.Present themselves.
+func (pt *PageTable) ForEach(fn func(vpn uint64, pte *PTE) bool) {
+	pt.tree.ForRange(0, ^uint64(0), fn)
+}
+
 // Present reports how many pages are currently mapped present.
 func (pt *PageTable) Present() int { return pt.present }
 

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// laneTrace is the observable outcome of one synthetic multi-lane run:
+// per-lane event logs (lane-owned, so recording them is race-free), the
+// global lane's log, and the committed event count. Byte-identical runs
+// produce DeepEqual traces.
+type laneTrace struct {
+	perLane [][]string
+	global  []string
+	events  uint64
+}
+
+// runLaneWorkload drives a synthetic workload exercising every parallel-core
+// mechanism: lane-local sleeps with lane-RNG draws, cross-lane messages
+// riding the lookahead, periodic global-lane events forcing serialized
+// windows, and park/unpark traffic. The trace must be identical at any core
+// count.
+func runLaneWorkload(t *testing.T, nodes, cores int) laneTrace {
+	t.Helper()
+	const la = time.Microsecond
+	root := NewEngine(42)
+	root.ConfigureLanes(nodes, cores)
+	root.SetLookahead(la)
+
+	tr := laneTrace{perLane: make([][]string, nodes)}
+	views := make([]*Engine, nodes)
+	for i := range views {
+		views[i] = root.LaneView(i)
+	}
+	for i := 0; i < nodes; i++ {
+		i := i
+		v := views[i]
+		v.Spawn(fmt.Sprintf("worker-%d", i), func(task *Task) {
+			for k := 0; k < 40; k++ {
+				task.Sleep(time.Duration(v.Rand().Intn(700)) * time.Nanosecond)
+				tr.perLane[i] = append(tr.perLane[i],
+					fmt.Sprintf("step k=%d now=%v draw=%d", k, task.Now(), v.Rand().Intn(1000)))
+				// Cross-lane message to the next lane: must ride the lookahead.
+				dst := (i + 1) % nodes
+				jitter := time.Duration(v.Rand().Intn(300)) * time.Nanosecond
+				v.AfterOn(dst, la+jitter, func() {
+					tr.perLane[dst] = append(tr.perLane[dst],
+						fmt.Sprintf("msg from=%d now=%v", i, views[dst].Now()))
+				})
+			}
+		})
+	}
+	// Global-lane heartbeat: forces serialized windows to interleave with
+	// parallel ones and reads cross-lane state (legal on the global lane).
+	var beat func()
+	beats := 0
+	beat = func() {
+		beats++
+		total := 0
+		for i := range tr.perLane {
+			total += len(tr.perLane[i])
+		}
+		tr.global = append(tr.global, fmt.Sprintf("beat %d now=%v entries=%d", beats, root.Now(), total))
+		if beats < 12 {
+			root.After(3*time.Microsecond, beat)
+		}
+	}
+	root.After(2*time.Microsecond, beat)
+
+	if err := root.Run(); err != nil {
+		t.Fatalf("nodes=%d cores=%d: %v", nodes, cores, err)
+	}
+	tr.events = root.Events()
+	return tr
+}
+
+// TestWindowedEquivalence is the core byte-identity property: the same seed
+// and workload produce identical traces serially and at every core count.
+func TestWindowedEquivalence(t *testing.T) {
+	ref := runLaneWorkload(t, 4, 1)
+	for _, cores := range []int{2, 4, 8} {
+		got := runLaneWorkload(t, 4, cores)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("cores=%d trace diverged from serial:\nserial: %+v\ngot:    %+v", cores, ref, got)
+		}
+	}
+}
+
+// TestWindowedEquivalenceSingleLane checks the inline single-active-lane
+// fast path agrees with serial execution too.
+func TestWindowedEquivalenceSingleLane(t *testing.T) {
+	ref := runLaneWorkload(t, 1, 1)
+	if got := runLaneWorkload(t, 1, 4); !reflect.DeepEqual(ref, got) {
+		t.Fatalf("single-lane parallel trace diverged:\nserial: %+v\ngot:    %+v", ref, got)
+	}
+}
+
+// TestGlobalRandGuard verifies the satellite guard: drawing from the global
+// view's RNG while node lanes execute concurrently is a determinism bug and
+// must panic (surfaced as a lane failure from Run).
+func TestGlobalRandGuard(t *testing.T) {
+	root := NewEngine(7)
+	root.ConfigureLanes(2, 2)
+	root.SetLookahead(time.Microsecond)
+	v0, v1 := root.LaneView(0), root.LaneView(1)
+	// Both lanes need same-window work or the scheduler serializes the run.
+	v1.After(100*time.Nanosecond, func() {})
+	v0.After(100*time.Nanosecond, func() {
+		root.Rand().Intn(10)
+	})
+	err := root.Run()
+	if err == nil || !strings.Contains(err.Error(), "Engine.Rand used from the global view") {
+		t.Fatalf("expected global-rand guard panic, got %v", err)
+	}
+}
+
+// TestLaneRandSplitStreams verifies each lane draws an independent stream:
+// two lanes with the same seed must not produce the same sequence, and the
+// global stream must match a classic serial engine with the same seed.
+func TestLaneRandSplitStreams(t *testing.T) {
+	root := NewEngine(99)
+	root.ConfigureLanes(2, 1)
+	a, b := root.LaneView(0), root.LaneView(1)
+	same := 0
+	for i := 0; i < 32; i++ {
+		if a.Rand().Intn(1<<30) == b.Rand().Intn(1<<30) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("lane RNG streams look identical (%d/32 equal draws)", same)
+	}
+	classic := NewEngine(99)
+	if classic.Rand().Intn(1<<30) != NewEngine(99).Rand().Intn(1<<30) {
+		t.Fatal("global stream not reproducible for equal seeds")
+	}
+}
+
+// TestLaneViolationPanics verifies the conservative guard: a node lane
+// scheduling onto another lane inside the current window is caught, not
+// silently racy.
+func TestLaneViolationPanics(t *testing.T) {
+	root := NewEngine(5)
+	root.ConfigureLanes(2, 2)
+	root.SetLookahead(time.Microsecond)
+	v0, v1 := root.LaneView(0), root.LaneView(1)
+	v1.After(50*time.Nanosecond, func() {}) // keep lane 1 active in the window
+	v0.After(50*time.Nanosecond, func() {
+		v0.AfterOn(1, 100*time.Nanosecond, func() {}) // inside the window: illegal
+	})
+	err := root.Run()
+	if err == nil || !strings.Contains(err.Error(), "lane violation") {
+		t.Fatalf("expected lane violation, got %v", err)
+	}
+}
+
+// TestParkTimeoutHeapBounded is the satellite regression test: a task that
+// repeatedly arms ParkTimeout and is unparked early must not accumulate
+// stale timer events — cancellation tombstones them and compaction keeps the
+// lane heap bounded.
+func TestParkTimeoutHeapBounded(t *testing.T) {
+	eng := NewEngine(1)
+	const rounds = 20000
+	var waiter *Task
+	waiter = eng.Spawn("waiter", func(task *Task) {
+		for i := 0; i < rounds; i++ {
+			if !task.ParkTimeout("wait", time.Hour) {
+				t.Error("timeout fired despite immediate unpark")
+				return
+			}
+		}
+	})
+	eng.Spawn("waker", func(task *Task) {
+		for i := 0; i < rounds; i++ {
+			task.Sleep(10 * time.Nanosecond)
+			waiter.Unpark()
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(eng.ls().heap); n > 128 {
+		t.Fatalf("lane heap retained %d entries after %d cancelled timeouts; compaction is not working", n, rounds)
+	}
+}
+
+// TestParkTimeoutCancelAfterSetLane verifies the cancellation follows the
+// task across a lane move: the timer was scheduled on the old lane's heap,
+// so after SetLane the cancel must still hit that heap (and its tombstone
+// accounting), not the new lane's.
+func TestParkTimeoutCancelAfterSetLane(t *testing.T) {
+	root := NewEngine(3)
+	root.ConfigureLanes(2, 1)
+	root.SetLookahead(time.Microsecond)
+	v0 := root.LaneView(0)
+	timedOut := false
+	task := v0.Spawn("mover", func(task *Task) {
+		timedOut = !task.ParkTimeout("moving", time.Hour)
+	})
+	root.After(time.Microsecond, func() {
+		task.SetLane(1)
+		task.Unpark()
+	})
+	// Drain far past the timeout horizon: a stale timer would fire here.
+	root.After(2*time.Hour, func() {})
+	if err := root.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if timedOut {
+		t.Fatal("cancelled timer fired after SetLane")
+	}
+	if tombs := root.c.lanes[1].tombs; tombs < 0 {
+		t.Fatalf("lane 0 tombstone mis-accounted on lane 1: tombs=%d", tombs)
+	}
+	for i, l := range root.c.lanes {
+		if l.tombs < 0 || l.tombs > l.heap.Len() {
+			t.Fatalf("lane %d tombstone accounting broken: tombs=%d heap=%d", i-1, l.tombs, l.heap.Len())
+		}
+	}
+}
+
+// TestAfterOnUnconfiguredEngineStaysGlobal: layers written against the lane
+// API (the fabric) must run unchanged on a classic serial engine — AfterOn
+// clamps to the global lane when the node lane does not exist.
+func TestAfterOnUnconfiguredEngineStaysGlobal(t *testing.T) {
+	eng := NewEngine(1)
+	ran := false
+	eng.AfterOn(3, time.Microsecond, func() { ran = true })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("AfterOn event did not run on unconfigured engine")
+	}
+}
+
+// TestConfigureLanesTwicePanics documents the API contract.
+func TestConfigureLanesTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second ConfigureLanes did not panic")
+		}
+	}()
+	eng := NewEngine(1)
+	eng.ConfigureLanes(2, 1)
+	eng.ConfigureLanes(2, 1)
+}

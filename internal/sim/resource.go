@@ -133,7 +133,8 @@ func (b *Bus) SetCongestion(alpha float64) { b.congestion = alpha }
 // time at which the transfer completes, without blocking the caller. Use it
 // from event context (e.g. a message handler).
 func (b *Bus) Occupy(n int) time.Duration {
-	start := b.eng.now
+	now := b.eng.Now()
+	start := now
 	if b.freeAt > start {
 		start = b.freeAt
 	}
@@ -146,7 +147,7 @@ func (b *Bus) Occupy(n int) time.Duration {
 	}
 	finish := start + d
 	b.active++
-	b.eng.After(finish-b.eng.now, func() { b.active-- })
+	b.eng.After(finish-now, func() { b.active-- })
 	b.freeAt = finish
 	b.busyTime += d
 	b.bytes += uint64(n)

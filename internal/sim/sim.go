@@ -1,9 +1,34 @@
-// Package sim provides a deterministic discrete-event simulation engine.
+// Package sim provides a deterministic discrete-event simulation engine with
+// an optional conservative-parallel (PDES) core.
 //
-// The engine advances a virtual clock over a priority queue of events. Tasks
-// are cooperative coroutines implemented as goroutines: exactly one goroutine
-// (the engine or a single task) runs at any moment, so simulation state needs
-// no locking and runs are bit-for-bit reproducible for a given seed.
+// The engine advances a virtual clock over priority queues of events. Tasks
+// are cooperative coroutines implemented as goroutines. In the classic serial
+// mode exactly one goroutine (the engine or a single task) runs at any moment,
+// so simulation state needs no locking and runs are bit-for-bit reproducible
+// for a given seed.
+//
+// # Parallel core
+//
+// Every event carries an affinity lane: a node index, or the global lane for
+// cross-cutting events. A fabric-style minimum cross-lane latency ("lookahead"
+// L, set with SetLookahead) guarantees that within a window [T, T+L) events on
+// distinct node lanes cannot affect each other — any cross-node effect travels
+// through the fabric and lands at least L later — so those lanes execute
+// concurrently on a worker pool. A window containing a global-lane event is
+// processed serially in full event order. Events are keyed by
+// (time, target lane, creator lane, creator counter); the key order is total
+// and identical in serial and parallel mode, and only provably commuting
+// events are ever reordered, so reports are byte-identical at any core count.
+//
+// Lane discipline for event producers:
+//
+//   - An event may freely schedule more events on its own lane, at any time.
+//   - Scheduling onto a different lane is only legal at or after the current
+//     window's end; cross-lane effects must ride a latency of at least the
+//     lookahead (the fabric guarantees this for message delivery). Violations
+//     panic with ErrLaneViolation context rather than corrupting the run.
+//   - Global-lane events run with every other lane stopped, so they may touch
+//     any state and schedule anywhere — global is always a safe fallback.
 //
 // Virtual time is expressed as time.Duration since the start of the run.
 package sim
@@ -15,6 +40,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -27,44 +53,138 @@ var ErrDeadlock = errors.New("sim: deadlock")
 // exhausted, which usually indicates a livelock in the simulated system.
 var ErrEventLimit = errors.New("sim: event limit exceeded")
 
-// Engine is a discrete-event simulator. The zero value is not usable; create
-// one with NewEngine.
+// GlobalLane is the lane index of cross-cutting events. Node lanes are
+// numbered 0..nodes-1.
+const GlobalLane = -1
+
+// Engine is a lane-bound view of a discrete-event simulator. NewEngine
+// returns the global view; LaneView derives per-node views that share the
+// same clock and event space but tag their events with that node's lane.
+// The zero value is not usable; create one with NewEngine.
 type Engine struct {
-	now     time.Duration
-	seq     uint64
-	queue   eventHeap
-	yielded chan struct{}
-	current *Task
-	tasks   map[*Task]struct{}
-	rng     *rand.Rand
-	failure error
+	c    *engineCore
+	lane int // index into c.lanes: 0 = global, i+1 = node i
+}
+
+// engineCore is the state shared by all lane views of one simulation.
+type engineCore struct {
+	lanes     []*laneState // [0] = global, [1..] = node lanes
+	cores     int
+	lookahead time.Duration
+	seed      int64
+
+	// windowEnd is the exclusive upper bound of the window currently
+	// executing in parallel; written only by the scheduler between windows,
+	// read by lanes to validate cross-lane staging.
+	windowEnd time.Duration
+
+	// now is the committed clock: the serial clock in serial or serialized
+	// execution, and the maximum completed-window time otherwise. Lane events
+	// in a parallel window read their own lane clock instead.
+	now      time.Duration
+	parallel bool // true while node lanes are executing concurrently
+
 	limit   uint64
+	nEvents uint64 // serial / barrier-committed event count
+	failure error
+
+	// tasksMu guards the task registry only; it is sim-internal bookkeeping
+	// (deadlock diagnostics) whose lock order never leaks into simulation
+	// outcomes. All simulation state proper is lane-owned and lock-free.
+	tasksMu sync.Mutex
+	tasks   map[*Task]struct{}
+
+	pool *workerPool
+}
+
+// laneState is the per-lane slice of the simulation: its event heap, clock,
+// RNG stream, and parallel-window scratch state. A lane's state is only ever
+// touched by the goroutine executing that lane's events (or by the scheduler
+// between windows).
+type laneState struct {
+	idx   int // 0 = global, i+1 = node i
+	heap  eventHeap
+	now   time.Duration
+	ctr   uint64 // creation counter: orders same-time events of one creator
+	rng   *rand.Rand
+	tombs int // cancelled timeout events still in the heap
+
+	// outbox buffers events staged onto other lanes during a parallel
+	// window; the scheduler merges it at the barrier.
+	outbox []stagedEvent
+
+	// nEvents counts events executed during the current parallel window,
+	// committed to the core's total at the barrier.
 	nEvents uint64
+
+	// failure records the first failing event of this lane in the current
+	// window; the barrier keeps the one with the smallest event key.
+	failure    error
+	failureKey eventKey
+
+	current *Task // task currently dispatched by this lane, if any
+}
+
+type stagedEvent struct {
+	lane int // target lane index
+	ev   event
+}
+
+// eventKey is the total order over events: (at, target lane, creator lane,
+// creator counter). The (creator lane, counter) pair is unique, so the order
+// is total; within one lane's heap only (at, src, ctr) matters.
+type eventKey struct {
+	at   time.Duration
+	lane int
+	src  int
+	ctr  uint64
+}
+
+func (a eventKey) before(b eventKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.ctr < b.ctr
 }
 
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at   time.Duration
+	src  int    // creator lane index
+	ctr  uint64 // creator-lane counter at creation
+	fn   func()
+	tomb *tombstone // non-nil for cancellable (timeout) events
 }
 
-// eventHeap is a concrete 4-ary min-heap ordered by (at, seq). Compared to
-// container/heap it avoids the interface boxing (one allocation per Push)
+// tombstone marks a cancellable event; cancelled events are skipped on pop
+// and compacted away when they dominate the heap.
+type tombstone struct{ dead bool }
+
+// eventHeap is a concrete 4-ary min-heap ordered by (at, src, ctr). Compared
+// to container/heap it avoids the interface boxing (one allocation per Push)
 // and the indirect Less/Swap calls on the engine's hottest path; the wider
 // fanout halves the tree depth, trading slightly more comparisons per
-// sift-down for far fewer cache-missing levels. Because seq is unique, the
-// (at, seq) order is total, so the pop sequence — and with it every
-// simulation — is independent of the heap's internal shape.
+// sift-down for far fewer cache-missing levels. Because (src, ctr) is unique,
+// the order is total, so the pop sequence — and with it every simulation — is
+// independent of the heap's internal shape.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 
-// before reports whether a orders strictly before b.
+// before reports whether a orders strictly before b within one lane's heap.
 func (a event) before(b event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.ctr < b.ctr
 }
 
 func (h *eventHeap) push(ev event) {
@@ -116,67 +236,468 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// NewEngine returns an engine whose random source is seeded with seed.
-func NewEngine(seed int64) *Engine {
-	return &Engine{
-		yielded: make(chan struct{}),
-		tasks:   make(map[*Task]struct{}),
-		rng:     rand.New(rand.NewSource(seed)),
-	}
+// splitmix64 is the SplitMix64 finalizer, used to derive statistically
+// independent per-lane RNG seeds from one root seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() time.Duration { return e.now }
+func newLane(idx int, seed int64) *laneState {
+	var rng *rand.Rand
+	if idx == 0 {
+		rng = rand.New(rand.NewSource(seed))
+	} else {
+		rng = rand.New(rand.NewSource(int64(splitmix64(uint64(seed) ^ uint64(idx)*0x9e3779b97f4a7c15))))
+	}
+	return &laneState{idx: idx, rng: rng}
+}
 
-// Rand returns the engine's deterministic random source. It must only be
-// used from simulation context (events or tasks).
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+// NewEngine returns the global view of an engine whose random source is
+// seeded with seed. The engine starts with no node lanes and a single core
+// (classic serial mode); ConfigureLanes adds node lanes and parallelism.
+func NewEngine(seed int64) *Engine {
+	c := &engineCore{
+		cores: 1,
+		tasks: make(map[*Task]struct{}),
+	}
+	c.lanes = []*laneState{newLane(0, seed)}
+	c.seed = seed
+	return &Engine{c: c, lane: 0}
+}
+
+// ConfigureLanes declares the node-lane count and the worker parallelism.
+// cores <= 1 keeps the classic serial execution; cores > 1 enables the
+// conservative-parallel scheduler once SetLookahead has provided a positive
+// lookahead bound. It must be called before any node-lane events exist.
+func (e *Engine) ConfigureLanes(nodes, cores int) {
+	c := e.c
+	if len(c.lanes) > 1 {
+		panic("sim: ConfigureLanes called twice")
+	}
+	for i := 0; i < nodes; i++ {
+		c.lanes = append(c.lanes, newLane(i+1, c.seed))
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	c.cores = cores
+}
+
+// SetLookahead sets the conservative window width: the minimum virtual
+// latency of any cross-lane effect. The fabric's minimum link latency is the
+// natural bound. Zero disables parallel execution.
+func (e *Engine) SetLookahead(d time.Duration) { e.c.lookahead = d }
+
+// Lookahead returns the configured lookahead bound.
+func (e *Engine) Lookahead() time.Duration { return e.c.lookahead }
+
+// Cores returns the configured worker parallelism.
+func (e *Engine) Cores() int { return e.c.cores }
+
+// LaneView returns the engine view bound to node's lane. Events scheduled
+// through the view (After, Spawn, task operations of tasks spawned on it)
+// carry that lane's affinity. node GlobalLane (or any negative value)
+// returns the global view.
+func (e *Engine) LaneView(node int) *Engine {
+	if node < 0 {
+		return &Engine{c: e.c, lane: 0}
+	}
+	if node+1 >= len(e.c.lanes) {
+		panic(fmt.Sprintf("sim: LaneView(%d) outside configured lanes (%d)", node, len(e.c.lanes)-1))
+	}
+	return &Engine{c: e.c, lane: node + 1}
+}
+
+// Lane returns the node index this view is bound to, or GlobalLane.
+func (e *Engine) Lane() int { return e.lane - 1 }
+
+// Lanes returns the number of configured node lanes (0 in classic serial
+// engines that never called ConfigureLanes).
+func (e *Engine) Lanes() int { return len(e.c.lanes) - 1 }
+
+// ls returns the lane state this view schedules onto.
+func (e *Engine) ls() *laneState { return e.c.lanes[e.lane] }
+
+// Now returns the current virtual time as seen by this view: its own lane
+// clock while that lane is executing a parallel window, the committed global
+// clock otherwise.
+func (e *Engine) Now() time.Duration {
+	if e.c.parallel && e.lane != 0 {
+		return e.c.lanes[e.lane].now
+	}
+	return e.c.now
+}
+
+// Rand returns this view's deterministic random source. Each lane owns an
+// independent split stream, consumed only by that lane's events, so draws
+// are identical at any core count. The global view's source must not be
+// used while node lanes execute concurrently; doing so panics.
+func (e *Engine) Rand() *rand.Rand {
+	if e.lane == 0 && e.c.parallel {
+		panic("sim: Engine.Rand used from the global view during a parallel window; " +
+			"use the node's LaneView rand (lane-split RNG) instead")
+	}
+	return e.c.lanes[e.lane].rng
+}
 
 // SetEventLimit caps the number of events Run will process; 0 means no cap.
-func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+func (e *Engine) SetEventLimit(n uint64) { e.c.limit = n }
 
-// Events reports how many events have been processed so far.
-func (e *Engine) Events() uint64 { return e.nEvents }
+// Events reports how many events have been committed so far.
+func (e *Engine) Events() uint64 { return e.c.nEvents }
 
-// After schedules fn to run at Now()+d in event context. fn must not block;
-// to perform blocking work, spawn a task from within fn.
+// After schedules fn to run at Now()+d on this view's lane, in event
+// context. fn must not block; to perform blocking work, spawn a task from
+// within fn.
 func (e *Engine) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.seq++
-	e.queue.push(event{at: e.now + d, seq: e.seq, fn: fn})
+	e.schedule(e.lane, e.Now()+d, fn, nil)
+}
+
+// AfterOn schedules fn at Now()+d on the lane of the given node
+// (GlobalLane for the global lane). Scheduling onto a different lane during
+// a parallel window requires the target time to be at or past the window
+// end — i.e. the effect must ride at least the lookahead; violations panic.
+func (e *Engine) AfterOn(node int, d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	lane := 0
+	// On an engine without configured lanes every event is global; callers
+	// (e.g. the fabric) can then run unchanged against a classic serial
+	// engine.
+	if node >= 0 && node+1 < len(e.c.lanes) {
+		lane = node + 1
+	}
+	e.schedule(lane, e.Now()+d, fn, nil)
+}
+
+// schedule places an event created by this view onto the target lane.
+func (e *Engine) schedule(lane int, at time.Duration, fn func(), tomb *tombstone) {
+	c := e.c
+	src := e.ls()
+	src.ctr++
+	ev := event{at: at, src: e.lane, ctr: src.ctr, fn: fn, tomb: tomb}
+	if !c.parallel || e.lane == 0 {
+		// Serial execution, a serialized window, or outside Run: every lane
+		// is quiescent, so pushing straight into the target heap is safe.
+		c.lanes[lane].heap.push(ev)
+		return
+	}
+	if lane == e.lane {
+		src.heap.push(ev)
+		return
+	}
+	// Cross-lane staging from a concurrently executing lane: the effect must
+	// land at or after the window end, and is buffered until the barrier so
+	// no two goroutines touch one heap.
+	if at < c.windowEnd {
+		panic(fmt.Sprintf(
+			"sim: lane violation: lane %d scheduled an event on lane %d at %v, inside the window ending %v (lookahead %v); cross-lane effects must ride the fabric latency or use the global lane",
+			src.idx-1, lane-1, at, c.windowEnd, c.lookahead))
+	}
+	src.outbox = append(src.outbox, stagedEvent{lane: lane, ev: ev})
+}
+
+// windowEnd and seed live on the core but are only written by the scheduler
+// between windows (windowEnd) or at construction (seed).
+func (c *engineCore) laneHasWork() bool {
+	for _, l := range c.lanes {
+		if l.heap.Len() > l.tombs {
+			return true
+		}
+	}
+	return false
 }
 
 // Run processes events until none remain, a task fails, or the event limit
 // is hit. It returns the first task failure, a deadlock error if parked
 // tasks remain with an empty queue, or nil on clean completion.
 func (e *Engine) Run() error {
-	for e.queue.Len() > 0 {
-		if e.failure != nil {
-			return e.failure
-		}
-		if e.limit != 0 && e.nEvents >= e.limit {
-			return fmt.Errorf("%w (%d events, now=%v)", ErrEventLimit, e.nEvents, e.now)
-		}
-		ev := e.queue.pop()
-		e.now = ev.at
-		e.nEvents++
-		ev.fn()
+	c := e.c
+	var err error
+	if c.cores > 1 && c.lookahead > 0 && len(c.lanes) > 1 {
+		err = c.runWindowed()
+	} else {
+		err = c.runSerial()
 	}
-	if e.failure != nil {
-		return e.failure
+	if err != nil {
+		return err
 	}
-	if parked := e.parkedTasks(); len(parked) > 0 {
+	if c.failure != nil {
+		return c.failure
+	}
+	if parked := c.parkedTasks(); len(parked) > 0 {
 		return fmt.Errorf("%w: %d task(s) parked forever at %v: %s",
-			ErrDeadlock, len(parked), e.now, strings.Join(parked, ", "))
+			ErrDeadlock, len(parked), c.now, strings.Join(parked, ", "))
 	}
 	return nil
 }
 
-func (e *Engine) parkedTasks() []string {
+// minLane returns the lane holding the globally smallest live event, or nil.
+func (c *engineCore) minLane() *laneState {
+	var best *laneState
+	var bestKey eventKey
+	for _, l := range c.lanes {
+		l.skipTombs()
+		if l.heap.Len() == 0 {
+			continue
+		}
+		top := l.heap[0]
+		key := eventKey{at: top.at, lane: l.idx, src: top.src, ctr: top.ctr}
+		if best == nil || key.before(bestKey) {
+			best, bestKey = l, key
+		}
+	}
+	return best
+}
+
+// skipTombs removes cancelled events from the heap top.
+func (l *laneState) skipTombs() {
+	for l.heap.Len() > 0 && l.heap[0].tomb != nil && l.heap[0].tomb.dead {
+		l.heap.pop()
+		l.tombs--
+	}
+}
+
+// cancelTomb marks a cancellable event dead and compacts the lane's heap
+// when dead events dominate it, so heavy timeout traffic (futex waits, RTO
+// retransmit timers) cannot accumulate unbounded stale entries.
+func (l *laneState) cancelTomb(t *tombstone) {
+	if t.dead {
+		return
+	}
+	t.dead = true
+	l.tombs++
+	if l.tombs*2 > len(l.heap) && l.tombs > 32 {
+		live := make(eventHeap, 0, len(l.heap)-l.tombs)
+		for _, ev := range l.heap {
+			if ev.tomb == nil || !ev.tomb.dead {
+				live = append(live, ev)
+			}
+		}
+		l.heap = l.heap[:0]
+		for _, ev := range live {
+			l.heap.push(ev)
+		}
+		l.tombs = 0
+	}
+}
+
+// runSerial is the classic single-threaded loop: pop the globally smallest
+// event, advance the clock, execute. It is the cores=1 fast path and the
+// reference order the parallel scheduler must reproduce.
+func (c *engineCore) runSerial() error {
+	for {
+		if c.failure != nil {
+			return c.failure
+		}
+		l := c.minLane()
+		if l == nil {
+			return nil
+		}
+		if c.limit != 0 && c.nEvents >= c.limit {
+			return fmt.Errorf("%w (limit %d)", ErrEventLimit, c.limit)
+		}
+		ev := l.heap.pop()
+		c.now = ev.at
+		l.now = ev.at
+		c.nEvents++
+		c.execSerial(l, ev)
+	}
+}
+
+// execSerial runs one event with lane-failure attribution.
+func (c *engineCore) execSerial(l *laneState, ev event) {
+	ev.fn()
+}
+
+// runWindowed is the conservative-parallel scheduler. Each iteration picks
+// the next window [T, T+lookahead); if the window contains global-lane
+// events it is processed serially in full key order, otherwise the active
+// node lanes execute concurrently on the worker pool and their cross-lane
+// outboxes merge at the barrier.
+func (c *engineCore) runWindowed() error {
+	if c.pool == nil {
+		c.pool = newWorkerPool(c.cores)
+		defer c.pool.close()
+	}
+	for {
+		if c.failure != nil {
+			return c.failure
+		}
+		if c.limit != 0 && c.nEvents >= c.limit {
+			return fmt.Errorf("%w (limit %d)", ErrEventLimit, c.limit)
+		}
+		// Find the window start: the globally smallest pending event.
+		first := c.minLane()
+		if first == nil {
+			return nil
+		}
+		first.skipTombs()
+		T := first.heap[0].at
+		end := T + c.lookahead
+		c.windowEnd = end
+
+		// A window containing global-lane work runs serially: global events
+		// may touch any lane's state, so nothing else may run beside them.
+		c.lanes[0].skipTombs()
+		serialize := c.lanes[0].heap.Len() > 0 && c.lanes[0].heap[0].at < end
+		if serialize {
+			if err := c.runSerialWindow(end); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Collect the node lanes with work in the window.
+		var active []*laneState
+		for _, l := range c.lanes[1:] {
+			l.skipTombs()
+			if l.heap.Len() > 0 && l.heap[0].at < end {
+				active = append(active, l)
+			}
+		}
+		if len(active) == 1 {
+			// One lane: run it inline, skipping the handoff.
+			c.parallel = true
+			c.runLane(active[0], end)
+			c.parallel = false
+		} else {
+			c.parallel = true
+			c.pool.run(c, active, end)
+			c.parallel = false
+		}
+		// Barrier: merge outboxes, commit counters, surface the earliest
+		// failure in deterministic key order.
+		var failKey eventKey
+		for _, l := range active {
+			for _, st := range l.outbox {
+				c.lanes[st.lane].heap.push(st.ev)
+			}
+			l.outbox = l.outbox[:0]
+			c.nEvents += l.nEvents
+			l.nEvents = 0
+			if l.failure != nil && (c.failure == nil || l.failureKey.before(failKey)) {
+				c.failure = l.failure
+				failKey = l.failureKey
+				l.failure = nil
+			}
+			if l.now > c.now {
+				c.now = l.now
+			}
+		}
+	}
+}
+
+// runSerialWindow processes every event with at < end in full key order,
+// single-threaded. Global events run here with exclusive access to all
+// simulation state.
+func (c *engineCore) runSerialWindow(end time.Duration) error {
+	for {
+		if c.failure != nil {
+			return c.failure
+		}
+		if c.limit != 0 && c.nEvents >= c.limit {
+			return fmt.Errorf("%w (limit %d)", ErrEventLimit, c.limit)
+		}
+		l := c.minLane()
+		if l == nil || l.heap[0].at >= end {
+			return nil
+		}
+		ev := l.heap.pop()
+		c.now = ev.at
+		l.now = ev.at
+		c.nEvents++
+		ev.fn()
+	}
+}
+
+// runLane executes one lane's events up to (but excluding) end. It runs on
+// a worker goroutine during parallel windows; everything it touches is
+// lane-owned.
+func (c *engineCore) runLane(l *laneState, end time.Duration) {
+	defer func() {
+		if r := recover(); r != nil {
+			if l.failure == nil {
+				l.failure = fmt.Errorf("sim: lane %d event panicked: %v\n%s", l.idx-1, r, debug.Stack())
+				l.failureKey = eventKey{at: l.now, lane: l.idx}
+			}
+		}
+	}()
+	for {
+		l.skipTombs()
+		if l.heap.Len() == 0 || l.heap[0].at >= end {
+			return
+		}
+		ev := l.heap.pop()
+		l.now = ev.at
+		l.nEvents++
+		ev.fn()
+		if l.failure != nil {
+			return
+		}
+	}
+}
+
+// workerPool is a persistent set of goroutines executing lane windows.
+type workerPool struct {
+	work chan laneJob
+	done chan struct{}
+	n    int
+}
+
+type laneJob struct {
+	c    *engineCore
+	lane *laneState
+	end  time.Duration
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{work: make(chan laneJob), done: make(chan struct{}), n: n}
+	for i := 0; i < n; i++ {
+		go func() {
+			for job := range p.work {
+				job.c.runLane(job.lane, job.end)
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// run executes the active lanes concurrently and returns after all finish.
+// Completions are drained while jobs are still being handed out: with more
+// active lanes than workers, a worker must be able to retire its job (the
+// done send) before the scheduler has dispatched the rest.
+func (p *workerPool) run(c *engineCore, active []*laneState, end time.Duration) {
+	sent, finished := 0, 0
+	for sent < len(active) {
+		select {
+		case p.work <- laneJob{c: c, lane: active[sent], end: end}:
+			sent++
+		case <-p.done:
+			finished++
+		}
+	}
+	for finished < len(active) {
+		<-p.done
+		finished++
+	}
+}
+
+func (p *workerPool) close() { close(p.work) }
+
+func (c *engineCore) parkedTasks() []string {
+	c.tasksMu.Lock()
+	defer c.tasksMu.Unlock()
 	var names []string
-	for t := range e.tasks {
+	for t := range c.tasks {
 		if !t.done {
 			if t.detail != "" {
 				names = append(names, fmt.Sprintf("%s [%s] (parked at %q)", t.name, t.detail, t.parkReason))
@@ -190,12 +711,14 @@ func (e *Engine) parkedTasks() []string {
 }
 
 // Task is a simulated thread of control. Task methods must only be called by
-// the goroutine running the task itself, except Unpark, which may be called
-// from any simulation context.
+// the goroutine running the task itself, except Unpark (and Kill), which may
+// be called from the task's own lane, or from any context while the lanes
+// are serialized (a global-lane event, a serialized window, or serial mode).
 type Task struct {
-	eng        *Engine
+	eng        *Engine // view the task currently schedules through
 	name       string
 	resume     chan struct{}
+	yielded    chan struct{}
 	started    bool
 	done       bool
 	parked     bool
@@ -209,6 +732,14 @@ type Task struct {
 	// parkSeq counts park episodes; a timeout event captured under an older
 	// sequence number is stale and must not wake the task.
 	parkSeq uint64
+	// parkTomb cancels the pending ParkTimeout event when the task is woken
+	// before the timeout fires, so the stale timer leaves the heap instead
+	// of lingering until its deadline.
+	parkTomb *tombstone
+	// parkTombEng is the lane view the pending timeout was scheduled through.
+	// SetLane may rebind the task while it is parked (thread migration), so
+	// cancellation must go back to the lane whose heap holds the event.
+	parkTombEng *Engine
 	// waitingSem is the semaphore this task is queued on, if any. It gives
 	// Semaphore an O(1) membership test (a task can wait on at most one
 	// semaphore: it is parked the whole time it is queued).
@@ -219,16 +750,20 @@ type Task struct {
 // recovered in startTask and does not count as a simulation failure.
 type killPanic struct{ name string }
 
-// Spawn creates a task running fn, scheduled to start at the current virtual
-// time (after already-queued events at this instant).
+// Spawn creates a task running fn on this view's lane, scheduled to start at
+// the current virtual time (after already-queued events at this instant).
 func (e *Engine) Spawn(name string, fn func(*Task)) *Task {
 	return e.SpawnAfter(name, 0, fn)
 }
 
-// SpawnAfter creates a task running fn, scheduled to start after delay d.
+// SpawnAfter creates a task running fn on this view's lane, scheduled to
+// start after delay d.
 func (e *Engine) SpawnAfter(name string, d time.Duration, fn func(*Task)) *Task {
-	t := &Task{eng: e, name: name, resume: make(chan struct{})}
-	e.tasks[t] = struct{}{}
+	t := &Task{eng: e, name: name, resume: make(chan struct{}), yielded: make(chan struct{})}
+	c := e.c
+	c.tasksMu.Lock()
+	c.tasks[t] = struct{}{}
+	c.tasksMu.Unlock()
 	e.After(d, func() { e.startTask(t, fn) })
 	return t
 }
@@ -236,8 +771,7 @@ func (e *Engine) SpawnAfter(name string, d time.Duration, fn func(*Task)) *Task 
 func (e *Engine) startTask(t *Task, fn func(*Task)) {
 	if t.killed {
 		// Killed before ever running: discard without starting the goroutine.
-		t.done = true
-		delete(e.tasks, t)
+		t.finish()
 		return
 	}
 	t.started = true
@@ -245,32 +779,57 @@ func (e *Engine) startTask(t *Task, fn func(*Task)) {
 		<-t.resume
 		defer func() {
 			if r := recover(); r != nil {
-				if _, wasKilled := r.(killPanic); !wasKilled && e.failure == nil {
-					e.failure = fmt.Errorf("sim: task %q panicked: %v\n%s", t.name, r, debug.Stack())
+				if _, wasKilled := r.(killPanic); !wasKilled {
+					t.eng.failTask(fmt.Errorf("sim: task %q panicked: %v\n%s", t.name, r, debug.Stack()))
 				}
 			}
-			t.done = true
-			delete(e.tasks, t)
-			e.yielded <- struct{}{}
+			t.finish()
+			t.yielded <- struct{}{}
 		}()
 		fn(t)
 	}()
-	e.dispatch(t)
+	t.eng.dispatch(t)
+}
+
+func (t *Task) finish() {
+	t.done = true
+	c := t.eng.c
+	c.tasksMu.Lock()
+	delete(c.tasks, t)
+	c.tasksMu.Unlock()
+}
+
+// failTask records a task failure against the executing lane (merged
+// deterministically at the next barrier) or directly in serialized context.
+func (e *Engine) failTask(err error) {
+	c := e.c
+	l := e.ls()
+	if c.parallel && e.lane != 0 {
+		if l.failure == nil {
+			l.failure = err
+			l.failureKey = eventKey{at: l.now, lane: l.idx}
+		}
+		return
+	}
+	if c.failure == nil {
+		c.failure = err
+	}
 }
 
 // dispatch hands control to t and blocks until it yields (sleeps, parks, or
-// finishes). It must be called from event context.
+// finishes). It must be called from event context on the task's lane.
 func (e *Engine) dispatch(t *Task) {
-	prev := e.current
-	e.current = t
+	l := t.eng.ls()
+	prev := l.current
+	l.current = t
 	t.resume <- struct{}{}
-	<-e.yielded
-	e.current = prev
+	<-t.yielded
+	l.current = prev
 }
 
 // yield returns control to the engine and blocks until re-dispatched.
 func (t *Task) yield() {
-	t.eng.yielded <- struct{}{}
+	t.yielded <- struct{}{}
 	<-t.resume
 	if t.killed {
 		panic(killPanic{t.name})
@@ -287,25 +846,46 @@ func (t *Task) SetDetail(detail string) { t.detail = detail }
 // Detail returns the task's diagnostic location context.
 func (t *Task) Detail() string { return t.detail }
 
-// Engine returns the engine that owns this task.
+// Engine returns the lane view the task currently schedules through.
 func (t *Task) Engine() *Engine { return t.eng }
 
-// Now returns the current virtual time.
-func (t *Task) Now() time.Duration { return t.eng.now }
+// Lane returns the node index of the task's lane, or GlobalLane.
+func (t *Task) Lane() int { return t.eng.Lane() }
+
+// SetLane rebinds the task to another node's lane (GlobalLane for the global
+// lane). It models thread migration: every subsequent sleep, park timeout,
+// and event the task schedules carries the new affinity. It may only be
+// called while the lanes are serialized (from the task itself under a
+// serialized window, or from a global-lane event).
+func (t *Task) SetLane(node int) {
+	c := t.eng.c
+	if c.parallel {
+		panic("sim: Task.SetLane during a parallel window; lane moves must happen in serialized context")
+	}
+	if node < 0 {
+		t.eng = &Engine{c: c, lane: 0}
+		return
+	}
+	t.eng = &Engine{c: c, lane: node + 1}
+}
+
+// Now returns the current virtual time as seen from the task's lane.
+func (t *Task) Now() time.Duration { return t.eng.Now() }
 
 // Sleep advances the task past d of virtual time. Other events run meanwhile.
 func (t *Task) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	t.eng.After(d, func() { t.eng.dispatch(t) })
+	eng := t.eng
+	eng.After(d, func() { eng.dispatch(t) })
 	t.yield()
 }
 
 // SleepUntil sleeps until the absolute virtual time at (a no-op if at is in
 // the past).
 func (t *Task) SleepUntil(at time.Duration) {
-	t.Sleep(at - t.eng.now)
+	t.Sleep(at - t.eng.Now())
 }
 
 // Park blocks the task until another simulation participant calls Unpark.
@@ -325,8 +905,9 @@ func (t *Task) Park(reason string) {
 
 // ParkTimeout parks the task like Park but additionally schedules a wake-up
 // after d. It returns true if the task was unparked (or consumed a pending
-// wake token) and false if the timeout fired first. A timeout wake-up left
-// over from an earlier park episode never wakes a later one.
+// wake token) and false if the timeout fired first. An early unpark cancels
+// the timer: the stale event is tombstoned out of the heap (and compacted
+// away under heavy timeout churn) instead of lingering until its deadline.
 func (t *Task) ParkTimeout(reason string, d time.Duration) bool {
 	t.parkSeq++
 	if t.wakeToken {
@@ -337,13 +918,19 @@ func (t *Task) ParkTimeout(reason string, d time.Duration) bool {
 	t.parkReason = reason
 	seq := t.parkSeq
 	timedOut := false
-	t.eng.After(d, func() {
+	eng := t.eng
+	tomb := &tombstone{}
+	t.parkTomb = tomb
+	t.parkTombEng = eng
+	eng.schedule(eng.lane, eng.Now()+max(d, 0), func() {
 		if t.parked && t.parkSeq == seq {
 			timedOut = true
 			t.parked = false
-			t.eng.dispatch(t)
+			t.parkTomb = nil
+			t.parkTombEng = nil
+			eng.dispatch(t)
 		}
-	})
+	}, tomb)
 	t.yield()
 	t.parkReason = ""
 	return !timedOut
@@ -356,28 +943,45 @@ func (t *Task) ParkTimeout(reason string, d time.Duration) bool {
 // Kill models sudden death (a crashed machine): any simulated resources the
 // task holds (semaphore units, pool chunks) are abandoned, so it must only
 // target tasks whose node is gone with them. Kill must not be called on the
-// currently running task.
+// currently running task, and only from serialized context (crash recovery
+// runs on the global lane).
 func (t *Task) Kill() {
 	if t.done || t.killed {
 		return
 	}
-	if t == t.eng.current {
+	eng := t.eng
+	if eng.c.parallel {
+		panic("sim: Task.Kill during a parallel window; crash recovery must run on the global lane")
+	}
+	if t == eng.ls().current {
 		panic("sim: Kill called on the running task")
 	}
 	t.killed = true
 	if t.parked {
 		t.parked = false
-		t.eng.After(0, func() { t.eng.dispatch(t) })
+		t.dropParkTimer()
+		eng.After(0, func() { eng.dispatch(t) })
 	}
 }
 
 // Killed reports whether the task has been killed.
 func (t *Task) Killed() bool { return t.killed }
 
+// dropParkTimer cancels the pending ParkTimeout event, if any.
+func (t *Task) dropParkTimer() {
+	if t.parkTomb != nil {
+		t.parkTombEng.ls().cancelTomb(t.parkTomb)
+		t.parkTomb = nil
+		t.parkTombEng = nil
+	}
+}
+
 // Unpark makes a parked task runnable at the current virtual time. If the
 // task is not parked, a wake token is recorded so its next Park returns
 // immediately (binary-semaphore semantics; extra tokens are not accumulated).
-// Unpark must be called from simulation context (an event or another task).
+// Unpark must be called from simulation context on the task's own lane, or
+// from any context while the lanes are serialized (global-lane events,
+// serialized windows, serial mode).
 func (t *Task) Unpark() {
 	if t.done {
 		return
@@ -387,7 +991,9 @@ func (t *Task) Unpark() {
 		return
 	}
 	t.parked = false
-	t.eng.After(0, func() { t.eng.dispatch(t) })
+	t.dropParkTimer()
+	eng := t.eng
+	eng.After(0, func() { eng.dispatch(t) })
 }
 
 // Parked reports whether the task is currently parked.
