@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench artifacts chaos-smoke
+.PHONY: all build test race vet lint check bench artifacts chaos-smoke trace-smoke
 
 all: check
 
@@ -58,3 +58,13 @@ chaos-smoke:
 	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -crash 3ms -restart -fail-under 1 > /dev/null
 	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -crash 3ms -restart -fail-under 1 -protocol home > /dev/null
 	rm -f chaos1.txt chaos2.txt chaos4.txt chaos-hm1.txt chaos-hm2.txt
+
+# trace-smoke records a traced run serially and at -cores 4 and compares
+# the trace bytes (the lane-sharded recorder must merge deterministically),
+# then structurally validates the file with dextrace.
+trace-smoke:
+	$(GO) run ./cmd/dexrun -app bfs -nodes 4 -seed 7 -trace trace1.json -metrics > /dev/null
+	$(GO) run ./cmd/dexrun -app bfs -nodes 4 -seed 7 -cores 4 -trace trace4.json -metrics > /dev/null
+	cmp trace1.json trace4.json
+	$(GO) run ./cmd/dextrace -validate trace1.json
+	rm -f trace1.json trace4.json

@@ -8,7 +8,12 @@
 //	dextrace trace.json                  summary: percentiles + slowest spans
 //	dextrace -top 20 trace.json          widen the slowest-span table
 //	dextrace -timeline 1 trace.json      chronological span listing for node 1
-//	dextrace -validate trace.json        parse/structure check only (for CI)
+//	dextrace -validate trace.json        structure check for CI: parse, per-track
+//	                                     span monotonicity, counter time order
+//
+// The summary also reports the scheduler telemetry counters (windows,
+// serialized windows, lane dispatches) when the trace carries sched.* gauge
+// samples.
 package main
 
 import (
@@ -125,6 +130,9 @@ func run(args []string) error {
 				counters++
 			}
 		}
+		if err := validateOrder(path, tf); err != nil {
+			return err
+		}
 		fmt.Printf("%s: ok — %d events (%d spans, %d counter samples)\n",
 			path, len(tf.TraceEvents), len(spans), counters)
 		return nil
@@ -133,9 +141,70 @@ func run(args []string) error {
 		return printTimeline(spans, *timeline, *limit)
 	}
 	printSummary(spans)
+	printSched(tf)
 	printPercentiles(spans)
 	printSlowest(spans, *topN)
 	return nil
+}
+
+// validateOrder checks the deterministic-merge invariants of a recorder-
+// written trace: within each (pid, tid) track the complete events appear in
+// non-decreasing start order (the writer emits spans globally sorted by
+// start, so every per-lane track must be monotonic), and each counter
+// series is in non-decreasing time order. A violation names the offending
+// event — it means the merge was not deterministic, or the file was not
+// produced by the recorder.
+func validateOrder(path string, tf *traceFile) error {
+	type trackKey struct{ pid, tid int }
+	lastSpan := map[trackKey]float64{}
+	lastCounter := map[string]float64{}
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			k := trackKey{ev.Pid, ev.Tid}
+			if prev, ok := lastSpan[k]; ok && ev.Ts < prev {
+				return fmt.Errorf("%s: event %d: span %q (pid %d tid %d) at ts=%v precedes its track predecessor at ts=%v: merged span order is not monotonic",
+					path, i, ev.Name, ev.Pid, ev.Tid, ev.Ts, prev)
+			}
+			lastSpan[k] = ev.Ts
+		case "C":
+			if prev, ok := lastCounter[ev.Name]; ok && ev.Ts < prev {
+				return fmt.Errorf("%s: event %d: counter %q at ts=%v precedes its previous sample at ts=%v: sample series is not in time order",
+					path, i, ev.Name, ev.Ts, prev)
+			}
+			lastCounter[ev.Name] = ev.Ts
+		}
+	}
+	return nil
+}
+
+// printSched reports the scheduler telemetry gauges (recorded as sched.*
+// counter samples) at their final sampled values.
+func printSched(tf *traceFile) {
+	last := map[string]float64{}
+	var names []string
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "C" || !strings.HasPrefix(ev.Name, "sched.") {
+			continue
+		}
+		v, ok := ev.Args["value"].(float64)
+		if !ok {
+			continue
+		}
+		if _, seen := last[ev.Name]; !seen {
+			names = append(names, ev.Name)
+		}
+		last[ev.Name] = v
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Println("scheduler telemetry (final sampled values):")
+	for _, n := range names {
+		fmt.Printf("%-28s %12.0f\n", n, last[n])
+	}
+	fmt.Println()
 }
 
 // printSummary reports per-category and per-node span counts and total
@@ -188,7 +257,14 @@ func printSummary(spans []span) {
 // other latency-bearing span families), computed from the recorded spans
 // themselves rather than histogram buckets.
 func printPercentiles(spans []span) {
-	families := []string{"fault.read", "fault.write", "fault.request", "fault.transfer", "origin.serve", "migrate.forward", "migrate.backward", "msg.small", "msg.page"}
+	families := []string{
+		"fault.read", "fault.write", "fault.request", "fault.transfer",
+		"origin.serve", "migrate.forward", "migrate.backward", "msg.small", "msg.page",
+		// Recovery-lifecycle and scheduler-era span kinds.
+		"retransmit", "dedup.reserve", "dedup.reack", "checkpoint",
+		"lease.suspect", "node.crash", "node.dead", "thread.restart", "revoke.apply",
+		"hm.redirect", "hm.failover", "hm.rehome", "hm.pull",
+	}
 	byName := map[string][]time.Duration{}
 	for _, s := range spans {
 		byName[s.name] = append(byName[s.name], s.dur)

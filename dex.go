@@ -136,9 +136,10 @@ func WithSeed(seed int64) Option {
 // conservative-parallel scheduler (per-node event lanes with link-latency
 // lookahead). Reports, stats, and rendered output are byte-identical at any
 // core count — n trades wall-clock time only, never results. n <= 1 (the
-// default) keeps the proven serial loop. Clusters using observability hooks
-// (WithObserver, WithTrace) or the home-migrate protocol clamp back to
-// serial automatically.
+// default) keeps the proven serial loop. The observability recorder
+// (WithObserver) is lane-sharded and runs in parallel; clusters using the
+// page-fault profiler (WithTrace) or the home-migrate protocol clamp back
+// to serial automatically.
 func WithCores(n int) Option {
 	return optionFunc(func(p *core.Params) { p.Cores = n })
 }
@@ -156,7 +157,9 @@ func WithTrace(tr *Trace) Option {
 // observations into it, and a periodic sampler records gauge time series.
 // A nil recorder is allowed and disables recording. Tracing never perturbs
 // the simulation: with the recorder attached, simulated outcomes (reports,
-// stats, results) are identical to an untraced run of the same seed.
+// stats, results) are identical to an untraced run of the same seed. The
+// recorder is sharded per simulator lane, so it composes with WithCores —
+// traces, metrics, and reports stay byte-identical at any core count.
 func WithObserver(rec *Recorder) Option {
 	return optionFunc(func(p *core.Params) { p.Obs = rec })
 }

@@ -59,6 +59,11 @@ func (m *Machine) crashNode(node int) {
 	for _, p := range m.procs {
 		p.killNodeTasks(node)
 	}
+	if rec := m.params.Obs; rec != nil {
+		// Crash execution is a plan-scheduled global-lane event.
+		gl := rec.OnLane(sim.GlobalLane)
+		gl.SpanAt("chaos", "node.crash", node, -1, m.eng.Now(), 0)
+	}
 }
 
 // killNodeTasks kills every task of this process that executes on node:
@@ -120,6 +125,11 @@ func (p *Process) leaseTick() {
 		// storm is starving heartbeats. Re-arm and keep waiting.
 		p.leaseSuspects++
 		p.lastSeen[node] = now
+		if rec := p.m.params.Obs; rec != nil {
+			// The lease tick is a global-lane event.
+			gl := rec.OnLane(sim.GlobalLane)
+			gl.SpanAt("chaos", "lease.suspect", node, -1, now, 0)
+		}
 	}
 	var targets []int
 	for _, w := range p.workersInOrder() {
@@ -226,8 +236,9 @@ func (p *Process) declareNodeDead(node int) {
 			p.liveCount--
 		}
 	}
-	if p.m.params.Obs != nil {
-		p.m.params.Obs.SpanAt("chaos", "node.dead", node, -1, p.m.eng.Now(), 0)
+	if rec := p.m.params.Obs; rec != nil {
+		// declareNodeDead commits on the global lane.
+		rec.OnLane(sim.GlobalLane).SpanAt("chaos", "node.dead", node, -1, p.m.eng.Now(), 0)
 	}
 	if p.liveCount == 0 {
 		p.finishedAt = p.m.eng.Now()
@@ -253,8 +264,9 @@ func (p *Process) restartThread(th *Thread) {
 		p.threadDone(t, th, fn(th, blob))
 	})
 	th.task.SetDetail(fmt.Sprintf("node %d", p.origin))
-	if p.m.params.Obs != nil {
-		p.m.params.Obs.SpanAt("chaos", "thread.restart", p.origin, th.id, p.m.eng.Now(), 0)
+	if rec := p.m.params.Obs; rec != nil {
+		// restartThread runs from declareNodeDead's global-lane context.
+		rec.OnLane(sim.GlobalLane).SpanAt("chaos", "thread.restart", p.origin, th.id, p.m.eng.Now(), 0)
 	}
 }
 

@@ -78,8 +78,9 @@ type Params struct {
 	// conservative-parallel scheduler, which executes distinct node lanes
 	// concurrently within each link-latency lookahead window. Reports are
 	// byte-identical at any value. Features whose bookkeeping crosses node
-	// lanes in event context (Obs, Hook, the HomeMigrate protocol) force
-	// serial execution regardless of this setting.
+	// lanes in event context (Hook, the HomeMigrate protocol) force serial
+	// execution regardless of this setting; the observability recorder is
+	// lane-sharded and runs parallel.
 	Cores int
 	// MemBandwidth is the per-node memory-bus bandwidth in bytes/second
 	// shared by all cores of a node; it is what saturates first for
@@ -109,9 +110,13 @@ type Params struct {
 	Hook dsm.Hook
 	// Obs, when non-nil, records spans, histograms, and gauge samples for
 	// the whole cluster (fabric messages, DSM protocol phases, thread
-	// migrations). The recorder adds pure bookkeeping on already-scheduled
-	// events — it never schedules simulation work of its own except the
-	// gauge sampler tick — so enabling it cannot change simulated outcomes.
+	// migrations, recovery lifecycle). The recorder adds pure bookkeeping
+	// on already-scheduled events — it never schedules simulation work of
+	// its own; gauges are sampled by the engine between scheduler windows —
+	// so enabling it cannot change simulated outcomes. The recorder is
+	// sharded per lane (each lane writes only its own buffer) and merged
+	// deterministically at export, so tracing runs under the parallel
+	// scheduler with byte-identical output at any core count.
 	Obs *obs.Recorder
 	// Seed seeds the deterministic simulation.
 	Seed int64
@@ -181,13 +186,15 @@ func NewMachine(params Params) *Machine {
 	if cores < 1 {
 		cores = 1
 	}
-	// Serialization clamps. The observability recorder and fault hooks append
-	// to shared slices from whichever lane triggers them, and HomeMigrate
-	// serves page requests (mutating shared directory state) at arbitrary
-	// nodes; all three are correct only under serial execution. Lanes are
+	// Serialization clamps. User fault hooks observe events from whichever
+	// lane triggers them with no sharding discipline, and HomeMigrate serves
+	// page requests (mutating shared directory state) at arbitrary nodes;
+	// both are correct only under serial execution. The observability
+	// recorder is lane-sharded (each lane appends only to its own buffer,
+	// merged deterministically at export) and no longer clamps. Lanes are
 	// still configured identically so the event order — and every report —
 	// matches what the parallel scheduler produces for the same workload.
-	if params.Obs != nil || params.Hook != nil || params.DSM.Protocol == dsm.HomeMigrate {
+	if params.Hook != nil || params.DSM.Protocol == dsm.HomeMigrate {
 		cores = 1
 	}
 	// Lanes and lookahead must exist before fabric.New: the network binds its
@@ -204,9 +211,32 @@ func NewMachine(params Params) *Machine {
 	for i := range m.views {
 		m.views[i] = eng.LaneView(i)
 	}
-	if params.Obs != nil {
-		params.Obs.SetClock(eng.Now)
-		m.net.SetRecorder(params.Obs)
+	if rec := params.Obs; rec != nil {
+		// Shard the recorder per lane and bind each shard to its lane's
+		// clock; every instrumentation site then records through the view of
+		// the lane its event executes on, keeping the hot path lock-free.
+		rec.ConfigureLanes(params.Nodes)
+		rec.SetLaneClock(sim.GlobalLane, eng.Now)
+		for i := 0; i < params.Nodes; i++ {
+			rec.SetLaneClock(i, m.views[i].Now)
+		}
+		m.net.SetRecorder(rec)
+		// Scheduler telemetry gauges, sampled with all other gauges by the
+		// engine's window sampler — the one periodic observation point that
+		// is side-effect-free (it adds no events) and identically placed in
+		// serial and windowed execution.
+		rec.AddGauge("sched.windows", func() float64 {
+			return float64(eng.SchedStats().Windows)
+		})
+		rec.AddGauge("sched.serialized_windows", func() float64 {
+			return float64(eng.SchedStats().SerializedWindows)
+		})
+		rec.AddGauge("sched.lane_dispatches", func() float64 {
+			return float64(eng.SchedStats().LaneDispatches)
+		})
+		if period := rec.SamplePeriod(); period > 0 {
+			eng.AddSampler(period, rec.SampleNowAt)
+		}
 	}
 	if !params.Chaos.Empty() {
 		if err := params.Chaos.Validate(params.Nodes); err != nil {
@@ -371,6 +401,12 @@ type Report struct {
 	// Chaos summarizes fault injection and recovery; nil when no fault
 	// plan was active.
 	Chaos *ChaosReport
+	// Sched is the PDES scheduler's telemetry: how the run decomposed into
+	// lookahead windows, how many serialized on global-lane work, and how
+	// the node lanes shared the parallel ones. The serial engine replays
+	// the same window schedule, so the block is identical at any core
+	// count.
+	Sched sim.SchedStats
 }
 
 // TotalResidentPages sums frames across all nodes.

@@ -105,7 +105,6 @@ func (m *Machine) NewProcess(origin int, main func(*Thread) error) *Process {
 	p.startedAt = m.eng.Now()
 	if m.params.Obs != nil {
 		p.registerGauges(m.params.Obs)
-		p.startSampler(m.params.Obs)
 	}
 	if m.inj != nil {
 		for _, c := range m.params.Chaos.Crashes {
@@ -123,7 +122,9 @@ func (m *Machine) NewProcess(origin int, main func(*Thread) error) *Process {
 
 // registerGauges wires the process's instantaneous metrics into the
 // recorder's periodic time series: per-node resident pages and TLB hit
-// rate, plus the process-wide in-flight fault count.
+// rate, plus the process-wide in-flight fault count. The engine's window
+// sampler (registered in NewMachine) reads them between scheduler windows,
+// with every lane quiescent, so the closures may touch any state.
 func (p *Process) registerGauges(rec *obs.Recorder) {
 	for n := 0; n < p.m.params.Nodes; n++ {
 		n := n
@@ -137,26 +138,6 @@ func (p *Process) registerGauges(rec *obs.Recorder) {
 	rec.AddGauge("inflight_faults", func() float64 {
 		return float64(p.mgr.InFlightFaults())
 	})
-}
-
-// startSampler schedules the periodic gauge sampler as a self-rescheduling
-// simulation event. The tick stops once the process has no live threads so
-// the engine can drain its queue and terminate; sampler events shift event
-// sequence numbers but carry no side effects, so all other events keep
-// their relative order and the simulated outcome is unchanged.
-func (p *Process) startSampler(rec *obs.Recorder) {
-	period := rec.SamplePeriod()
-	if period <= 0 {
-		return
-	}
-	var tick func()
-	tick = func() {
-		rec.SampleNow()
-		if p.liveCount > 0 {
-			p.m.eng.After(period, tick)
-		}
-	}
-	p.m.eng.After(period, tick)
 }
 
 // PID returns the process id.
@@ -196,6 +177,7 @@ func (p *Process) Report() Report {
 	}
 	return Report{
 		Chaos:            cr,
+		Sched:            p.m.eng.SchedStats(),
 		ResidentPages:    resident,
 		Elapsed:          p.finishedAt - p.startedAt,
 		DSM:              p.mgr.Stats(),

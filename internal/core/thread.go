@@ -9,6 +9,7 @@ import (
 	"dex/internal/dsm"
 	"dex/internal/futex"
 	"dex/internal/mem"
+	"dex/internal/obs"
 	"dex/internal/sim"
 )
 
@@ -169,10 +170,20 @@ func (th *Thread) Checkpoint(data []byte) error {
 	if th.proc.m.inj == nil {
 		return nil
 	}
+	var start time.Duration
+	if th.proc.m.params.Obs != nil {
+		start = th.task.Now()
+	}
 	snap := th.proc.mgr.SnapshotPages(th.node)
 	th.ckpt = &checkpoint{data: append([]byte(nil), data...), pages: snap}
 	if len(snap) > 0 {
 		th.proc.m.nodes[th.node].bus.Transfer(th.task, len(snap)*mem.PageSize)
+	}
+	if rec := th.proc.m.params.Obs; rec != nil {
+		// The snapshot runs on the checkpointing thread's lane; the span
+		// covers the resident-set copy including its bus transfer.
+		rec.OnLane(th.node).Span("chaos", "checkpoint", th.node, th.id, start,
+			obs.Int("pages", int64(len(snap))))
 	}
 	return nil
 }

@@ -546,7 +546,8 @@ func (m *Manager) EnsurePage(t *sim.Task, ctx Ctx, addr mem.Addr, write bool) *m
 			t.Park("fault follower " + addr.String())
 			t.Sleep(m.params.FollowerWake)
 			if m.rec != nil {
-				m.rec.Span("dsm", "fault.follower", ctx.Node, ctx.Task, parkedAt,
+				// Follower wakeups run on the faulting node's lane.
+				m.rec.OnLane(ctx.Node).Span("dsm", "fault.follower", ctx.Node, ctx.Task, parkedAt,
 					obs.Hex("vpn", vpn))
 			}
 			continue
@@ -585,8 +586,11 @@ func (m *Manager) recordFault(ctx Ctx, addr mem.Addr, write bool, latency time.D
 		if write {
 			kind = KindWrite
 		}
+		// The faulting node's lane clock, not the root engine's: during a
+		// parallel window the root view reads the stale committed clock, and
+		// the hook's span timestamps must not depend on the core count.
 		m.hook(FaultEvent{
-			Time:    m.eng.Now(),
+			Time:    m.view(ctx.Node).Now(),
 			Node:    ctx.Node,
 			Task:    ctx.Task,
 			Kind:    kind,
@@ -658,6 +662,19 @@ func (m *Manager) recoverDeadHome(vpn uint64, de *dirEntry, dead int, fallback [
 	}
 	m.nodes[m.origin].pt.SetAccess(vpn, frame, mem.AccessRead)
 	m.stats.pagesRehomed.Add(1)
+	if m.rec != nil {
+		// Dead-home recovery is HomeMigrate-only and thus always serial, but
+		// record on the origin's shard anyway: the rehome lands the page there.
+		lostArg := int64(0)
+		if lost {
+			lostArg = 1
+		}
+		rec := m.rec.OnLane(m.origin)
+		rec.SpanAt("dsm", "hm.rehome", m.origin, -1, m.view(m.origin).Now(), 0,
+			obs.Hex("vpn", vpn),
+			obs.Int("dead", int64(dead)),
+			obs.Int("lost", lostArg))
+	}
 	return lost
 }
 
@@ -781,8 +798,10 @@ func (m *Manager) DropDirectoryRange(t *sim.Task, lo, hi uint64) error {
 
 func (m *Manager) emitInvalidate(node int, vpn uint64) {
 	if m.hook != nil {
+		// Invalidations are applied on node's lane; stamp with its lane clock
+		// so the event time is identical at any core count.
 		m.hook(FaultEvent{
-			Time: m.eng.Now(),
+			Time: m.view(node).Now(),
 			Node: node,
 			Task: -1,
 			Kind: KindInvalidate,

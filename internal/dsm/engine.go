@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dex/internal/mem"
+	"dex/internal/obs"
 	"dex/internal/sim"
 )
 
@@ -84,6 +85,32 @@ func (e *engine) init(m *Manager) {
 	}
 }
 
+// retransmitSpan records one retransmission on the executing lane. The span
+// covers the expired RTO window that triggered the re-send; kind names the
+// retransmitted message (request, revoke, grant), attempt counts re-sends of
+// this transaction, and backoff is the timeout that was waited out.
+func (m *Manager) retransmitSpan(lane int, kind string, attempt int, rto time.Duration) {
+	if m.rec == nil {
+		return
+	}
+	rec := m.rec.OnLane(lane)
+	now := rec.Now()
+	rec.SpanAt("dsm", "retransmit", lane, -1, now-rto, rto,
+		obs.String("kind", kind),
+		obs.Int("attempt", int64(attempt)),
+		obs.String("backoff", rto.String()))
+}
+
+// dedupSpan records an instant marker for a duplicate that was answered from
+// retained dedup state, on the lane the duplicate was delivered to.
+func (m *Manager) dedupSpan(lane int, name string, vpn uint64) {
+	if m.rec == nil {
+		return
+	}
+	rec := m.rec.OnLane(lane)
+	rec.SpanAt("dsm", name, lane, -1, rec.Now(), 0, obs.Hex("vpn", vpn))
+}
+
 // nextToken allocates a page-request token from node's private space.
 func (e *engine) nextToken(node int) uint64 {
 	ns := e.m.nodes[node]
@@ -111,6 +138,7 @@ func (e *engine) awaitReply(t *sim.Task, node, target int, req *outstanding, msg
 		return
 	}
 	rto := m.params.RetryTimeout
+	attempt := 0
 	for !req.done {
 		if t.ParkTimeout(parkReason, rto) || req.done {
 			continue
@@ -123,6 +151,8 @@ func (e *engine) awaitReply(t *sim.Task, node, target int, req *outstanding, msg
 			break
 		}
 		m.stats.retransmits.Add(1)
+		attempt++
+		m.retransmitSpan(node, "request", attempt, rto)
 		m.net.Send(t, node, target, msg)
 		if rto *= 2; rto > m.params.RetryTimeoutMax {
 			rto = m.params.RetryTimeoutMax
@@ -144,6 +174,7 @@ func (e *engine) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
 			continue
 		}
 		rto := m.params.RetryTimeout
+		attempt := 0
 		for !w.done {
 			if t.ParkTimeout("revoke ack", rto) || w.done {
 				continue
@@ -168,6 +199,9 @@ func (e *engine) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
 				break
 			}
 			m.stats.retransmits.Add(1)
+			attempt++
+			// The revoke-waiting task runs on the issuing home's lane.
+			m.retransmitSpan(w.msg.home, "revoke", attempt, rto)
 			m.net.Send(t, w.msg.home, w.target, w.msg)
 			if rto *= 2; rto > m.params.RetryTimeoutMax {
 				rto = m.params.RetryTimeoutMax
@@ -343,6 +377,9 @@ func (e *engine) redeliverServe(req *pageRequest, st *serveState) {
 		return
 	}
 	m.stats.retransmits.Add(1)
+	// Duplicates are delivered at the node that served the original (always
+	// the origin under WriteInvalidate; HomeMigrate runs serialized).
+	m.dedupSpan(st.home, "dedup.reserve", req.vpn)
 	reply := &pageReply{pid: m.pid, token: req.token, nack: st.nack, stale: st.stale,
 		redirect: st.redirect, home: st.redirTo}
 	from := st.home
@@ -371,6 +408,7 @@ func (e *engine) resendGrant(t *sim.Task, st *serveState) {
 func (e *engine) resendRevokeAck(node int, msg *revokeMsg, prev *appliedRevoke) {
 	m := e.m
 	m.stats.retransmits.Add(1)
+	m.dedupSpan(node, "dedup.reack", msg.vpn)
 	m.view(node).Spawn("dsm-reack", func(t *sim.Task) {
 		t.Sleep(m.params.InvalidateApply)
 		ack := &revokeAck{pid: m.pid, seq: msg.seq}

@@ -245,6 +245,7 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 		// requester is confirmed dead, roll the half-finished transfer back
 		// so the page stays reachable.
 		rto := m.params.RetryTimeout
+		attempt := 0
 		for !ack.done {
 			if t.ParkTimeout("install ack", rto) || ack.done {
 				continue
@@ -274,6 +275,8 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 				break
 			}
 			m.stats.retransmits.Add(1)
+			attempt++
+			m.retransmitSpan(home, "grant", attempt, rto)
 			m.e.resendGrant(t, st)
 			if rto *= 2; rto > m.params.RetryTimeoutMax {
 				rto = m.params.RetryTimeoutMax
@@ -321,7 +324,8 @@ func (m *Manager) serveSpan(start time.Duration, home int, req *pageRequest, out
 	if req.write {
 		kind = "write"
 	}
-	m.rec.Span("dsm", "origin.serve", home, -1, start,
+	// The serve task runs on the serving home's lane.
+	m.rec.OnLane(home).Span("dsm", "origin.serve", home, -1, start,
 		obs.Hex("vpn", req.vpn),
 		obs.String("kind", kind),
 		obs.Int("from", int64(req.node)),
@@ -433,7 +437,8 @@ func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
 			if msg.downgrade {
 				mode = "downgrade"
 			}
-			m.rec.Span("dsm", "revoke.apply", node, -1, applyAt,
+			// The apply task runs on the revoked node's lane.
+			m.rec.OnLane(node).Span("dsm", "revoke.apply", node, -1, applyAt,
 				obs.Hex("vpn", msg.vpn),
 				obs.String("mode", mode))
 		}

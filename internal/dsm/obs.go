@@ -39,16 +39,20 @@ func ObsFaultHook(r *obs.Recorder) Hook {
 		return nil
 	}
 	return func(ev FaultEvent) {
+		// Fault events fire on the lane of the node they happen at; record
+		// through that lane's shard so the hook stays race-free under the
+		// parallel scheduler.
+		lr := r.OnLane(ev.Node)
 		switch ev.Kind {
 		case KindRead, KindWrite:
 			name := "fault." + ev.Kind.String()
-			r.SpanAt("dsm", name, ev.Node, ev.Task, ev.Time-ev.Latency, ev.Latency,
+			lr.SpanAt("dsm", name, ev.Node, ev.Task, ev.Time-ev.Latency, ev.Latency,
 				obs.Hex("addr", uint64(ev.Addr)),
 				obs.Int("retries", int64(ev.Retries)),
 				obs.String("site", ev.Site))
-			r.Observe(name, ev.Latency)
+			lr.Observe(name, ev.Latency)
 		case KindInvalidate:
-			r.SpanAt("dsm", "invalidate", ev.Node, -1, ev.Time, 0,
+			lr.SpanAt("dsm", "invalidate", ev.Node, -1, ev.Time, 0,
 				obs.Hex("addr", uint64(ev.Addr)))
 		}
 	}

@@ -223,6 +223,20 @@ func (p *writeInvalidate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn
 	return needData, data
 }
 
+// failoverSpan records an instant home-failover marker on the faulting
+// node's lane: the believed home is confirmed or suspected dead, and the
+// request re-routes through the origin.
+func (m *Manager) failoverSpan(node int, vpn uint64, dead int, mode string) {
+	if m.rec == nil {
+		return
+	}
+	rec := m.rec.OnLane(node)
+	rec.SpanAt("dsm", "hm.failover", node, -1, rec.Now(), 0,
+		obs.Hex("vpn", vpn),
+		obs.Int("dead", int64(dead)),
+		obs.String("mode", mode))
+}
+
 // fetchFromWriter revokes the remote exclusive owner of vpn and installs the
 // returned data as the origin's copy. With downgrade the owner keeps a
 // shared (read-only) copy; otherwise its mapping is dropped.
@@ -231,6 +245,10 @@ func (m *Manager) fetchFromWriter(t *sim.Task, de *dirEntry, vpn uint64, downgra
 	if m.chaos != nil && m.chaos.NodeDead(w) {
 		m.reclaimLostWriter(de, vpn)
 		return
+	}
+	var pullAt time.Duration
+	if m.rec != nil {
+		pullAt = t.Now()
 	}
 	pr := m.net.PreparePageRecv(t, w, m.origin)
 	waiter := m.sendRevoke(t, m.origin, w, vpn, downgrade, -1, pr)
@@ -245,6 +263,17 @@ func (m *Manager) fetchFromWriter(t *sim.Task, de *dirEntry, vpn uint64, downgra
 	m.nodes[m.origin].pt.SetAccess(vpn, data, mem.AccessRead)
 	m.stats.pageTransfers.Add(1)
 	de.pullHome(downgrade)
+	if m.rec != nil {
+		mode := "invalidate"
+		if downgrade {
+			mode = "downgrade"
+		}
+		// fetchFromWriter always executes on the origin's serve lane.
+		m.rec.OnLane(m.origin).Span("dsm", "hm.pull", m.origin, -1, pullAt,
+			obs.Hex("vpn", vpn),
+			obs.Int("writer", int64(w)),
+			obs.String("mode", mode))
+	}
 }
 
 // reclaimLostWriter handles the death of a page's exclusive owner: the only
@@ -387,6 +416,15 @@ func (p *homeMigrate) dispatchRequest(node int, req *pageRequest) {
 			st.redirTo = target
 			st.close(m.view(node).Now())
 		}
+		if m.rec != nil {
+			// Recorded on the bouncing node's lane (where the stale-routed
+			// request was delivered).
+			rec := m.rec.OnLane(node)
+			rec.SpanAt("dsm", "hm.redirect", node, -1, rec.Now(), 0,
+				obs.Hex("vpn", req.vpn),
+				obs.Int("from", int64(req.node)),
+				obs.Int("home", int64(target)))
+		}
 		m.view(node).Spawn("dsm-redirect", func(t *sim.Task) {
 			t.Sleep(m.params.OriginDispatch)
 			m.net.Send(t, node, req.node, &pageReply{pid: m.pid, token: req.token, redirect: true, home: target})
@@ -509,6 +547,7 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			// pages on arrival.
 			m.policy.learnHome(node, vpn, m.origin)
 			m.stats.homeFailovers.Add(1)
+			m.failoverSpan(node, vpn, target, "dead-target")
 			target = m.origin
 		}
 		if target == node {
@@ -550,7 +589,8 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			case req.withData:
 				outcome = "grant+data"
 			}
-			m.rec.Span("dsm", "fault.request", node, ctx.Task, reqAt,
+			// requestFault runs on the faulting node's lane.
+			m.rec.OnLane(node).Span("dsm", "fault.request", node, ctx.Task, reqAt,
 				obs.Hex("vpn", vpn),
 				obs.Int("attempt", int64(attempt)),
 				obs.String("outcome", outcome))
@@ -563,6 +603,7 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			pr.Release()
 			m.policy.learnHome(node, vpn, m.origin)
 			m.stats.homeFailovers.Add(1)
+			m.failoverSpan(node, vpn, target, "dead-home")
 			m.backoff(t, node, attempt)
 			continue
 		}
@@ -596,7 +637,7 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			}
 			frame = pr.Claim(t)
 			if m.rec != nil {
-				m.rec.Span("dsm", "fault.transfer", node, ctx.Task, claimAt,
+				m.rec.OnLane(node).Span("dsm", "fault.transfer", node, ctx.Task, claimAt,
 					obs.Hex("vpn", vpn))
 			}
 		} else {
@@ -620,7 +661,7 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			m.freeFrame(node, prev)
 		}
 		if m.rec != nil {
-			m.rec.Span("dsm", "fault.install", node, ctx.Task, installAt,
+			m.rec.OnLane(node).Span("dsm", "fault.install", node, ctx.Task, installAt,
 				obs.Hex("vpn", vpn))
 		}
 		req.installed = true

@@ -410,7 +410,9 @@ func (n *Network) sendWith(t *sim.Task, src, dst int, m Message, v chaos.Verdict
 	})
 	if v.Drop {
 		if n.rec != nil {
-			n.rec.SpanAt("chaos", "drop", dst, fabricLane+src, sv.Now(), 0,
+			// Chaos verdict spans record on the sending context's lane — the
+			// lane this event executes on.
+			n.rec.OnLane(sv.Lane()).SpanAt("chaos", "drop", dst, fabricLane+src, sv.Now(), 0,
 				obs.Int("src", int64(src)), obs.Int("bytes", int64(m.Size())))
 		}
 		return
@@ -419,7 +421,7 @@ func (n *Network) sendWith(t *sim.Task, src, dst int, m Message, v chaos.Verdict
 	n.deliver(sv, c, at, dst, p)
 	if v.Dup {
 		if n.rec != nil {
-			n.rec.SpanAt("chaos", "dup", dst, fabricLane+src, sv.Now(), 0,
+			n.rec.OnLane(sv.Lane()).SpanAt("chaos", "dup", dst, fabricLane+src, sv.Now(), 0,
 				obs.Int("src", int64(src)))
 		}
 		n.deliver(sv, c, at, dst, p)
@@ -577,8 +579,9 @@ func (n *Network) drainStormControl(c *conn, dst int) {
 // the handler, on the global lane.
 func (n *Network) acceptControl(c *conn, dst int, p pending) {
 	gv := n.gview
+	// Control arrivals execute on the global lane; record on its shard.
 	if n.rec != nil && p.stalled {
-		n.rec.SpanAt("fabric", "rnr.stall", dst, fabricLane+p.src, p.stallAt,
+		n.rec.OnLane(sim.GlobalLane).SpanAt("fabric", "rnr.stall", dst, fabricLane+p.src, p.stallAt,
 			gv.Now()-p.stallAt, obs.Int("src", int64(p.src)))
 	}
 	gv.After(n.params.RecvCPU, func() {
@@ -587,9 +590,10 @@ func (n *Network) acceptControl(c *conn, dst int, p pending) {
 			panic(fmt.Sprintf("fabric: no handler on node %d for message from %d", dst, p.src))
 		}
 		if n.rec != nil {
-			n.rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
+			rec := n.rec.OnLane(sim.GlobalLane)
+			rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
 				obs.Int("src", int64(p.src)), obs.Int("bytes", int64(p.bytes)))
-			n.rec.Observe(p.spanName(), gv.Now()-p.sentAt)
+			rec.Observe(p.spanName(), gv.Now()-p.sentAt)
 		}
 		h(p.src, p.m)
 		if len(c.rnrQueueG) > 0 {
@@ -630,16 +634,19 @@ func (n *Network) drainStorm(c *conn, dst int) {
 // destination node's lane.
 func (n *Network) accept(c *conn, dst int, p pending) {
 	dv := n.view(dst)
+	// Data-QP arrivals execute on the destination node's lane; record on its
+	// shard so concurrent lanes never share a span buffer.
 	if n.rec != nil && p.stalled {
-		n.rec.SpanAt("fabric", "rnr.stall", dst, fabricLane+p.src, p.stallAt,
+		n.rec.OnLane(dst).SpanAt("fabric", "rnr.stall", dst, fabricLane+p.src, p.stallAt,
 			dv.Now()-p.stallAt, obs.Int("src", int64(p.src)))
 	}
 	if p.data != nil {
 		p.data()
 		if n.rec != nil {
-			n.rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
+			rec := n.rec.OnLane(dst)
+			rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
 				obs.Int("src", int64(p.src)), obs.Int("bytes", int64(p.bytes)))
-			n.rec.Observe(p.spanName(), dv.Now()-p.sentAt)
+			rec.Observe(p.spanName(), dv.Now()-p.sentAt)
 		}
 		return
 	}
@@ -652,9 +659,10 @@ func (n *Network) accept(c *conn, dst int, p pending) {
 		if n.rec != nil {
 			// The span ends when the receive completion hands the message to
 			// the protocol handler: enqueue → (stall) → deliver.
-			n.rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
+			rec := n.rec.OnLane(dst)
+			rec.Span("fabric", p.spanName(), dst, fabricLane+p.src, p.sentAt,
 				obs.Int("src", int64(p.src)), obs.Int("bytes", int64(p.bytes)))
-			n.rec.Observe(p.spanName(), dv.Now()-p.sentAt)
+			rec.Observe(p.spanName(), dv.Now()-p.sentAt)
 		}
 		h(p.src, p.m)
 		// Recycle the DMA-ready receive buffer by reposting it, then drain

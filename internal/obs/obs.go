@@ -12,12 +12,20 @@
 //     methods do nothing; instrumentation points guard with a single
 //     `if rec != nil` branch, the same pattern as dsm.Hook.
 //   - Simulated clocks only. Every timestamp comes from the engine's virtual
-//     clock (bound with SetClock); wall time never enters the record, so
-//     traces are bit-for-bit reproducible for a fixed seed.
-//   - Deterministic export. Spans are kept in emission order (itself
-//     deterministic), histograms use integer-only power-of-two bucketing,
-//     and the Perfetto writer (perfetto.go) formats every number with
-//     integer arithmetic — two same-seed runs produce byte-identical JSON.
+//     clock (bound per lane with SetLaneClock, or SetClock for unsharded
+//     use); wall time never enters the record, so traces are bit-for-bit
+//     reproducible for a fixed seed.
+//   - Lane-safe without locks. ConfigureLanes shards the recorder into one
+//     buffer per simulator lane; OnLane returns the view for the lane an
+//     event executes on, and each lane appends only to its own shard, so
+//     recording is race-free under the conservative-parallel scheduler with
+//     no hot-path synchronization.
+//   - Deterministic export. Shards merge in (time, lane, emission-sequence)
+//     order — each component is a pure function of the simulated schedule,
+//     not of worker timing — histograms use integer-only power-of-two
+//     bucketing, and the Perfetto writer (perfetto.go) formats every number
+//     with integer arithmetic: the same seed produces byte-identical JSON at
+//     any core count.
 package obs
 
 import (
@@ -46,7 +54,7 @@ func Hex(key string, val uint64) Arg { return Arg{Key: key, Val: "0x" + strconv.
 // Perfetto process (pid) and Task to the thread (tid) so per-node timelines
 // render as process tracks.
 type Span struct {
-	Cat   string // taxonomy: "dsm", "fabric", "core"
+	Cat   string // taxonomy: "dsm", "fabric", "core", "chaos"
 	Name  string // e.g. "fault.write", "msg.small", "migrate.forward"
 	Node  int
 	Task  int
@@ -57,6 +65,15 @@ type Span struct {
 
 // End returns the span's end time.
 func (s Span) End() time.Duration { return s.Start + s.Dur }
+
+// spanRec is a recorded span plus its shard-local merge key: the lane clock
+// at recording time (the executing event's timestamp, identical in serial
+// and parallel execution) and the shard's emission sequence.
+type spanRec struct {
+	Span
+	at  time.Duration
+	seq uint64
+}
 
 // sample is one gauge observation on the time series.
 type sample struct {
@@ -75,43 +92,118 @@ type gauge struct {
 // DefaultSamplePeriod is the sampler tick used when none is configured.
 const DefaultSamplePeriod = 100 * time.Microsecond
 
-// Recorder accumulates spans, histograms, and samples for one simulated run.
-// The zero value is not used; create one with NewRecorder. A nil *Recorder
-// is the disabled recorder: every method is a no-op.
-type Recorder struct {
-	clock        func() time.Duration
-	spans        []Span
-	hists        map[string]*Histogram
-	histOrder    []string
+// shard is one lane's private slice of the record. Only the goroutine
+// executing that lane's events appends to it; merging happens at export
+// time, when every lane is quiescent.
+type shard struct {
+	clock     func() time.Duration
+	spans     []spanRec
+	hists     map[string]*Histogram
+	histOrder []string
+	seq       uint64
+}
+
+func newShard() *shard {
+	return &shard{hists: make(map[string]*Histogram)}
+}
+
+// recCore is the state shared by every lane view of one recorder. Gauges and
+// samples stay core-owned: they are registered before the run and sampled
+// only between scheduler windows, with all lanes quiescent.
+type recCore struct {
+	shards       []*shard    // [0] = global/default, [i+1] = node i
+	views        []*Recorder // preallocated lane views, same indexing
 	gauges       []gauge
 	samples      []sample
 	samplePeriod time.Duration
 }
 
-// NewRecorder returns an empty recorder. Bind it to a simulation with
-// SetClock before recording (the dex layer does this when the cluster is
-// built).
+// Recorder accumulates spans, histograms, and samples for one simulated run.
+// It is a lane-bound view over a shared core: NewRecorder returns the
+// global/default view, ConfigureLanes adds per-node shards, and OnLane
+// selects the view for the lane an event is executing on. Recording through
+// the executing lane's view is what makes the recorder race-free under the
+// parallel scheduler — each lane appends only to its own shard. A nil
+// *Recorder is the disabled recorder: every method is a no-op.
+type Recorder struct {
+	c    *recCore
+	lane int // shard index: 0 = global/default, i+1 = node i
+}
+
+// NewRecorder returns an empty recorder (the global view, with a single
+// shard until ConfigureLanes is called). Bind it to a simulation with
+// SetLaneClock/SetClock before recording (the dex layer does this when the
+// cluster is built).
 func NewRecorder() *Recorder {
-	return &Recorder{
-		hists:        make(map[string]*Histogram),
-		samplePeriod: DefaultSamplePeriod,
+	c := &recCore{samplePeriod: DefaultSamplePeriod}
+	c.shards = []*shard{newShard()}
+	r := &Recorder{c: c, lane: 0}
+	c.views = []*Recorder{r}
+	return r
+}
+
+// ConfigureLanes shards the recorder for a simulation with nodes node lanes:
+// shard 0 stays the global lane's buffer and shard i+1 becomes node i's.
+// It must be called before any per-lane recording and at most once.
+func (r *Recorder) ConfigureLanes(nodes int) {
+	if r == nil {
+		return
+	}
+	c := r.c
+	if len(c.shards) > 1 {
+		panic("obs: ConfigureLanes called twice")
+	}
+	for i := 0; i < nodes; i++ {
+		c.shards = append(c.shards, newShard())
+		c.views = append(c.views, &Recorder{c: c, lane: i + 1})
 	}
 }
 
-// SetClock binds the recorder to the simulation's virtual clock.
+// OnLane returns the recorder view bound to node's lane (negative for the
+// global lane). Instrumentation must record through the view of the lane the
+// current event executes on; an out-of-range node falls back to the global
+// view, so unsharded recorders keep working unchanged.
+func (r *Recorder) OnLane(node int) *Recorder {
+	if r == nil {
+		return nil
+	}
+	c := r.c
+	if node < 0 || node+1 >= len(c.shards) {
+		return c.views[0]
+	}
+	return c.views[node+1]
+}
+
+// SetClock binds this view's shard to the simulation's virtual clock. For
+// sharded recorders the dex layer binds every lane with SetLaneClock; plain
+// serial users bind just the default shard here.
 func (r *Recorder) SetClock(now func() time.Duration) {
 	if r == nil {
 		return
 	}
-	r.clock = now
+	r.c.shards[r.lane].clock = now
 }
 
-// Now returns the current simulated time, or 0 before a clock is bound.
+// SetLaneClock binds node's shard (negative: the global shard) to that
+// lane's clock, which reads the lane-local time during parallel windows.
+func (r *Recorder) SetLaneClock(node int, now func() time.Duration) {
+	if r == nil {
+		return
+	}
+	r.OnLane(node).SetClock(now)
+}
+
+// Now returns the current simulated time as seen by this view's lane, or 0
+// before a clock is bound.
 func (r *Recorder) Now() time.Duration {
-	if r == nil || r.clock == nil {
+	if r == nil {
 		return 0
 	}
-	return r.clock()
+	clock := r.c.shards[r.lane].clock
+	if clock == nil {
+		return 0
+	}
+	return clock()
 }
 
 // SetSamplePeriod sets the gauge sampling interval (0 disables sampling).
@@ -119,7 +211,7 @@ func (r *Recorder) SetSamplePeriod(d time.Duration) {
 	if r == nil {
 		return
 	}
-	r.samplePeriod = d
+	r.c.samplePeriod = d
 }
 
 // SamplePeriod returns the gauge sampling interval.
@@ -127,7 +219,7 @@ func (r *Recorder) SamplePeriod() time.Duration {
 	if r == nil {
 		return 0
 	}
-	return r.samplePeriod
+	return r.c.samplePeriod
 }
 
 // Span records a completed interval that started at start and ends now.
@@ -147,58 +239,123 @@ func (r *Recorder) SpanAt(cat, name string, node, task int, start, dur time.Dura
 	if dur < 0 {
 		dur = 0
 	}
-	r.spans = append(r.spans, Span{
-		Cat:   cat,
-		Name:  name,
-		Node:  node,
-		Task:  task,
-		Start: start,
-		Dur:   dur,
-		Args:  args,
+	s := r.c.shards[r.lane]
+	s.seq++
+	s.spans = append(s.spans, spanRec{
+		Span: Span{
+			Cat:   cat,
+			Name:  name,
+			Node:  node,
+			Task:  task,
+			Start: start,
+			Dur:   dur,
+			Args:  args,
+		},
+		at:  r.Now(),
+		seq: s.seq,
 	})
 }
 
-// Spans returns the recorded spans in emission order.
+// Spans returns the recorded spans of every shard merged in deterministic
+// (record time, lane, shard sequence) order. The record time is the
+// executing event's timestamp and the shard sequence its emission order
+// within the lane — both are properties of the simulated schedule, not of
+// worker-thread timing, so the merged order is identical at any core count.
 func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
-	return r.spans
+	c := r.c
+	total := 0
+	for _, s := range c.shards {
+		total += len(s.spans)
+	}
+	if total == 0 {
+		return nil
+	}
+	type keyed struct {
+		at   time.Duration
+		lane int
+		seq  uint64
+		span *spanRec
+	}
+	all := make([]keyed, 0, total)
+	for lane, s := range c.shards {
+		for i := range s.spans {
+			rec := &s.spans[i]
+			all = append(all, keyed{at: rec.at, lane: lane, seq: rec.seq, span: rec})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.lane != b.lane {
+			return a.lane < b.lane
+		}
+		return a.seq < b.seq
+	})
+	out := make([]Span, len(all))
+	for i, k := range all {
+		out[i] = k.span.Span
+	}
+	return out
 }
 
-// Observe adds one latency observation to the named histogram, creating it
-// on first use.
+// Observe adds one latency observation to the named histogram of this
+// view's shard, creating it on first use. Shards merge at read time.
 func (r *Recorder) Observe(name string, d time.Duration) {
 	if r == nil {
 		return
 	}
-	h, ok := r.hists[name]
+	s := r.c.shards[r.lane]
+	h, ok := s.hists[name]
 	if !ok {
 		h = &Histogram{Name: name}
-		r.hists[name] = h
-		r.histOrder = append(r.histOrder, name)
+		s.hists[name] = h
+		s.histOrder = append(s.histOrder, name)
 	}
 	h.Observe(d)
 }
 
-// Histogram returns the named histogram, or nil if nothing was observed.
+// Histogram returns the named histogram merged across all shards, or nil if
+// nothing was observed under that name.
 func (r *Recorder) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	return r.hists[name]
+	var out *Histogram
+	for _, s := range r.c.shards {
+		if h, ok := s.hists[name]; ok {
+			if out == nil {
+				out = &Histogram{Name: name}
+			}
+			out.merge(h)
+		}
+	}
+	return out
 }
 
-// Histograms returns all histograms sorted by name.
+// Histograms returns all histograms, merged across shards, sorted by name.
 func (r *Recorder) Histograms() []*Histogram {
 	if r == nil {
 		return nil
 	}
-	names := append([]string(nil), r.histOrder...)
+	seen := make(map[string]bool)
+	var names []string
+	for _, s := range r.c.shards {
+		for _, n := range s.histOrder {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
 	sort.Strings(names)
 	out := make([]*Histogram, len(names))
 	for i, n := range names {
-		out[i] = r.hists[n]
+		out[i] = r.Histogram(n)
 	}
 	return out
 }
@@ -208,7 +365,7 @@ func (r *Recorder) AddGauge(name string, fn func() float64) {
 	if r == nil {
 		return
 	}
-	r.gauges = append(r.gauges, gauge{name: name, node: -1, fn: fn})
+	r.c.gauges = append(r.c.gauges, gauge{name: name, node: -1, fn: fn})
 }
 
 // AddNodeGauge registers a per-node gauge; its samples render on that node's
@@ -217,20 +374,30 @@ func (r *Recorder) AddNodeGauge(name string, node int, fn func() float64) {
 	if r == nil {
 		return
 	}
-	r.gauges = append(r.gauges, gauge{name: name, node: node, fn: fn})
+	r.c.gauges = append(r.c.gauges, gauge{name: name, node: node, fn: fn})
 }
 
-// SampleNow reads every registered gauge at the current simulated time and
-// appends one row per gauge to the time series. The driver (core's sampler
-// task) calls it on a periodic simulation event.
+// SampleNowAt reads every registered gauge and appends one row per gauge to
+// the time series, stamped at. The engine's window sampler calls it between
+// scheduler windows — the one point where all lanes are quiescent, so the
+// reads are race-free and see the same barrier-committed state at any core
+// count.
+func (r *Recorder) SampleNowAt(at time.Duration) {
+	if r == nil {
+		return
+	}
+	c := r.c
+	for i := range c.gauges {
+		c.samples = append(c.samples, sample{At: at, Gauge: i, Val: c.gauges[i].fn()})
+	}
+}
+
+// SampleNow samples every gauge at the current simulated time.
 func (r *Recorder) SampleNow() {
 	if r == nil {
 		return
 	}
-	at := r.Now()
-	for i := range r.gauges {
-		r.samples = append(r.samples, sample{At: at, Gauge: i, Val: r.gauges[i].fn()})
-	}
+	r.SampleNowAt(r.Now())
 }
 
 // Samples reports how many gauge observations were recorded.
@@ -238,5 +405,5 @@ func (r *Recorder) Samples() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.samples)
+	return len(r.c.samples)
 }

@@ -27,6 +27,13 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	r.AddGauge("g", func() float64 { return 1 })
 	r.AddNodeGauge("g", 0, func() float64 { return 1 })
 	r.SampleNow()
+	r.SampleNowAt(time.Microsecond)
+	r.ConfigureLanes(4)
+	r.SetLaneClock(2, func() time.Duration { return 0 })
+	if r.OnLane(2) != nil || r.OnLane(-1) != nil {
+		t.Fatal("nil recorder produced a lane view")
+	}
+	r.OnLane(0).Span("c", "n", 0, 0, 0)
 	if r.Spans() != nil || r.Histogram("h") != nil || r.Histograms() != nil || r.Samples() != 0 {
 		t.Fatal("nil recorder recorded something")
 	}

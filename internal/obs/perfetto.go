@@ -50,23 +50,25 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 	}
 
 	if r != nil {
+		spans := r.Spans()
+
 		// Metadata: one process_name per node that appears in the record.
-		for _, pid := range r.pidsInUse() {
+		for _, pid := range r.pidsInUse(spans) {
 			emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"node %d"}}`, pid, pid))
 		}
 
-		// Spans, sorted by (start, emission order) for a readable file; the
-		// sort is stable so equal timestamps keep their deterministic
-		// emission order.
-		order := make([]int, len(r.spans))
+		// Spans, sorted by (start, merged order) for a readable file; the
+		// sort is stable so equal timestamps keep the deterministic
+		// (record time, lane, sequence) merge order.
+		order := make([]int, len(spans))
 		for i := range order {
 			order[i] = i
 		}
 		sort.SliceStable(order, func(a, b int) bool {
-			return r.spans[order[a]].Start < r.spans[order[b]].Start
+			return spans[order[a]].Start < spans[order[b]].Start
 		})
 		for _, i := range order {
-			s := &r.spans[i]
+			s := &spans[i]
 			line := fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d`,
 				jsonString(s.Name), jsonString(s.Cat), usec(s.Start), usec(s.Dur), s.Node, s.Task)
 			if len(s.Args) > 0 {
@@ -84,8 +86,8 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 		}
 
 		// Gauge samples as counter events, already in time order.
-		for _, smp := range r.samples {
-			g := r.gauges[smp.Gauge]
+		for _, smp := range r.c.samples {
+			g := r.c.gauges[smp.Gauge]
 			pid := g.node
 			if pid < 0 {
 				pid = 0
@@ -102,12 +104,12 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 
 // pidsInUse returns the sorted set of node ids appearing in spans or
 // node-scoped gauges.
-func (r *Recorder) pidsInUse() []int {
+func (r *Recorder) pidsInUse(spans []Span) []int {
 	seen := make(map[int]bool)
-	for i := range r.spans {
-		seen[r.spans[i].Node] = true
+	for i := range spans {
+		seen[spans[i].Node] = true
 	}
-	for _, g := range r.gauges {
+	for _, g := range r.c.gauges {
 		if g.node >= 0 {
 			seen[g.node] = true
 		} else {
@@ -133,8 +135,8 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 			h.Name, h.Count, h.Min, h.Mean(),
 			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
 	}
-	if r != nil && len(r.samples) > 0 {
-		fmt.Fprintf(bw, "samples: %d gauge observations over %d series\n", len(r.samples), len(r.gauges))
+	if r != nil && len(r.c.samples) > 0 {
+		fmt.Fprintf(bw, "samples: %d gauge observations over %d series\n", len(r.c.samples), len(r.c.gauges))
 	}
 	return bw.Flush()
 }

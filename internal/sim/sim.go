@@ -88,6 +88,23 @@ type engineCore struct {
 	nEvents uint64 // serial / barrier-committed event count
 	failure error
 
+	// sched accumulates window-level scheduler telemetry. It is written only
+	// by beginWindow and the serialized execution paths, both of which run
+	// with every lane quiescent, so it needs no locking. Serial execution
+	// replays the exact window schedule (beginWindow is shared), so the
+	// counters are identical at any core count.
+	sched schedCounters
+
+	// serializedWin is true while executing events of a window the windowed
+	// scheduler would serialize; the serial loop uses it to attribute events
+	// to SerializedEvents exactly as runSerialWindow does.
+	serializedWin bool
+
+	// samplers fire at window starts, between windows, with every lane
+	// quiescent — the one point where periodic observation is race-free and
+	// identically placed in serial and parallel execution.
+	samplers []sampler
+
 	// tasksMu guards the task registry only; it is sim-internal bookkeeping
 	// (deadlock diagnostics) whose lock order never leaks into simulation
 	// outcomes. All simulation state proper is lane-owned and lock-free.
@@ -117,6 +134,12 @@ type laneState struct {
 	// committed to the core's total at the barrier.
 	nEvents uint64
 
+	// events and windows are lifetime telemetry: total events executed on
+	// this lane and windows in which it was dispatched. Both are written only
+	// by the goroutine owning the lane (or the scheduler between windows).
+	events  uint64
+	windows uint64
+
 	// failure records the first failing event of this lane in the current
 	// window; the barrier keeps the one with the smallest event key.
 	failure    error
@@ -128,6 +151,90 @@ type laneState struct {
 type stagedEvent struct {
 	lane int // target lane index
 	ev   event
+}
+
+// schedCounters is the core-owned half of the scheduler telemetry.
+type schedCounters struct {
+	windows           uint64
+	serializedWindows uint64
+	serializedEvents  uint64
+	laneDispatches    uint64
+	maxWindowLanes    int
+}
+
+// sampler is a periodic observation callback. Deadlines are multiples of the
+// period; all deadlines at or before a window's start time fire at that
+// window's start, so observations see exactly the barrier-committed state.
+type sampler struct {
+	period time.Duration
+	next   time.Duration
+	fn     func(at time.Duration)
+}
+
+// SchedStats is a snapshot of the conservative-parallel scheduler's
+// telemetry: how the run decomposed into lookahead windows and how the lanes
+// shared them. All counters are derived from the window schedule, which the
+// serial engine replays exactly, so the snapshot is identical at any core
+// count for the same configuration and seed. Read it after Run returns (or
+// from serialized context).
+type SchedStats struct {
+	// Windows is the number of lookahead windows the schedule decomposed
+	// into; SerializedWindows of them contained global-lane work and ran
+	// single-threaded, with SerializedEvents events executed that way.
+	Windows           uint64
+	SerializedWindows uint64
+	SerializedEvents  uint64
+	// LaneDispatches is the total number of node-lane activations across
+	// parallel windows; LaneDispatches/(Windows-SerializedWindows) is the
+	// mean concurrency the lookahead exposed, MaxWindowLanes its peak.
+	LaneDispatches uint64
+	MaxWindowLanes int
+	// Events is the total committed event count; Lookahead the configured
+	// conservative window width.
+	Events    uint64
+	Lookahead time.Duration
+	// Lanes holds per-node-lane totals, indexed by node.
+	Lanes []LaneSchedStats
+}
+
+// LaneSchedStats is one node lane's share of the schedule: events executed
+// and windows in which the lane was dispatched (its busy-window count —
+// virtual busy time is bounded by Windows×Lookahead).
+type LaneSchedStats struct {
+	Events  uint64
+	Windows uint64
+}
+
+// SchedStats returns the scheduler telemetry snapshot.
+func (e *Engine) SchedStats() SchedStats {
+	c := e.c
+	s := SchedStats{
+		Windows:           c.sched.windows,
+		SerializedWindows: c.sched.serializedWindows,
+		SerializedEvents:  c.sched.serializedEvents,
+		LaneDispatches:    c.sched.laneDispatches,
+		MaxWindowLanes:    c.sched.maxWindowLanes,
+		Events:            c.nEvents,
+		Lookahead:         c.lookahead,
+	}
+	for _, l := range c.lanes[1:] {
+		s.Lanes = append(s.Lanes, LaneSchedStats{Events: l.events, Windows: l.windows})
+	}
+	return s
+}
+
+// AddSampler registers fn to fire for every elapsed multiple of period, at
+// the start of the scheduler window that first reaches each deadline. The
+// callback runs between windows with every lane quiescent, so it may read
+// any simulation state without racing lane execution; at is the deadline
+// being served (≤ the window start). Serial execution replays the window
+// schedule, so firing points — and the state observed — are identical at any
+// core count. Samplers stop naturally when the event queues drain.
+func (e *Engine) AddSampler(period time.Duration, fn func(at time.Duration)) {
+	if period <= 0 {
+		return
+	}
+	e.c.samplers = append(e.c.samplers, sampler{period: period, next: period, fn: fn})
 }
 
 // eventKey is the total order over events: (at, target lane, creator lane,
@@ -489,10 +596,58 @@ func (l *laneState) cancelTomb(t *tombstone) {
 	}
 }
 
+// beginWindow opens the scheduler window starting at T: it fires every
+// sampler deadline the window start has reached, publishes the window bound,
+// decides whether the window must serialize (global-lane work pending before
+// the bound), collects the active node lanes otherwise, and records the
+// scheduler telemetry. It runs with every lane quiescent. The serial loop
+// calls it at exactly the points where the windowed scheduler would — the
+// pending-event sets are equal there — so telemetry and sampler observations
+// are identical at any core count.
+func (c *engineCore) beginWindow(T time.Duration) (serialize bool, active []*laneState) {
+	for i := range c.samplers {
+		s := &c.samplers[i]
+		for s.next <= T {
+			s.fn(s.next)
+			s.next += s.period
+		}
+	}
+	end := T + c.lookahead
+	c.windowEnd = end
+	c.sched.windows++
+
+	// A window containing global-lane work runs serially: global events may
+	// touch any lane's state, so nothing else may run beside them.
+	c.lanes[0].skipTombs()
+	if c.lanes[0].heap.Len() > 0 && c.lanes[0].heap[0].at < end {
+		c.sched.serializedWindows++
+		c.serializedWin = true
+		return true, nil
+	}
+	c.serializedWin = false
+	for _, l := range c.lanes[1:] {
+		l.skipTombs()
+		if l.heap.Len() > 0 && l.heap[0].at < end {
+			active = append(active, l)
+			l.windows++
+		}
+	}
+	c.sched.laneDispatches += uint64(len(active))
+	if len(active) > c.sched.maxWindowLanes {
+		c.sched.maxWindowLanes = len(active)
+	}
+	return false, active
+}
+
 // runSerial is the classic single-threaded loop: pop the globally smallest
 // event, advance the clock, execute. It is the cores=1 fast path and the
-// reference order the parallel scheduler must reproduce.
+// reference order the parallel scheduler must reproduce. When lanes and a
+// lookahead are configured it additionally replays the window schedule —
+// opening each window the parallel scheduler would open, at the same heap
+// state — so sampler firings and scheduler telemetry match the windowed
+// engine exactly without changing the event order.
 func (c *engineCore) runSerial() error {
+	windows := len(c.lanes) > 1 && c.lookahead > 0
 	for {
 		if c.failure != nil {
 			return c.failure
@@ -504,10 +659,17 @@ func (c *engineCore) runSerial() error {
 		if c.limit != 0 && c.nEvents >= c.limit {
 			return fmt.Errorf("%w (limit %d)", ErrEventLimit, c.limit)
 		}
+		if windows && l.heap[0].at >= c.windowEnd {
+			c.beginWindow(l.heap[0].at)
+		}
 		ev := l.heap.pop()
 		c.now = ev.at
 		l.now = ev.at
 		c.nEvents++
+		l.events++
+		if c.serializedWin {
+			c.sched.serializedEvents++
+		}
 		c.execSerial(l, ev)
 	}
 }
@@ -539,29 +701,13 @@ func (c *engineCore) runWindowed() error {
 		if first == nil {
 			return nil
 		}
-		first.skipTombs()
-		T := first.heap[0].at
-		end := T + c.lookahead
-		c.windowEnd = end
-
-		// A window containing global-lane work runs serially: global events
-		// may touch any lane's state, so nothing else may run beside them.
-		c.lanes[0].skipTombs()
-		serialize := c.lanes[0].heap.Len() > 0 && c.lanes[0].heap[0].at < end
+		serialize, active := c.beginWindow(first.heap[0].at)
+		end := c.windowEnd
 		if serialize {
 			if err := c.runSerialWindow(end); err != nil {
 				return err
 			}
 			continue
-		}
-
-		// Collect the node lanes with work in the window.
-		var active []*laneState
-		for _, l := range c.lanes[1:] {
-			l.skipTombs()
-			if l.heap.Len() > 0 && l.heap[0].at < end {
-				active = append(active, l)
-			}
 		}
 		if len(active) == 1 {
 			// One lane: run it inline, skipping the handoff.
@@ -614,6 +760,8 @@ func (c *engineCore) runSerialWindow(end time.Duration) error {
 		c.now = ev.at
 		l.now = ev.at
 		c.nEvents++
+		l.events++
+		c.sched.serializedEvents++
 		ev.fn()
 	}
 }
@@ -638,6 +786,7 @@ func (c *engineCore) runLane(l *laneState, end time.Duration) {
 		ev := l.heap.pop()
 		l.now = ev.at
 		l.nEvents++
+		l.events++
 		ev.fn()
 		if l.failure != nil {
 			return

@@ -1,0 +1,170 @@
+package dex_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"dex"
+	"dex/internal/apps"
+	"dex/internal/chaos"
+)
+
+// These tests pin the lane-safe observability property: attaching a recorder
+// no longer clamps the simulator to the serial scheduler, and for the same
+// configuration and seed the full run outcome — the application result, the
+// core.Report (scheduler telemetry included), the rendered Perfetto trace,
+// and the metrics summary — is byte-identical between -cores 1 and -cores 4.
+
+// runTracedApp executes one application with a recorder attached at an
+// explicit simulator core count and renders the trace and metrics bytes.
+func runTracedApp(t *testing.T, app apps.App, cfg apps.Config, cores int) (apps.Result, []byte, []byte) {
+	t.Helper()
+	rec := dex.NewRecorder()
+	cfg.Opts = append(append([]dex.Option(nil), cfg.Opts...),
+		dex.WithObserver(rec), dex.WithCores(cores))
+	res, err := app.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s cores=%d: %v", app.Name, cores, err)
+	}
+	var trace, metrics bytes.Buffer
+	if err := rec.WriteTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteMetrics(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return res, trace.Bytes(), metrics.Bytes()
+}
+
+func requireIdenticalTraced(t *testing.T, label string, app apps.App, cfg apps.Config) {
+	t.Helper()
+	serial, strace, smetrics := runTracedApp(t, app, cfg, 1)
+	parallel, ptrace, pmetrics := runTracedApp(t, app, cfg, 4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("%s: traced result diverged between cores=1 and cores=4:\nserial:   %+v\nparallel: %+v",
+			label, serial, parallel)
+	}
+	if !bytes.Equal(strace, ptrace) {
+		t.Fatalf("%s: trace bytes diverged between cores=1 and cores=4 (%d vs %d bytes)",
+			label, len(strace), len(ptrace))
+	}
+	if !bytes.Equal(smetrics, pmetrics) {
+		t.Fatalf("%s: metrics bytes diverged between cores=1 and cores=4:\nserial:\n%s\nparallel:\n%s",
+			label, smetrics, pmetrics)
+	}
+	if len(strace) < 1000 {
+		t.Fatalf("%s: trace suspiciously small (%d bytes)", label, len(strace))
+	}
+}
+
+// TestTracedParallelByteIdenticalAllApps is the tentpole guarantee at full
+// width: every application, traced, produces identical reports and
+// byte-identical trace/metrics output at any core count.
+func TestTracedParallelByteIdenticalAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep")
+	}
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			cfg := apps.Config{Nodes: 4, Variant: apps.Optimized}
+			requireIdenticalTraced(t, app.Name, app, cfg)
+		})
+	}
+}
+
+// TestTracedParallelByteIdenticalProtocols covers both coherence policies;
+// home-migrate still clamps to serial, which must be export-invisible.
+func TestTracedParallelByteIdenticalProtocols(t *testing.T) {
+	app, _ := apps.ByName("kmn")
+	for _, proto := range []dex.Protocol{dex.WriteInvalidate, dex.HomeMigrate} {
+		cfg := apps.Config{
+			Nodes:   3,
+			Variant: apps.Optimized,
+			Opts:    []dex.Option{dex.WithProtocol(proto)},
+		}
+		requireIdenticalTraced(t, proto.String(), app, cfg)
+	}
+}
+
+// TestTracedParallelByteIdenticalChaos repeats the byte-identity property
+// under a fault plan exercising the recovery paths (drops, a partition, a
+// node crash with checkpoint/restart), then checks the recovery-lifecycle
+// span kinds actually appear in the trace.
+func TestTracedParallelByteIdenticalChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep")
+	}
+	plan := &dex.ChaosPlan{
+		Seed: 11,
+		Drop: []chaos.LinkRule{{Src: chaos.Any, Dst: chaos.Any, Prob: 0.05}},
+		Dup:  []chaos.LinkRule{{Src: chaos.Any, Dst: chaos.Any, Prob: 0.1}},
+		Partitions: []chaos.Partition{
+			{A: []int{0, 1}, B: []int{2, 3}, From: chaos.Duration(2 * time.Millisecond), To: chaos.Duration(4 * time.Millisecond)},
+		},
+		Crashes: []chaos.Crash{{Node: 3, At: chaos.Duration(6 * time.Millisecond)}},
+	}
+	app, _ := apps.ByName("kmn")
+	cfg := apps.Config{
+		Nodes:          4,
+		ThreadsPerNode: 4,
+		Variant:        apps.Optimized,
+		Restart:        true,
+		Opts:           []dex.Option{dex.WithChaos(plan)},
+	}
+	serial, strace, smetrics := runTracedApp(t, app, cfg, 1)
+	parallel, ptrace, pmetrics := runTracedApp(t, app, cfg, 4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("chaos traced result diverged between cores=1 and cores=4:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+	if !bytes.Equal(strace, ptrace) || !bytes.Equal(smetrics, pmetrics) {
+		t.Fatalf("chaos trace/metrics bytes diverged between cores=1 and cores=4 (trace %d vs %d bytes)",
+			len(strace), len(ptrace))
+	}
+	for _, kind := range []string{
+		`"retransmit"`, `"node.crash"`, `"node.dead"`, `"thread.restart"`, `"checkpoint"`,
+	} {
+		if !bytes.Contains(strace, []byte(kind)) {
+			t.Errorf("recovery span kind %s missing from chaos trace", kind)
+		}
+	}
+}
+
+// TestSchedTelemetry checks the Report.Sched counters of a traced parallel
+// run: the window machinery actually ran, the per-lane stats cover every
+// node, and the figures equal the serial engine's window-schedule emulation
+// (covered field-for-field by the DeepEqual tests above; here we pin basic
+// shape and non-triviality).
+func TestSchedTelemetry(t *testing.T) {
+	app, _ := apps.ByName("bfs")
+	cfg := apps.Config{Nodes: 4, Variant: apps.Optimized}
+	res, trace, _ := runTracedApp(t, app, cfg, 4)
+	s := res.Report.Sched
+	if s.Windows == 0 || s.Events == 0 || s.LaneDispatches == 0 {
+		t.Fatalf("scheduler telemetry empty: %+v", s)
+	}
+	if s.Lookahead <= 0 {
+		t.Fatalf("lookahead not reported: %+v", s)
+	}
+	if len(s.Lanes) != cfg.Nodes {
+		t.Fatalf("got %d lane stats, want %d", len(s.Lanes), cfg.Nodes)
+	}
+	var laneEvents uint64
+	for _, l := range s.Lanes {
+		laneEvents += l.Events
+	}
+	if laneEvents == 0 || laneEvents > s.Events {
+		t.Fatalf("lane event counts inconsistent: lanes=%d total=%d", laneEvents, s.Events)
+	}
+	if s.MaxWindowLanes < 1 || s.MaxWindowLanes > cfg.Nodes {
+		t.Fatalf("MaxWindowLanes out of range: %+v", s)
+	}
+	for _, gauge := range []string{`"sched.windows"`, `"sched.serialized_windows"`, `"sched.lane_dispatches"`} {
+		if !bytes.Contains(trace, []byte(gauge)) {
+			t.Errorf("scheduler gauge %s missing from trace", gauge)
+		}
+	}
+}
