@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check bench artifacts chaos-smoke trace-smoke
+.PHONY: all build test race vet lint check bench artifacts chaos-smoke trace-smoke serve-smoke
 
 all: check
 
@@ -58,6 +58,21 @@ chaos-smoke:
 	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -crash 3ms -restart -fail-under 1 > /dev/null
 	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -crash 3ms -restart -fail-under 1 -protocol home > /dev/null
 	rm -f chaos1.txt chaos2.txt chaos4.txt chaos-hm1.txt chaos-hm2.txt
+
+# serve-smoke exercises the serving subsystem end to end: the default SLO
+# table must match the committed golden, reproduce byte-for-byte across
+# reruns and at -cores 4, and a crash+restart run must complete with its
+# exactly-once accounting intact (serve.Run fails the run otherwise).
+serve-smoke:
+	$(GO) run ./cmd/dexserve > serve1.txt
+	cmp serve1.txt cmd/dexserve/testdata/golden.txt
+	$(GO) run ./cmd/dexserve > serve2.txt
+	cmp serve1.txt serve2.txt
+	$(GO) run ./cmd/dexserve -cores 4 > serve4.txt
+	cmp serve1.txt serve4.txt
+	$(GO) run ./cmd/dexserve -nodes 3 -crash 10ms -restart > /dev/null
+	$(GO) run ./cmd/dexserve -nodes 3 -crash 10ms -restart -protocol home > /dev/null
+	rm -f serve1.txt serve2.txt serve4.txt
 
 # trace-smoke records a traced run serially and at -cores 4 and compares
 # the trace bytes (the lane-sharded recorder must merge deterministically),

@@ -88,6 +88,10 @@ func BenchmarkAblationVMA(b *testing.B)        { benchExperiment(b, "ablation-vm
 func BenchmarkAblationUpgrade(b *testing.B)    { benchExperiment(b, "ablation-upgrade") }
 func BenchmarkAblationAlignment(b *testing.B)  { benchExperiment(b, "ablation-alignment") }
 
+// BenchmarkServeSLO regenerates the serving-layer SLO table (S1): live
+// traffic under both protocols, clean and crash+restart.
+func BenchmarkServeSLO(b *testing.B) { benchExperiment(b, "serve") }
+
 // Library micro-benchmarks: wall-clock cost of simulating the core
 // mechanisms (ns/op is simulator speed; the *-us metrics are virtual time).
 

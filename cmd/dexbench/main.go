@@ -56,6 +56,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
+	if *cores < 1 {
+		return fmt.Errorf("-cores %d: simulator needs at least 1 core", *cores)
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel %d: cannot be negative", *parallel)
+	}
 	sz := apps.SizeTest
 	if *size == "full" {
 		sz = apps.SizeFull

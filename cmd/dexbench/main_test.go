@@ -34,6 +34,15 @@ func TestBenchUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestBenchBadFlags(t *testing.T) {
+	if err := run([]string{"-cores", "0"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("-cores 0 accepted")
+	}
+	if err := run([]string{"-parallel", "-1"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("-parallel -1 accepted")
+	}
+}
+
 // TestBenchGoldenBytes pins the full test-size table set to committed
 // golden bytes: any change to simulation behaviour — including one caused
 // by wiring the observability layer through the hot paths — shows up as a

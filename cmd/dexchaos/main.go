@@ -72,9 +72,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *failUnder < 0 || *failUnder > 1 {
 		return fmt.Errorf("-fail-under %g out of range [0,1]", *failUnder)
 	}
+	if *nodes < 1 {
+		return fmt.Errorf("-nodes %d: cluster needs at least 1 node", *nodes)
+	}
+	if *threads < 1 {
+		return fmt.Errorf("-threads %d: need at least 1 thread per node", *threads)
+	}
+	if *cores < 1 {
+		return fmt.Errorf("-cores %d: simulator needs at least 1 core", *cores)
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel %d: cannot be negative", *parallel)
+	}
 	app, ok := apps.ByName(*appName)
 	if !ok {
 		return fmt.Errorf("unknown application %q (see dexrun -list)", *appName)
+	}
+	if *restart && !app.Restartable {
+		return fmt.Errorf("-restart: %s does not support checkpoint/restart (supported: %s)",
+			app.Name, strings.Join(apps.Restartable(), ", "))
 	}
 	sz := apps.SizeTest
 	switch *size {

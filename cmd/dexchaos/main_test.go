@@ -153,4 +153,15 @@ func TestChaosBadFlags(t *testing.T) {
 	if err := run([]string{"-size", "bogus"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown size accepted")
 	}
+	for _, bad := range [][]string{
+		{"-nodes", "0"},
+		{"-threads", "0"},
+		{"-cores", "0"},
+		{"-parallel", "-1"},
+		{"-app", "ep", "-restart"},
+	} {
+		if err := run(bad, io.Discard, io.Discard); err == nil {
+			t.Fatalf("bad flags accepted: %v", bad)
+		}
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dex"
@@ -47,7 +48,7 @@ func run(args []string) error {
 		traceOut = fs.String("trace", "", "write Perfetto trace-event JSON to this file")
 		chaosFn  = fs.String("chaos", "", "JSON fault-injection plan to run the application under")
 		protocol = fs.String("protocol", "wi", "coherence protocol: wi (write-invalidate) | home (home-migrate)")
-		restart  = fs.Bool("restart", false, "run checkpoint/restart-capable workers (kmn): threads lost to a crash resume from their last checkpoint")
+		restart  = fs.Bool("restart", false, "run checkpoint/restart-capable workers ("+strings.Join(apps.Restartable(), ", ")+"): threads lost to a crash resume from their last checkpoint")
 		metrics  = fs.Bool("metrics", false, "print latency histogram summaries after the run")
 		jsonOut  = fs.Bool("json", false, "emit the run report as JSON instead of text")
 	)
@@ -55,14 +56,31 @@ func run(args []string) error {
 		return err
 	}
 	if *list {
-		for _, a := range apps.All() {
-			fmt.Printf("%-5s %s\n", a.Name, a.Desc)
+		for _, a := range apps.Registry() {
+			mark := ""
+			if a.Restartable {
+				mark = "  [-restart]"
+			}
+			fmt.Printf("%-5s %s%s\n", a.Name, a.Desc, mark)
 		}
 		return nil
+	}
+	if *nodes < 1 {
+		return fmt.Errorf("-nodes %d: cluster needs at least 1 node", *nodes)
+	}
+	if *threads < 1 {
+		return fmt.Errorf("-threads %d: need at least 1 thread per node", *threads)
+	}
+	if *cores < 1 {
+		return fmt.Errorf("-cores %d: simulator needs at least 1 core", *cores)
 	}
 	app, ok := apps.ByName(*appName)
 	if !ok {
 		return fmt.Errorf("unknown application %q (use -list)", *appName)
+	}
+	if *restart && !app.Restartable {
+		return fmt.Errorf("-restart: %s does not support checkpoint/restart (supported: %s)",
+			app.Name, strings.Join(apps.Restartable(), ", "))
 	}
 	cfg := apps.Config{Nodes: *nodes, ThreadsPerNode: *threads, Seed: *seed, Restart: *restart}
 	if *cores > 1 {

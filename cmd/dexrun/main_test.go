@@ -105,6 +105,23 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-app", "ep", "-size", "bogus"}); err == nil {
 		t.Fatal("unknown size accepted")
 	}
+	for _, bad := range [][]string{
+		{"-app", "ep", "-nodes", "0"},
+		{"-app", "ep", "-nodes", "-2"},
+		{"-app", "ep", "-threads", "0"},
+		{"-app", "ep", "-cores", "0"},
+	} {
+		if err := run(bad); err == nil {
+			t.Fatalf("bad flags accepted: %v", bad)
+		}
+	}
+	err := run([]string{"-app", "ep", "-restart"})
+	if err == nil {
+		t.Fatal("-restart accepted for an app without checkpoint support")
+	}
+	if !strings.Contains(err.Error(), "kmn") || !strings.Contains(err.Error(), "srv") {
+		t.Fatalf("-restart error does not list the capable apps: %v", err)
+	}
 }
 
 func TestRunProtocolFlag(t *testing.T) {

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI and returns its stdout bytes.
+func capture(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out, io.Discard); err != nil {
+		t.Fatalf("dexserve %v: %v", args, err)
+	}
+	return out.Bytes()
+}
+
+// TestServeGoldenBytes pins the default table to committed golden bytes:
+// any drift in the generator, the serving path, or the simulator shows up
+// as a diff. Regenerate with:
+//
+//	go run ./cmd/dexserve > cmd/dexserve/testdata/golden.txt
+func TestServeGoldenBytes(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := capture(t)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestServeByteIdentical is the CLI-level determinism claim: repeated
+// runs, -cores widths, and tracing all yield the same stdout bytes.
+func TestServeByteIdentical(t *testing.T) {
+	base := capture(t, "-nodes", "3", "-tenants", "3", "-seed", "9")
+	if again := capture(t, "-nodes", "3", "-tenants", "3", "-seed", "9"); !bytes.Equal(base, again) {
+		t.Fatal("two identical invocations differ")
+	}
+	if cores4 := capture(t, "-nodes", "3", "-tenants", "3", "-seed", "9", "-cores", "4"); !bytes.Equal(base, cores4) {
+		t.Fatal("-cores 4 changed the output bytes")
+	}
+	tr := filepath.Join(t.TempDir(), "trace.json")
+	if traced := capture(t, "-nodes", "3", "-tenants", "3", "-seed", "9", "-trace", tr); !bytes.Equal(base, traced) {
+		t.Fatal("-trace changed the output bytes")
+	}
+	if fi, err := os.Stat(tr); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+}
+
+// TestServeCrashRestart drives the acceptance scenario end to end through
+// the CLI: a mid-traffic crash with -restart completes, reports restarts,
+// and still accounts every admitted request exactly once.
+func TestServeCrashRestart(t *testing.T) {
+	out := capture(t, "-nodes", "2", "-crash", "10ms", "-restart")
+	s := string(out)
+	if !strings.Contains(s, "exactly-once:") {
+		t.Fatalf("no exactly-once line:\n%s", s)
+	}
+	if strings.Contains(s, "restarts=0") {
+		t.Fatalf("crash run reports zero restarts:\n%s", s)
+	}
+	// The same flags must reproduce the same bytes.
+	if again := capture(t, "-nodes", "2", "-crash", "10ms", "-restart"); !bytes.Equal(out, again) {
+		t.Fatal("chaos run not reproducible")
+	}
+}
+
+// TestServeJSON checks the machine-readable output round-trips and agrees
+// with the table run's accounting.
+func TestServeJSON(t *testing.T) {
+	out := capture(t, "-json")
+	var rep struct {
+		Tenants []struct {
+			Admitted int `json:"admitted"`
+			Served   int `json:"served"`
+		} `json:"tenants"`
+		Fingerprint string `json:"spec_fingerprint"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(rep.Tenants) != 2 || rep.Fingerprint == "" {
+		t.Fatalf("unexpected JSON document: %+v", rep)
+	}
+	for _, ts := range rep.Tenants {
+		if ts.Served != ts.Admitted {
+			t.Fatalf("served %d != admitted %d", ts.Served, ts.Admitted)
+		}
+	}
+}
+
+// TestServeBadFlags covers the rejection paths.
+func TestServeBadFlags(t *testing.T) {
+	for _, bad := range [][]string{
+		{"-nodes", "0"},
+		{"-tenants", "0"},
+		{"-cores", "0"},
+		{"-size", "bogus"},
+		{"-protocol", "bogus"},
+		{"-nodes", "1", "-crash", "1ms"},
+		{"-chaos", "nope.json", "-crash", "1ms"},
+		{"-chaos", "does-not-exist.json"},
+	} {
+		if err := run(bad, io.Discard, io.Discard); err == nil {
+			t.Fatalf("bad flags accepted: %v", bad)
+		}
+	}
+}

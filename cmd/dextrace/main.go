@@ -264,6 +264,9 @@ func printPercentiles(spans []span) {
 		"retransmit", "dedup.reserve", "dedup.reack", "checkpoint",
 		"lease.suspect", "node.crash", "node.dead", "thread.restart", "revoke.apply",
 		"hm.redirect", "hm.failover", "hm.rehome", "hm.pull",
+		// Serving-layer span kinds (internal/serve): req.serve carries the
+		// full arrival-to-completion request latency.
+		"req.serve", "req.shed", "req.retry",
 	}
 	byName := map[string][]time.Duration{}
 	for _, s := range spans {

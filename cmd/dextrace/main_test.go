@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -76,6 +78,41 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-timeline", "9", path}); err == nil {
 		t.Error("timeline for absent node accepted")
+	}
+}
+
+// TestServeFamiliesReported checks the serving-layer span kinds are part
+// of the percentile families: a trace holding req.* spans must produce
+// latency rows for them.
+func TestServeFamiliesReported(t *testing.T) {
+	serveTrace := `{"displayTimeUnit":"ns","traceEvents":[
+{"name":"req.serve","cat":"serve","ph":"X","ts":5.000,"dur":40.000,"pid":1,"tid":7,"args":{"tenant":"0"}},
+{"name":"req.serve","cat":"serve","ph":"X","ts":9.000,"dur":60.000,"pid":1,"tid":7},
+{"name":"req.shed","cat":"serve","ph":"X","ts":11.000,"dur":0.000,"pid":0,"tid":3,"args":{"why":"429"}},
+{"name":"req.retry","cat":"serve","ph":"X","ts":20.000,"dur":1.000,"pid":0,"tid":3}
+]}
+`
+	path := filepath.Join(t.TempDir(), "serve.json")
+	if err := os.WriteFile(path, []byte(serveTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{path})
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, fam := range []string{"req.serve", "req.shed", "req.retry"} {
+		if !strings.Contains(string(out), fam) {
+			t.Fatalf("percentile output missing %s family:\n%s", fam, out)
+		}
 	}
 }
 

@@ -296,6 +296,12 @@ func NewCluster(nodes int, opts ...Option) *Cluster {
 // Nodes returns the number of machines in the cluster.
 func (c *Cluster) Nodes() int { return c.machine.Nodes() }
 
+// FaultInjection reports whether a non-empty chaos plan is attached to the
+// cluster. Fault-tolerant applications use it to decide whether to pay for
+// durability work that only matters when state can actually be lost (e.g.
+// gating in-flight-slot reuse on checkpoint coverage).
+func (c *Cluster) FaultInjection() bool { return c.params.Chaos != nil }
+
 // Machine exposes the underlying runtime for advanced use (experiment
 // harnesses, tests).
 func (c *Cluster) Machine() *core.Machine { return c.machine }

@@ -68,10 +68,11 @@ type Config struct {
 	Size           Size
 	Seed           int64
 	// Restart runs checkpoint/restart-capable workers where the app
-	// supports them (currently kmn): each worker checkpoints at iteration
-	// boundaries and, if its node is declared dead under fault injection,
-	// is re-spawned at the origin from the checkpoint instead of failing
-	// the run. A no-op without a chaos plan.
+	// supports them (the entries of Registry with Restartable set): each
+	// worker checkpoints at natural boundaries and, if its node is
+	// declared dead under fault injection, is re-spawned at the origin
+	// from the checkpoint instead of failing the run. A no-op without a
+	// chaos plan.
 	Restart bool
 	// Opts are extra cluster options (e.g. dex.WithTrace for profiling).
 	Opts []dex.Option
@@ -131,13 +132,16 @@ type App struct {
 	Name string
 	Desc string
 	Run  func(cfg Config) (Result, error)
+	// Restartable marks apps whose workers honour Config.Restart with
+	// checkpoint/restart recovery under fault injection.
+	Restartable bool
 }
 
 // All returns the eight applications in the paper's order.
 func All() []App {
 	return []App{
 		{Name: "grp", Desc: "string match over a text corpus (Phoenix)", Run: RunGRP},
-		{Name: "kmn", Desc: "k-means clustering (Phoenix)", Run: RunKMN},
+		{Name: "kmn", Desc: "k-means clustering (Phoenix)", Run: RunKMN, Restartable: true},
 		{Name: "bt", Desc: "NPB BT block-tridiagonal solver (OpenMP, 15 regions)", Run: RunBT},
 		{Name: "ep", Desc: "NPB EP embarrassingly parallel (OpenMP, 1 region)", Run: RunEP},
 		{Name: "ft", Desc: "NPB FT 2-D FFT with all-to-all transposes (OpenMP, 7 regions)", Run: RunFT},
@@ -147,9 +151,30 @@ func All() []App {
 	}
 }
 
-// ByName looks up an application.
+// Registry returns every runnable program: the paper's eight benchmark
+// applications of All plus the serving workload, which is not part of the
+// §V benchmark suite but shares the same runner interface.
+func Registry() []App {
+	return append(All(),
+		App{Name: "srv", Desc: "multi-tenant KV/aggregation serving with SLO report (internal/serve)", Run: RunSRV, Restartable: true},
+	)
+}
+
+// Restartable lists the names of registry entries that honour
+// Config.Restart, in registry order.
+func Restartable() []string {
+	var names []string
+	for _, a := range Registry() {
+		if a.Restartable {
+			names = append(names, a.Name)
+		}
+	}
+	return names
+}
+
+// ByName looks up a program in the registry.
 func ByName(name string) (App, bool) {
-	for _, a := range All() {
+	for _, a := range Registry() {
 		if a.Name == name {
 			return a, true
 		}

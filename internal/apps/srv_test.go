@@ -1,0 +1,53 @@
+package apps
+
+import "testing"
+
+// TestSRVRegistered checks the serving workload rides the registry (but
+// not the paper's eight-app benchmark suite) and reports itself
+// restartable.
+func TestSRVRegistered(t *testing.T) {
+	reg := Registry()
+	if len(reg) != len(All())+1 {
+		t.Fatalf("Registry() has %d entries, want %d", len(reg), len(All())+1)
+	}
+	app, ok := ByName("srv")
+	if !ok || !app.Restartable {
+		t.Fatalf("srv missing or not restartable: %+v", app)
+	}
+	for _, a := range All() {
+		if a.Name == "srv" {
+			t.Fatal("srv leaked into the benchmark suite All()")
+		}
+	}
+	names := Restartable()
+	want := map[string]bool{"kmn": true, "srv": true}
+	if len(names) != len(want) {
+		t.Fatalf("Restartable() = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected restartable app %q", n)
+		}
+	}
+}
+
+// TestSRVDigestPlacementIndependent runs the serving workload through the
+// generic runner at two cluster sizes: the answer digest (admitted set,
+// served count, final store state) must not depend on placement.
+func TestSRVDigestPlacementIndependent(t *testing.T) {
+	app, _ := ByName("srv")
+	one, err := app.Run(Config{Nodes: 1, ThreadsPerNode: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := app.Run(Config{Nodes: 3, ThreadsPerNode: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Check == "" || one.Check != three.Check {
+		t.Fatalf("digest placement-dependent: %q vs %q", one.Check, three.Check)
+	}
+	if three.Nodes != 3 || three.Threads != 5 {
+		t.Fatalf("unexpected shape: %+v", three)
+	}
+}

@@ -88,6 +88,38 @@ func (th *Thread) Process() *Process { return th.proc }
 // Now returns the current virtual time.
 func (th *Thread) Now() time.Duration { return th.task.Now() }
 
+// Sleep suspends the thread for d of virtual time without occupying a
+// core — a timer wait (nanosleep/epoll), not a busy spin. The serving
+// layer uses it to pace open-loop request arrivals.
+func (th *Thread) Sleep(d time.Duration) {
+	if d > 0 {
+		th.task.Sleep(d)
+	}
+}
+
+// SleepUntil sleeps until the absolute virtual time at; a no-op if at is
+// not in the future.
+func (th *Thread) SleepUntil(at time.Duration) {
+	if at > th.task.Now() {
+		th.task.SleepUntil(at)
+	}
+}
+
+// EmitSpan records an application-level span on the thread's current node
+// lane, closing at the current virtual time, and feeds the same latency
+// into the recorder's histogram under name. It is a no-op without an
+// observer, and never perturbs the simulation either way — application
+// code can emit spans unconditionally.
+func (th *Thread) EmitSpan(cat, name string, start time.Duration, args ...obs.Arg) {
+	rec := th.proc.m.params.Obs
+	if rec == nil {
+		return
+	}
+	lr := rec.OnLane(th.node)
+	lr.Span(cat, name, th.node, th.id, start, args...)
+	lr.Observe(name, th.task.Now()-start)
+}
+
 // SetSite tags subsequent faults with a source-location label for the
 // page-fault profiler (the paper's "memory address of the faulting
 // instruction", §IV-A, resolved to a program location).

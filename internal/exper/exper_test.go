@@ -22,7 +22,7 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 12 {
+	if len(exps) != 13 {
 		t.Fatalf("got %d experiments", len(exps))
 	}
 	for _, e := range exps {
@@ -32,6 +32,28 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("ByID accepted unknown")
+	}
+}
+
+// TestServeSLOTable checks the serving experiment's shape and its core
+// claim: every row (clean or crash+restart, either protocol) serves
+// exactly what it admits.
+func TestServeSLOTable(t *testing.T) {
+	tb := ServeSLO(nil, apps.SizeTest)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	for _, row := range tb.Rows {
+		if len(row) < 4 {
+			t.Fatalf("experiment cell failed: %v", row)
+		}
+		if row[2] != row[3] {
+			t.Fatalf("row %v: admitted %s != served %s", row[:2], row[2], row[3])
+		}
+	}
+	restarts := tb.Rows[1][8]
+	if restarts == "0" {
+		t.Fatalf("crash+restart row reports no restarts: %v", tb.Rows[1])
 	}
 }
 
