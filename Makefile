@@ -55,9 +55,13 @@ chaos-smoke:
 	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -dup 0.2 -protocol home > chaos-hm1.txt
 	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -dup 0.2 -protocol home > chaos-hm2.txt
 	cmp chaos-hm1.txt chaos-hm2.txt
+	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -dup 0.2 -protocol dist -restart > chaos-dm1.txt
+	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -dup 0.2 -protocol dist -restart -cores 4 > chaos-dm4.txt
+	cmp chaos-dm1.txt chaos-dm4.txt
 	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -crash 3ms -restart -fail-under 1 > /dev/null
 	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -crash 3ms -restart -fail-under 1 -protocol home > /dev/null
-	rm -f chaos1.txt chaos2.txt chaos4.txt chaos-hm1.txt chaos-hm2.txt
+	$(GO) run ./cmd/dexchaos -quiet -app kmn -nodes 3 -threads 4 -drops 0,0.1 -crash 3ms -restart -fail-under 1 -protocol dist > /dev/null
+	rm -f chaos1.txt chaos2.txt chaos4.txt chaos-hm1.txt chaos-hm2.txt chaos-dm1.txt chaos-dm4.txt
 
 # serve-smoke exercises the serving subsystem end to end: the default SLO
 # table must match the committed golden, reproduce byte-for-byte across

@@ -55,7 +55,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dup       = fs.Float64("dup", 0, "duplication probability applied to every cell")
 		delay     = fs.Duration("delay", 0, "delay jitter bound applied to half the messages of every cell")
 		crash     = fs.Duration("crash", 0, "crash the highest node at this virtual time (0 = no crash)")
-		protocol  = fs.String("protocol", "wi", "coherence protocol: wi (write-invalidate) | home (home-migrate)")
+		protocol  = fs.String("protocol", "wi", dex.ProtocolHelp())
 		restart   = fs.Bool("restart", false, "run checkpoint/restart-capable workers: threads lost to a crash resume from their last checkpoint")
 		failUnder = fs.Float64("fail-under", 0, "minimum surviving fraction of cells (0..1); exit non-zero below it")
 		cores     = fs.Int("cores", 1, "simulator cores per cell (conservative-parallel scheduler; output identical at any value)")
@@ -162,13 +162,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "# dexchaos: app=%s nodes=%d threads/node=%d size=%s seed=%d dup=%.3f delay=%v crash=%v%s\n",
 		app.Name, *nodes, *threads, *size, *seed, *dup, *delay, *crash, extra)
-	fmt.Fprintf(stdout, "%-8s %-9s %-14s %-8s %-12s %-8s %-9s %-8s %s\n",
-		"drop", "status", "elapsed", "dropped", "retransmits", "dups", "pages", "threads", "check")
+	fmt.Fprintf(stdout, "%-8s %-9s %-14s %-8s %-12s %-8s %-9s %-8s %-8s %s\n",
+		"drop", "status", "elapsed", "dropped", "retransmits", "dups", "pages", "rebuilt", "threads", "check")
 	survived := 0
 	for _, c := range cells {
 		if c.err != nil {
-			fmt.Fprintf(stdout, "%-8.3f %-9s %-14s %-8s %-12s %-8s %-9s %-8s %s\n",
-				c.rate, "FAIL", "-", "-", "-", "-", "-", "-", "err: "+c.err.Error())
+			fmt.Fprintf(stdout, "%-8.3f %-9s %-14s %-8s %-12s %-8s %-9s %-8s %-8s %s\n",
+				c.rate, "FAIL", "-", "-", "-", "-", "-", "-", "-", "err: "+c.err.Error())
 			continue
 		}
 		survived++
@@ -179,9 +179,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			injected = rep.Chaos.Injected
 			threadsLost = rep.Chaos.ThreadsLost
 		}
-		fmt.Fprintf(stdout, "%-8.3f %-9s %-14v %-8d %-12d %-8d %-9d %-8d %s\n",
+		fmt.Fprintf(stdout, "%-8.3f %-9s %-14v %-8d %-12d %-8d %-9d %-8d %-8d %s\n",
 			c.rate, "ok", c.res.Elapsed, injected.Dropped, rep.DSM.Retransmits,
-			rep.DSM.DupsIgnored, rep.DSM.PagesLost, threadsLost, c.res.Check)
+			rep.DSM.DupsIgnored, rep.DSM.PagesLost, rep.DSM.DirRebuilt, threadsLost, c.res.Check)
 	}
 	if frac := float64(survived) / float64(len(cells)); frac < *failUnder {
 		return fmt.Errorf("survival %d/%d (%.0f%%) below -fail-under %.0f%%",

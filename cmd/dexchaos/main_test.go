@@ -74,6 +74,32 @@ func TestChaosCoresByteIdentical(t *testing.T) {
 	if got := campaign(t, "-cores", "4", "-protocol", "home", "-restart"); got != string(home) {
 		t.Fatalf("dexchaos -cores 4 -protocol home diverged from testdata/golden_home.txt:\n%s", got)
 	}
+	dist, err := os.ReadFile("testdata/golden_dist.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := campaign(t, "-cores", "4", "-protocol", "dist", "-restart"); got != string(dist) {
+		t.Fatalf("dexchaos -cores 4 -protocol dist diverged from testdata/golden_dist.txt:\n%s", got)
+	}
+}
+
+// TestChaosDistGoldenBytes pins the same campaigns under the sharded
+// directory with checkpoint/restart: every cell survives, including the
+// crash campaign — the crashed node is a directory shard, so its slice must
+// be rebuilt (a non-zero rebuilt column) for the survivors to finish.
+// Regenerate with the golden_home.txt recipe with -protocol dist.
+func TestChaosDistGoldenBytes(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden_dist.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := campaign(t, "-protocol", "dist", "-restart")
+	if got != string(golden) {
+		t.Fatalf("distributed-manager output diverged from testdata/golden_dist.txt; regenerate only if the change is intended:\n%s", got)
+	}
+	if strings.Contains(got, "FAIL") {
+		t.Fatalf("distributed-manager campaign with restart must survive every cell:\n%s", got)
+	}
 }
 
 // TestChaosHomeGoldenBytes pins the same campaigns under the home-migrate
@@ -116,7 +142,7 @@ func TestChaosRestartGoldenBytes(t *testing.T) {
 // TestChaosRestartParallelByteIdentical: checkpoint/restart campaigns under
 // both protocols are byte-identical at any worker-pool width.
 func TestChaosRestartParallelByteIdentical(t *testing.T) {
-	for _, proto := range [][]string{{"-restart"}, {"-restart", "-protocol", "home"}} {
+	for _, proto := range [][]string{{"-restart"}, {"-restart", "-protocol", "home"}, {"-restart", "-protocol", "dist"}} {
 		seq := campaign(t, append(proto, "-parallel", "1")...)
 		par := campaign(t, append(proto, "-parallel", "8")...)
 		if seq != par {
@@ -134,6 +160,11 @@ func TestChaosFailUnder(t *testing.T) {
 	}
 	if err := run(append(append([]string(nil), crashArgs...), "-fail-under", "1", "-restart"), io.Discard, io.Discard); err != nil {
 		t.Fatalf("crash campaign with restart failed -fail-under 1: %v", err)
+	}
+	// The sharded directory holds the 100% survival gate even when the
+	// crashed node is a directory shard whose slice must be rebuilt.
+	if err := run(append(append([]string(nil), crashArgs...), "-fail-under", "1", "-restart", "-protocol", "dist"), io.Discard, io.Discard); err != nil {
+		t.Fatalf("dist crash campaign with restart failed -fail-under 1: %v", err)
 	}
 	if err := run([]string{"-fail-under", "1.5"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("out-of-range -fail-under accepted")

@@ -47,7 +47,7 @@ func run(args []string) error {
 		list     = fs.Bool("list", false, "list available applications")
 		traceOut = fs.String("trace", "", "write Perfetto trace-event JSON to this file")
 		chaosFn  = fs.String("chaos", "", "JSON fault-injection plan to run the application under")
-		protocol = fs.String("protocol", "wi", "coherence protocol: wi (write-invalidate) | home (home-migrate)")
+		protocol = fs.String("protocol", "wi", dex.ProtocolHelp())
 		restart  = fs.Bool("restart", false, "run checkpoint/restart-capable workers ("+strings.Join(apps.Restartable(), ", ")+"): threads lost to a crash resume from their last checkpoint")
 		metrics  = fs.Bool("metrics", false, "print latency histogram summaries after the run")
 		jsonOut  = fs.Bool("json", false, "emit the run report as JSON instead of text")

@@ -43,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Int64("seed", 1, "simulation and traffic seed")
 		size     = fs.String("size", "test", "test | full (traffic window and keyspace scale)")
 		cores    = fs.Int("cores", 1, "simulator cores (conservative-parallel scheduler; output identical at any value)")
-		protocol = fs.String("protocol", "wi", "coherence protocol: wi (write-invalidate) | home (home-migrate)")
+		protocol = fs.String("protocol", "wi", dex.ProtocolHelp())
 		chaosFn  = fs.String("chaos", "", "JSON fault-injection plan to serve under")
 		crash    = fs.Duration("crash", 0, "crash the highest node at this virtual traffic time (0 = no crash)")
 		restart  = fs.Bool("restart", false, "spawn shards restartable: a shard lost with its node resumes from its checkpoint")

@@ -264,6 +264,10 @@ func printPercentiles(spans []span) {
 		"retransmit", "dedup.reserve", "dedup.reack", "checkpoint",
 		"lease.suspect", "node.crash", "node.dead", "thread.restart", "revoke.apply",
 		"hm.redirect", "hm.failover", "hm.rehome", "hm.pull",
+		// Sharded-directory span kinds (DistributedManager): lookup
+		// resolution, forwarding-chain bounces, path-compression hint
+		// application, and crashed-shard slice rebuilds.
+		"dist.lookup", "dist.forward", "dist.compress", "dist.rebuild",
 		// Serving-layer span kinds (internal/serve): req.serve carries the
 		// full arrival-to-completion request latency.
 		"req.serve", "req.shed", "req.retry",

@@ -131,3 +131,41 @@ func TestQuantile(t *testing.T) {
 		t.Errorf("empty = %v", got)
 	}
 }
+
+// TestDistFamiliesReported checks the sharded-directory span kinds are part
+// of the percentile families and survive -validate: a trace holding dist.*
+// spans must produce latency rows for them.
+func TestDistFamiliesReported(t *testing.T) {
+	distTrace := `{"displayTimeUnit":"ns","traceEvents":[
+{"name":"dist.lookup","cat":"dsm","ph":"X","ts":2.000,"dur":0.000,"pid":1,"tid":-1,"args":{"vpn":"0x40000"}},
+{"name":"dist.forward","cat":"dsm","ph":"X","ts":5.000,"dur":0.000,"pid":2,"tid":-1,"args":{"home":"1"}},
+{"name":"dist.compress","cat":"dsm","ph":"X","ts":9.000,"dur":0.000,"pid":0,"tid":-1},
+{"name":"dist.rebuild","cat":"dsm","ph":"X","ts":20.000,"dur":3.000,"pid":0,"tid":-1,"args":{"from":"2"}}
+]}
+`
+	path := filepath.Join(t.TempDir(), "dist.json")
+	if err := os.WriteFile(path, []byte(distTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", path}); err != nil {
+		t.Fatalf("-validate rejected dist.* spans: %v", err)
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{path})
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, fam := range []string{"dist.lookup", "dist.forward", "dist.compress", "dist.rebuild"} {
+		if !strings.Contains(string(out), fam) {
+			t.Fatalf("percentile output missing %s family:\n%s", fam, out)
+		}
+	}
+}

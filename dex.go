@@ -137,9 +137,10 @@ func WithSeed(seed int64) Option {
 // lookahead). Reports, stats, and rendered output are byte-identical at any
 // core count — n trades wall-clock time only, never results. n <= 1 (the
 // default) keeps the proven serial loop. The observability recorder
-// (WithObserver) is lane-sharded and runs in parallel; clusters using the
-// page-fault profiler (WithTrace) or the home-migrate protocol clamp back
-// to serial automatically.
+// (WithObserver) is lane-sharded and runs in parallel, and the
+// distributed-manager protocol serves its directory shards on parallel
+// lanes; clusters using the page-fault profiler (WithTrace) or the
+// home-migrate protocol clamp back to serial automatically.
 func WithCores(n int) Option {
 	return optionFunc(func(p *core.Params) { p.Cores = n })
 }
@@ -225,17 +226,31 @@ const (
 	// round trip. Under WithChaos, pages whose home is declared dead are
 	// reclaimed to the origin shard and in-flight requests fail over there.
 	HomeMigrate = dsm.HomeMigrate
+	// DistributedManager hash-shards the ownership directory across every
+	// node: lookups start at a page's static anchor shard, authority follows
+	// the last writer, and departed authority leaves forwarding pointers
+	// that path-compression hints collapse to at most one hop. Shards serve
+	// concurrently (it composes with WithCores), and under WithChaos a
+	// crashed shard's directory slice is rebuilt at each page's live anchor.
+	DistributedManager = dsm.DistributedManager
 )
 
-// ParseProtocol parses a protocol name ("wi", "write-invalidate", "home",
-// "home-migrate") as accepted by dexrun -protocol.
+// ParseProtocol parses a protocol name ("wi", "home", "dist", or the long
+// forms "write-invalidate", "home-migrate", "distributed-manager") as
+// accepted by dexrun -protocol.
 func ParseProtocol(s string) (Protocol, error) { return dsm.ParseProtocol(s) }
 
+// ProtocolNames lists the short names of every registered coherence policy;
+// ProtocolHelp renders the -protocol flag help text used by the commands.
+func ProtocolNames() []string { return dsm.ProtocolNames() }
+func ProtocolHelp() string    { return dsm.ProtocolHelp() }
+
 // WithProtocol selects the coherence policy (default WriteInvalidate).
-// Both policies are hardened against WithChaos fault injection: requests
-// retransmit on loss, duplicates are absorbed idempotently, and under
-// HomeMigrate a dead home's pages are rehomed to the origin with stale
-// home hints invalidated.
+// Every policy is hardened against WithChaos fault injection: requests
+// retransmit on loss, duplicates are absorbed idempotently, and a dead
+// node's directory pages are rehomed — to the origin under HomeMigrate, to
+// each page's live anchor shard under DistributedManager — with stale home
+// hints and forwarding pointers repaired.
 func WithProtocol(proto Protocol) Option {
 	return optionFunc(func(p *core.Params) { p.DSM.Protocol = proto })
 }

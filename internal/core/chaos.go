@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dex/internal/chaos"
+	"dex/internal/dsm"
 	"dex/internal/sim"
 )
 
@@ -99,15 +100,38 @@ func (p *Process) startLeaseMonitor() {
 	p.m.eng.After(period, tick)
 }
 
+// leaseNodes returns the nodes the origin's lease protocol monitors. With
+// the centralized directories (WriteInvalidate, HomeMigrate) only nodes
+// hosting this process's threads hold state the process depends on, so the
+// lease covers the remote workers. Under DistributedManager every node is a
+// directory shard regardless of thread placement: a crashed shard must be
+// detected and declared dead — so its directory slice is rebuilt and
+// anchor lookups fail over — even if no thread ever migrated there.
+func (p *Process) leaseNodes() []int {
+	if p.mgr.Protocol() == dsm.DistributedManager {
+		nodes := make([]int, 0, p.m.params.Nodes-1)
+		for n := 0; n < p.m.params.Nodes; n++ {
+			if n != p.origin {
+				nodes = append(nodes, n)
+			}
+		}
+		return nodes
+	}
+	var nodes []int
+	for _, w := range p.workersInOrder() {
+		nodes = append(nodes, w.node)
+	}
+	return nodes
+}
+
 // leaseTick runs one round of the lease protocol in event context.
 func (p *Process) leaseTick() {
 	now := p.m.eng.Now()
 	timeout := p.m.params.Chaos.LeaseTimeout()
-	for _, w := range p.workersInOrder() {
-		if w.dead {
+	for _, node := range p.leaseNodes() {
+		if p.deadNodes[node] {
 			continue
 		}
-		node := w.node
 		last, ok := p.lastSeen[node]
 		if !ok {
 			// First sight of this worker: arm its lease.
@@ -132,9 +156,9 @@ func (p *Process) leaseTick() {
 		}
 	}
 	var targets []int
-	for _, w := range p.workersInOrder() {
-		if !w.dead {
-			targets = append(targets, w.node)
+	for _, node := range p.leaseNodes() {
+		if !p.deadNodes[node] {
+			targets = append(targets, node)
 		}
 	}
 	if len(targets) == 0 {
@@ -179,13 +203,18 @@ func (p *Process) declareNodeDead(node int) {
 			dead = append(dead, th)
 		}
 	}
-	restartAll := len(dead) > 0
+	restartAll := true
 	for _, th := range dead {
 		if th.restartable == nil || th.ckpt == nil {
 			restartAll = false
 		}
 	}
-	if restartAll {
+	if len(dead) == 0 {
+		// The dead node hosted none of this process's threads — it was
+		// monitored purely as a directory shard. The reclaim above rebuilt
+		// its slice; no thread needs restarting and no synchronization
+		// involved the node, so futexes stay healthy.
+	} else if restartAll {
 		// Every lost thread can come back from a checkpoint: repopulate the
 		// pages whose only copy died with the node from the snapshots, then
 		// re-spawn the threads at the origin. No futex poisoning — the

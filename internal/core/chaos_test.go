@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dex/internal/chaos"
+	"dex/internal/dsm"
 	"dex/internal/mem"
 )
 
@@ -248,5 +249,59 @@ func TestChaosEmptyPlanIsIdenticalToNone(t *testing.T) {
 	}
 	if empty.Chaos != nil {
 		t.Fatal("Report.Chaos non-nil for an empty plan")
+	}
+}
+
+// TestChaosDistDeadShardWithoutWorkers: under DistributedManager a node is
+// a directory shard even when no thread ever migrates to it, so the lease
+// protocol must detect its crash and rebuild its directory slice anyway.
+// All threads stay at the origin; node 2 (an anchor shard for roughly a
+// third of the pages) crashes before any page is touched. Without
+// whole-cluster lease coverage the death is never declared and every fault
+// on a page anchored at the dead shard retries forever.
+func TestChaosDistDeadShardWithoutWorkers(t *testing.T) {
+	plan := &chaos.Plan{
+		Seed:    1,
+		Crashes: []chaos.Crash{{Node: 2, At: chaos.Duration(time.Millisecond)}},
+	}
+	params := DefaultParams(3)
+	params.Chaos = plan
+	params.DSM.Protocol = dsm.DistributedManager
+	m := NewMachine(params)
+	const pages = 32
+	p := m.NewProcess(0, func(th *Thread) error {
+		addr, err := th.Mmap(pages*mem.PageSize, mem.ProtRead|mem.ProtWrite, "buf")
+		if err != nil {
+			return err
+		}
+		th.Compute(2 * time.Millisecond) // let the crash land first
+		for i := mem.Addr(0); i < pages; i++ {
+			if err := th.WriteUint64(addr+i*mem.PageSize, uint64(i)+1); err != nil {
+				return err
+			}
+		}
+		for i := mem.Addr(0); i < pages; i++ {
+			v, err := th.ReadUint64(addr + i*mem.PageSize)
+			if err != nil {
+				return err
+			}
+			if v != uint64(i)+1 {
+				t.Errorf("page %d: read %d, want %d", i, v, uint64(i)+1)
+			}
+		}
+		return nil
+	})
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep := p.Report()
+	if rep.Chaos == nil || rep.Chaos.NodesLost != 1 {
+		t.Fatalf("NodesLost = %+v, want 1 dead node declared", rep.Chaos)
+	}
+	if rep.Chaos.ThreadsLost != 0 {
+		t.Fatalf("ThreadsLost = %d, want 0 (no thread ever ran on the dead shard)", rep.Chaos.ThreadsLost)
+	}
+	if err := p.Manager().CheckInvariants(); err != nil {
+		t.Fatalf("invariants after recovery: %v", err)
 	}
 }

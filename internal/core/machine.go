@@ -188,11 +188,14 @@ func NewMachine(params Params) *Machine {
 	}
 	// Serialization clamps. User fault hooks observe events from whichever
 	// lane triggers them with no sharding discipline, and HomeMigrate serves
-	// page requests (mutating shared directory state) at arbitrary nodes;
-	// both are correct only under serial execution. The observability
-	// recorder is lane-sharded (each lane appends only to its own buffer,
-	// merged deterministically at export) and no longer clamps. Lanes are
-	// still configured identically so the event order — and every report —
+	// page requests (mutating entries of the shared directory tree) at
+	// arbitrary nodes; both are correct only under serial execution. The
+	// observability recorder is lane-sharded (each lane appends only to its
+	// own buffer, merged deterministically at export) and no longer clamps.
+	// DistributedManager does not clamp either: its directory is sharded
+	// into per-node tables that only their own lane (or the quiescent
+	// global lane) mutates, so shards serve concurrently. Lanes are still
+	// configured identically so the event order — and every report —
 	// matches what the parallel scheduler produces for the same workload.
 	if params.Hook != nil || params.DSM.Protocol == dsm.HomeMigrate {
 		cores = 1

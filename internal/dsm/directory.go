@@ -92,6 +92,12 @@ const (
 	// that node the sole owner (HomeMigrate dead-home recovery: the old home
 	// died, ownership is reclaimed to the origin shard).
 	EvRehome
+	// EvAdoptHome materializes directory authority at a node that has just
+	// installed a migrated write grant (DistributedManager only): the entry
+	// is freshly constructed in the adopting node's shard table, with the
+	// adopter as home and sole exclusive owner. The old home's copy of the
+	// record is retired separately, behind a forwarding pointer.
+	EvAdoptHome
 
 	eventCount
 )
@@ -118,6 +124,8 @@ func (e Event) String() string {
 		return "ReclaimHome"
 	case EvRehome:
 		return "Rehome"
+	case EvAdoptHome:
+		return "AdoptHome"
 	default:
 		return fmt.Sprintf("Event(%d)", uint8(e))
 	}
@@ -129,6 +137,7 @@ func (e Event) String() string {
 var legalTransitions = [pageStateCount][eventCount]bool{
 	StateInvalid: {
 		EvFirstTouch: true,
+		EvAdoptHome:  true, // install-time authority adoption (DistributedManager)
 	},
 	StateSharedRead: {
 		EvBegin:     true,
@@ -177,6 +186,14 @@ type dirEntry struct {
 	home   int
 	owners uint64 // bitmask of nodes holding a valid copy
 	writer int    // exclusive owner, or -1
+	// epoch counts home handoffs under DistributedManager (zero elsewhere).
+	// Every piece of routing information — grant replies, redirects,
+	// revocation-carried hints, compression hints — is stamped with the
+	// epoch of the home it names, and nodes reject updates older than what
+	// they already believe. Because a handoff strictly increases the epoch,
+	// forwarding pointers form an acyclic graph and every chain walk
+	// terminates.
+	epoch uint64
 }
 
 func newDirEntry(home int) *dirEntry {
@@ -335,6 +352,18 @@ func (d *dirEntry) rehome(newHome int) {
 	} else {
 		d.state = StateSharedRead
 	}
+	d.check()
+}
+
+// adoptHome materializes directory authority for a freshly migrated write
+// grant at node (DistributedManager): the adopter becomes home and sole
+// exclusive owner. The caller has already installed the granted frame.
+func (d *dirEntry) adoptHome(node int) {
+	d.step(EvAdoptHome)
+	d.home = node
+	d.owners = 1 << uint(node)
+	d.writer = node
+	d.state = StateExclusiveWrite
 	d.check()
 }
 

@@ -1,0 +1,322 @@
+package dsm
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dex/internal/mem"
+	"dex/internal/sim"
+)
+
+func distParams() Params {
+	p := DefaultParams()
+	p.Protocol = DistributedManager
+	return p
+}
+
+// addrAnchoredAt scans the test heap for a page whose static anchor shard is
+// the given node, so tests can place directory entries deterministically.
+func addrAnchoredAt(t *testing.T, m *Manager, shard int) mem.Addr {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		a := mem.Addr(0x40000000 + i*mem.PageSize)
+		if m.shardOf(a.VPN()) == shard {
+			return a
+		}
+	}
+	t.Fatalf("no page in the test heap anchors at shard %d", shard)
+	return 0
+}
+
+func TestDistReportsProtocol(t *testing.T) {
+	if p := newEnv(t, 2, distParams(), nil).m.Protocol(); p != DistributedManager {
+		t.Fatalf("dist params protocol = %v", p)
+	}
+}
+
+// TestDistFirstTouchAtAnchorIsLocal: a page's first touch by its own anchor
+// shard resolves entirely in that shard's directory slice — no messages.
+func TestDistFirstTouchAtAnchorIsLocal(t *testing.T) {
+	e := newEnv(t, 3, distParams(), nil)
+	addr := addrAnchoredAt(t, e.m, 1)
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		before := e.net.Stats().SmallSends
+		e.write(tk, 1, addr, 7)
+		if sends := e.net.Stats().SmallSends - before; sends != 0 {
+			t.Errorf("first touch at the anchor used %d messages, want 0", sends)
+		}
+	})
+	e.run(t)
+	if _, ok := e.m.nodes[1].dir[addr.VPN()]; !ok {
+		t.Fatal("first-touched entry not hosted at its anchor shard")
+	}
+}
+
+// TestDistAuthorityFollowsWriter checks the policy's defining move: after a
+// write grant, the directory entry lives in the writer's own shard table
+// (the writer IS the home), and the old shard keeps only a forwarding
+// pointer at the new location.
+func TestDistAuthorityFollowsWriter(t *testing.T) {
+	e := newEnv(t, 3, distParams(), nil)
+	vpn := testAddr.VPN()
+	anchor := e.m.shardOf(vpn)
+	writer := (anchor + 1) % 3
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		e.write(tk, writer, testAddr, 42)
+	})
+	e.run(t)
+	de, ok := e.m.nodes[writer].dir[vpn]
+	if !ok {
+		t.Fatalf("entry not hosted at writer %d's shard after the write", writer)
+	}
+	if de.home != writer || de.writer != writer {
+		t.Fatalf("home = %d, writer = %d; want both %d", de.home, de.writer, writer)
+	}
+	if _, still := e.m.nodes[anchor].dir[vpn]; still {
+		t.Fatalf("anchor shard %d still hosts the entry after the handoff", anchor)
+	}
+	if fw := e.m.nodes[anchor].fwd[vpn]; fw != writer {
+		t.Fatalf("anchor's forwarding pointer = %d, want %d", fw, writer)
+	}
+}
+
+// TestDistRedirectServesAcrossChain: a reader with no routing state asks the
+// page's anchor, which no longer hosts the entry; the request must be
+// forwarded to the authoritative shard, served there, and the reader must
+// come away with a repaired hint.
+func TestDistRedirectServesAcrossChain(t *testing.T) {
+	e := newEnv(t, 4, distParams(), nil)
+	vpn := testAddr.VPN()
+	anchor := e.m.shardOf(vpn)
+	writer := (anchor + 1) % 4
+	reader := (anchor + 2) % 4
+	var got byte
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		e.write(tk, writer, testAddr, 42) // authority moves to the writer
+		tk.Sleep(200 * time.Microsecond)  // let the install ack land
+		got = e.read(tk, reader, testAddr)
+	})
+	e.run(t)
+	if got != 42 {
+		t.Fatalf("read after redirect = %d, want 42", got)
+	}
+	if st := e.m.Stats(); st.Forwards == 0 {
+		t.Fatalf("Forwards = 0; the anchor should have redirected the reader (stats: %+v)", st)
+	}
+	if h := e.m.nodes[reader].fwd[vpn]; h != writer {
+		t.Fatalf("reader's route = %d, want %d (learned from the grant)", h, writer)
+	}
+	de, ok := e.m.nodes[writer].dir[vpn]
+	if !ok {
+		t.Fatal("entry left the writer's shard after a read")
+	}
+	if de.home != writer || de.writer != -1 || !de.has(writer) || !de.has(reader) {
+		t.Fatalf("entry after redirected read: home=%d writer=%d owners=%#x", de.home, de.writer, de.owners)
+	}
+}
+
+// TestDistChainCompression is the path-compression property test: after
+// three successive home handoffs, a node holding a route from the first
+// handoff walks the forwarding chain end to end (paying one redirect per
+// hop), after which the compression hints collapse every node's route to at
+// most one hop.
+func TestDistChainCompression(t *testing.T) {
+	const nodes = 5
+	e := newEnv(t, nodes, distParams(), nil)
+	addr := addrAnchoredAt(t, e.m, 0)
+	vpn := addr.VPN()
+	settle := func(tk *sim.Task) { tk.Sleep(300 * time.Microsecond) }
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		e.write(tk, 1, addr, 1) // home: anchor 0 -> 1 (epoch 1)
+		settle(tk)
+		e.write(tk, 2, addr, 2) // home: 1 -> 2 (epoch 2); 1.fwd -> 2
+		settle(tk)
+		e.write(tk, 3, addr, 3) // home: 2 -> 3 (epoch 3); 2.fwd -> 3
+		settle(tk)
+		// Plant at node 4 the route a node that learned of epoch 1 and then
+		// slept through both handoffs would hold: "node 1 is the home" —
+		// true at epoch 1, two handoffs stale now. (The live protocol
+		// repairs replica holders eagerly via revocation-carried hints, so a
+		// genuinely stale multi-hop route only arises from reordered or lost
+		// messages; the property under test is that walking one terminates
+		// and compresses.)
+		e.m.nodes[4].fwd[vpn] = 1
+		e.m.nodes[4].routeEpoch[vpn] = 1
+		// Node 4 routes to 1, node 1 forwards to 2, node 2 forwards to 3: a
+		// two-hop chain. The read must walk it end to end.
+		before := e.m.Stats().Forwards
+		if got := e.read(tk, 4, addr); got != 3 {
+			t.Errorf("read across the chain = %d, want 3", got)
+		}
+		if walked := e.m.Stats().Forwards - before; walked != 2 {
+			t.Errorf("chain walk paid %d redirects, want exactly 2 (fwd->1, fwd->2, serve at 3)", walked)
+		}
+		settle(tk) // let the compression hints land
+	})
+	e.run(t)
+	if st := e.m.Stats(); st.ChainHints == 0 {
+		t.Fatalf("ChainHints = 0 after a multi-hop walk (stats: %+v)", st)
+	}
+	// The property: after compression, every node's next fault resolves in
+	// at most one redirect — its routing target either is the home or
+	// forwards straight to it.
+	const home = 3
+	if _, ok := e.m.nodes[home].dir[vpn]; !ok {
+		t.Fatalf("entry not hosted at the last writer %d", home)
+	}
+	for n := 0; n < nodes; n++ {
+		tgt := e.m.policy.requestTarget(n, vpn)
+		if tgt == home {
+			continue
+		}
+		if fw, ok := e.m.nodes[tgt].fwd[vpn]; !ok || fw != home {
+			t.Errorf("node %d routes to %d, whose forward (%d, ok=%v) is not the home %d: chain not compressed",
+				n, tgt, fw, ok, home)
+		}
+	}
+}
+
+// TestDistCutsOriginTraffic mirrors the home-migrate benefit proof: on an
+// ownership ping-pong between two non-origin nodes, the sharded directory
+// hands authority to each writer in turn, so no transaction pulls the page
+// through a fixed origin.
+func TestDistCutsOriginTraffic(t *testing.T) {
+	const iters = 40
+	wiStats, wiNet, wiElapsed := pingPong(t, DefaultParams(), iters)
+	dStats, dNet, dElapsed := pingPong(t, distParams(), iters)
+	_, _, hmElapsed := pingPong(t, homeParams(), iters)
+	if wiStats.PageTransfers == 0 {
+		t.Fatalf("write-invalidate pulled no pages home: %+v", wiStats)
+	}
+	if dStats.PageTransfers != 0 {
+		t.Fatalf("dist PageTransfers = %d, want 0 (authority follows the writer)", dStats.PageTransfers)
+	}
+	if dNet.PageSends >= wiNet.PageSends {
+		t.Fatalf("page sends: dist %d, write-invalidate %d; want fewer", dNet.PageSends, wiNet.PageSends)
+	}
+	if dElapsed >= wiElapsed {
+		t.Fatalf("elapsed: dist %v, write-invalidate %v; want faster", dElapsed, wiElapsed)
+	}
+	// Once routing settles, dist behaves like home-migrate on this pattern;
+	// the extra anchor lookups on the first faults must stay marginal.
+	if dElapsed > hmElapsed*5/4 {
+		t.Fatalf("elapsed: dist %v vs home-migrate %v; dist should be within 25%%", dElapsed, hmElapsed)
+	}
+}
+
+// TestDistSpreadsDirectoryLoad: with every node writing fresh pages, lookup
+// dispatch hashes across all shards, so the origin serves only ~1/N of the
+// directory transactions — against the write-invalidate baseline where it
+// serves all of them.
+func TestDistSpreadsDirectoryLoad(t *testing.T) {
+	const nodes = 4
+	const pages = 160
+	run := func(params Params) Stats {
+		e := newEnv(t, nodes, params, nil)
+		e.eng.Spawn("main", func(tk *sim.Task) {
+			for i := 0; i < pages; i++ {
+				addr := mem.Addr(0x40000000 + i*mem.PageSize)
+				e.write(tk, i%nodes, addr, byte(i))
+			}
+		})
+		e.run(t)
+		return e.m.Stats()
+	}
+	wi := run(DefaultParams())
+	if wi.DirServes == 0 || wi.OriginServes != wi.DirServes {
+		t.Fatalf("write-invalidate origin share: %d/%d, want all at the origin", wi.OriginServes, wi.DirServes)
+	}
+	d := run(distParams())
+	if d.DirServes == 0 {
+		t.Fatalf("dist served no directory transactions: %+v", d)
+	}
+	share := float64(d.OriginServes) / float64(d.DirServes)
+	if share > 0.45 {
+		t.Fatalf("origin served %.0f%% of dist lookups (%d/%d); a sharded directory should spread them toward 1/%d",
+			share*100, d.OriginServes, d.DirServes, nodes)
+	}
+}
+
+// TestDistPrefetchDisabled: the batched prefetch hint targets a single origin
+// directory; with the directory sharded it must degrade to a no-op, and
+// demand faulting must still produce the bytes.
+func TestDistPrefetchDisabled(t *testing.T) {
+	e := newEnv(t, 3, distParams(), nil)
+	e.eng.Spawn("main", func(tk *sim.Task) {
+		e.write(tk, 0, testAddr, 7)
+		n, err := e.m.Prefetch(tk, Ctx{Node: 2}, prefetchVPNs(testAddr, 2))
+		if err != nil {
+			t.Errorf("Prefetch: %v", err)
+		}
+		if n != 0 {
+			t.Errorf("Prefetch granted %d pages under dist, want 0", n)
+		}
+		if got := e.read(tk, 2, testAddr); got != 7 {
+			t.Errorf("demand read = %d, want 7", got)
+		}
+	})
+	e.run(t)
+}
+
+// TestDistSequentialRandomOps re-runs the serial-history correctness drive
+// under the sharded directory: every read observes the most recent write and
+// the global invariants (including single-shard hosting) hold at quiescence.
+func TestDistSequentialRandomOps(t *testing.T) {
+	const nodes = 4
+	e := newEnv(t, nodes, distParams(), nil)
+	rng := rand.New(rand.NewSource(99))
+	ref := make(map[mem.Addr]byte)
+	e.eng.Spawn("driver", func(tk *sim.Task) {
+		for i := 0; i < 600; i++ {
+			page := mem.Addr(0x40000000 + mem.PageSize*(rng.Intn(8)))
+			addr := page + mem.Addr(rng.Intn(mem.PageSize))
+			node := rng.Intn(nodes)
+			if rng.Intn(2) == 0 {
+				v := byte(rng.Intn(256))
+				e.write(tk, node, addr, v)
+				ref[addr] = v
+			} else {
+				got := e.read(tk, node, addr)
+				if want := ref[addr]; got != want {
+					t.Errorf("op %d: node %d read %v = %d, want %d", i, node, addr, got, want)
+					return
+				}
+			}
+		}
+	})
+	e.run(t) // includes CheckInvariants
+}
+
+// TestDistConcurrentInvariants stresses concurrent accessors (races,
+// NACK/backoff, redirect retries after backoff) under the sharded directory.
+func TestDistConcurrentInvariants(t *testing.T) {
+	const nodes = 4
+	for seed := int64(1); seed <= 3; seed++ {
+		p := distParams()
+		e := newEnvSeed(t, nodes, p, nil, seed)
+		rng := rand.New(rand.NewSource(seed * 7))
+		for w := 0; w < 12; w++ {
+			node := w % nodes
+			ops := make([]struct {
+				addr  mem.Addr
+				write bool
+			}, 60)
+			for i := range ops {
+				ops[i].addr = mem.Addr(0x40000000+mem.PageSize*rng.Intn(4)) + mem.Addr(rng.Intn(mem.PageSize))
+				ops[i].write = rng.Intn(3) == 0
+			}
+			e.eng.Spawn("stress", func(tk *sim.Task) {
+				for i, op := range ops {
+					if op.write {
+						e.write(tk, node, op.addr, byte(i))
+					} else {
+						_ = e.read(tk, node, op.addr)
+					}
+					tk.Sleep(time.Microsecond)
+				}
+			})
+		}
+		e.run(t) // includes CheckInvariants
+	}
+}

@@ -33,6 +33,7 @@ package dsm
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -166,6 +167,11 @@ type Stats struct {
 	PagesLost       uint64 // pages whose only fresh copy died with a node
 	HomeFailovers   uint64 // HomeMigrate requests re-targeted after a home died
 	PagesRehomed    uint64 // pages reclaimed to the origin after their home died
+	DirServes       uint64 // page-request transactions dispatched to a serving home
+	OriginServes    uint64 // the subset of DirServes handled at the origin node
+	Forwards        uint64 // requests bounced along a forwarding chain (dist)
+	ChainHints      uint64 // path-compression hints applied to forwarding pointers
+	DirRebuilt      uint64 // directory entries rebuilt after their shard crashed
 	TotalLatency    time.Duration
 }
 
@@ -191,6 +197,11 @@ type dsmStats struct {
 	pagesLost       atomic.Uint64
 	homeFailovers   atomic.Uint64
 	pagesRehomed    atomic.Uint64
+	dirServes       atomic.Uint64
+	originServes    atomic.Uint64
+	forwards        atomic.Uint64
+	chainHints      atomic.Uint64
+	dirRebuilt      atomic.Uint64
 	totalLatency    atomic.Int64 // nanoseconds
 }
 
@@ -216,8 +227,9 @@ type outstanding struct {
 	stale     bool
 	withData  bool
 	redirect  bool
-	home      int  // authoritative home carried by a redirect reply
-	deadHome  bool // the wait was abandoned because the target home died
+	home      int    // authoritative home carried by a redirect reply
+	epoch     uint64 // routing epoch carried by the reply (DistributedManager)
+	deadHome  bool   // the wait was abandoned because the target home died
 	installed bool
 	deferred  []func()
 }
@@ -230,8 +242,20 @@ type nodeState struct {
 	// reqCtr is this node's request-token allocator. Tokens carry the
 	// allocating node in their top bits (engine.nextToken), giving every
 	// node a private, monotonic token space it can allocate from on its own
-	// simulation lane without synchronization.
+	// simulation lane without synchronization. revCtr is the same for the
+	// revocation sequence numbers this node issues as a serving home.
 	reqCtr uint64
+	revCtr uint64
+
+	// revokeWait / installWait are the open waiters of revocations and grant
+	// windows this node has issued as a serving home, keyed by seq / token.
+	// served is the home-side per-token record of answered page requests,
+	// kept only under fault injection (nil otherwise) and pruned by the
+	// engine's sweep. All three are sharded here, per issuing home, so
+	// several directory shards may serve concurrently on their own lanes.
+	revokeWait  map[uint64]*revokeWaiter
+	installWait map[uint64]*revokeWaiter
+	served      map[uint64]*serveState
 	// sweepBudget counts down dedup admissions on this node's lane; when it
 	// hits zero a global watermark sweep is scheduled (engine.admitted).
 	sweepBudget int
@@ -244,6 +268,25 @@ type nodeState struct {
 	// policy (nil otherwise); absent means the origin. Hints are repaired
 	// through redirect replies, never trusted for correctness.
 	homeHint map[uint64]int
+
+	// dir is this node's slice of the sharded ownership directory under
+	// DistributedManager (nil otherwise): the entry for a page lives in
+	// exactly one node's table — its current home — and is only mutated on
+	// that node's lane or on the quiescent global lane. fwd is the node's
+	// single route table per page: where it believes the page's home is
+	// (absent means the static anchor shard). routeEpoch stamps each route
+	// with the home-handoff epoch it was learned at; updates older than the
+	// stored epoch are rejected (unless the stored target is confirmed
+	// dead), which keeps the forwarding graph acyclic. Chains are collapsed
+	// to a single hop by path-compression hints after each chained grant.
+	dir        map[uint64]*dirEntry
+	fwd        map[uint64]int
+	routeEpoch map[uint64]uint64
+	// reclaimed marks that this node died and ReclaimDeadNode has committed:
+	// its directory slice has been rebuilt elsewhere and its tables reset.
+	// Pages anchored here are thereafter resolved at the live ring shard
+	// (distLocate). Written only on the quiescent global lane.
+	reclaimed bool
 
 	// Chaos-only receiver-side dedup state (nil when no injector is
 	// attached, so the fault-free protocol pays nothing for it).
@@ -441,6 +484,11 @@ func (m *Manager) Stats() Stats {
 		PagesLost:       m.stats.pagesLost.Load(),
 		HomeFailovers:   m.stats.homeFailovers.Load(),
 		PagesRehomed:    m.stats.pagesRehomed.Load(),
+		DirServes:       m.stats.dirServes.Load(),
+		OriginServes:    m.stats.originServes.Load(),
+		Forwards:        m.stats.forwards.Load(),
+		ChainHints:      m.stats.chainHints.Load(),
+		DirRebuilt:      m.stats.dirRebuilt.Load(),
 		TotalLatency:    time.Duration(m.stats.totalLatency.Load()),
 	}
 }
@@ -624,8 +672,19 @@ func (m *Manager) backoff(t *sim.Task, node, attempt int) {
 // redirect machinery repairs their hints. Reports whether the page's
 // contents were lost.
 func (m *Manager) recoverDeadHome(vpn uint64, de *dirEntry, dead int, fallback []byte) bool {
+	return m.recoverHomeTo(vpn, de, dead, fallback, m.origin, "hm.rehome")
+}
+
+// recoverHomeTo is the shared rebuild ladder behind recoverDeadHome (which
+// always lands at the origin, for HomeMigrate) and the DistributedManager
+// shard rebuild (which lands at the page's live anchor shard): adopt the
+// target's own replica if it has one, else a surviving reader's copy, else
+// the caller-supplied snapshot, else a zero-filled frame (counted in
+// PagesLost). Every other surviving replica is dropped so the owner mask
+// matches PTE presence after the rehome.
+func (m *Manager) recoverHomeTo(vpn uint64, de *dirEntry, dead int, fallback []byte, target int, span string) bool {
 	var frame []byte
-	if pte := m.nodes[m.origin].pt.Lookup(vpn); pte != nil && pte.Present {
+	if pte := m.nodes[target].pt.Lookup(vpn); pte != nil && pte.Present {
 		frame = pte.Frame
 	} else {
 		for _, n := range de.ownerList(dead) {
@@ -641,11 +700,11 @@ func (m *Manager) recoverDeadHome(vpn uint64, de *dirEntry, dead int, fallback [
 			frame = mem.CloneFrame(fallback)
 		}
 	}
-	// Drop every surviving replica other than the origin's: after the
-	// rehome the origin is the sole owner, and the directory invariant ties
+	// Drop every surviving replica other than the target's: after the
+	// rehome the target is the sole owner, and the directory invariant ties
 	// owner-mask membership to PTE presence.
 	for _, n := range de.ownerList(dead) {
-		if n == m.origin {
+		if n == target {
 			continue
 		}
 		if pte := m.nodes[n].pt.Lookup(vpn); pte != nil && pte.Present {
@@ -654,28 +713,101 @@ func (m *Manager) recoverDeadHome(vpn uint64, de *dirEntry, dead int, fallback [
 			m.freeFrame(n, f)
 		}
 	}
-	de.rehome(m.origin)
+	de.rehome(target)
 	lost := frame == nil
 	if lost {
-		frame = m.pool(m.origin).GetZeroed()
+		frame = m.pool(target).GetZeroed()
 		m.stats.pagesLost.Add(1)
 	}
-	m.nodes[m.origin].pt.SetAccess(vpn, frame, mem.AccessRead)
+	m.nodes[target].pt.SetAccess(vpn, frame, mem.AccessRead)
 	m.stats.pagesRehomed.Add(1)
 	if m.rec != nil {
-		// Dead-home recovery is HomeMigrate-only and thus always serial, but
-		// record on the origin's shard anyway: the rehome lands the page there.
+		// Recovery runs serialized (HomeMigrate) or on the quiescent global
+		// lane (DistributedManager); record on the lane the page lands on.
 		lostArg := int64(0)
 		if lost {
 			lostArg = 1
 		}
-		rec := m.rec.OnLane(m.origin)
-		rec.SpanAt("dsm", "hm.rehome", m.origin, -1, m.view(m.origin).Now(), 0,
+		rec := m.rec.OnLane(target)
+		rec.SpanAt("dsm", span, target, -1, m.view(target).Now(), 0,
 			obs.Hex("vpn", vpn),
 			obs.Int("dead", int64(dead)),
 			obs.Int("lost", lostArg))
 	}
 	return lost
+}
+
+// shardOf maps a page to its static anchor shard under DistributedManager:
+// a splitmix64-style hash of the VPN modulo the node count. The anchor is
+// where lookups start when no fresher hint or forwarding pointer exists;
+// directory authority itself follows the last writer.
+func (m *Manager) shardOf(vpn uint64) int {
+	z := vpn + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(len(m.nodes)))
+}
+
+// liveShard walks the shard ring from vpn's anchor past confirmed-dead
+// nodes. The origin cannot be reclaimed, so the walk always terminates.
+func (m *Manager) liveShard(vpn uint64) int {
+	n := m.shardOf(vpn)
+	for i := 0; i < len(m.nodes); i++ {
+		s := (n + i) % len(m.nodes)
+		if m.chaos == nil || !m.chaos.NodeDead(s) {
+			return s
+		}
+	}
+	return m.origin
+}
+
+// distRebuild rebuilds one directory entry whose shard died, landing it at
+// the page's live anchor shard: the entry moves into the target's table,
+// the dead node's slot is cleared, and the anchor's forwarding pointer is
+// repointed so future lookups resolve in one hop. Runs only where lanes
+// are quiescent (the global lane, or a serial engine). Reports whether the
+// page's contents were lost.
+func (m *Manager) distRebuild(vpn uint64, de *dirEntry, dead int, fallback []byte) bool {
+	target := m.liveShard(vpn)
+	lost := m.recoverHomeTo(vpn, de, dead, fallback, target, "dist.rebuild")
+	// The rebuild is a home handoff: bump the entry epoch so routes learned
+	// before the crash can never override the repaired ones.
+	de.epoch++
+	delete(m.nodes[dead].dir, vpn)
+	tns := m.nodes[target]
+	tns.dir[vpn] = de
+	delete(tns.fwd, vpn)
+	if de.epoch > tns.routeEpoch[vpn] {
+		tns.routeEpoch[vpn] = de.epoch
+	}
+	if anchor := m.shardOf(vpn); anchor != target {
+		ans := m.nodes[anchor]
+		ans.fwd[vpn] = target
+		ans.routeEpoch[vpn] = de.epoch
+	}
+	m.stats.dirRebuilt.Add(1)
+	return lost
+}
+
+// distScheduleRebuild schedules a distRebuild of vpn on the quiescent
+// global lane, for entries discovered (on a node lane) to have settled at a
+// shard that died. The closure re-checks everything at fire time: the lease
+// layer's own reclaim, or another serve's settle, may have rebuilt (or
+// re-busied) the entry first.
+func (m *Manager) distScheduleRebuild(home int, vpn uint64, snap []byte) {
+	v := m.view(home)
+	d := 20 * time.Microsecond
+	if la := v.Lookahead(); la > d {
+		d = la
+	}
+	v.AfterOn(sim.GlobalLane, d, func() {
+		de, ok := m.nodes[home].dir[vpn]
+		if !ok || de.busy() || m.chaos == nil || !m.chaos.NodeDead(home) {
+			return
+		}
+		m.distRebuild(vpn, de, home, snap)
+	})
 }
 
 // ReclaimDeadNode returns all page ownership held by a crashed node to the
@@ -693,6 +825,9 @@ func (m *Manager) recoverDeadHome(vpn uint64, de *dirEntry, dead int, fallback [
 func (m *Manager) ReclaimDeadNode(node int) ([]uint64, error) {
 	if node == m.origin {
 		return nil, fmt.Errorf("dsm: cannot reclaim the origin node %d: the process dies with its origin", node)
+	}
+	if m.policy.proto() == DistributedManager {
+		return m.reclaimDeadNodeDist(node)
 	}
 	var lost []uint64
 	m.dir.ForRange(0, ^uint64(0), func(vpn uint64, de *dirEntry) bool {
@@ -727,6 +862,151 @@ func (m *Manager) ReclaimDeadNode(node int) ([]uint64, error) {
 	return lost, nil
 }
 
+// sortedVPNs returns the keys of a shard table in ascending order, so walks
+// over per-node directory slices are deterministic.
+func sortedVPNs(dir map[uint64]*dirEntry) []uint64 {
+	vpns := make([]uint64, 0, len(dir))
+	for vpn := range dir {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	return vpns
+}
+
+// reclaimDeadNodeDist is ReclaimDeadNode for the sharded directory: the dead
+// node's entire directory slice is rebuilt from owner-side ground truth at
+// each page's live anchor shard (distRebuild), entries elsewhere drop the
+// dead node from their owner masks or reclaim pages it wrote exclusively,
+// and every surviving forwarding pointer or home hint aimed at the dead node
+// is repointed at the rebuilt location (or dropped). Must run where lanes
+// are quiescent: core calls it from the global-lane death commit.
+func (m *Manager) reclaimDeadNodeDist(node int) ([]uint64, error) {
+	var lost []uint64
+	rebuilt := make(map[uint64]rebuiltRoute)
+	for i, ins := range m.nodes {
+		for _, vpn := range sortedVPNs(ins.dir) {
+			de := ins.dir[vpn]
+			if de.busy() {
+				// The transaction holding the entry discovers the death
+				// through its own timeout path and settles or rebuilds.
+				continue
+			}
+			switch {
+			case i == node:
+				// The dead shard's own directory slice: rebuild each entry at
+				// the page's live anchor from surviving replicas.
+				if m.distRebuild(vpn, de, node, nil) {
+					lost = append(lost, vpn)
+				}
+				rebuilt[vpn] = rebuiltRoute{home: de.home, epoch: de.epoch}
+			case de.writer == node:
+				m.nodes[de.home].pt.SetAccess(vpn, m.pool(de.home).GetZeroed(), mem.AccessRead)
+				de.reclaimHome()
+				m.stats.pagesLost.Add(1)
+				lost = append(lost, vpn)
+			case de.has(node):
+				de.dropOwner(node)
+			}
+		}
+	}
+	for _, ns := range m.nodes {
+		for vpn, fw := range ns.fwd {
+			if fw != node {
+				continue
+			}
+			if r, ok := rebuilt[vpn]; ok {
+				ns.fwd[vpn] = r.home
+				ns.routeEpoch[vpn] = r.epoch
+			} else {
+				delete(ns.fwd, vpn)
+				delete(ns.routeEpoch, vpn)
+			}
+		}
+	}
+	ns := m.nodes[node]
+	ns.outstanding = make(map[uint64]*outstanding)
+	ns.fwd = make(map[uint64]int)
+	ns.routeEpoch = make(map[uint64]uint64)
+	ns.reclaimed = true
+	ns.pt.ReclaimRange(0, ^uint64(0), func(f []byte) { m.freeFrame(node, f) })
+	return lost, nil
+}
+
+// distLocate resolves a page whose static anchor shard died and has been
+// reclaimed, from node — the page's live ring shard, where dead-anchor
+// lookups fall back to but where no entry or forwarding pointer may exist
+// (the breadcrumb died with the anchor, or the page was never touched).
+// Reading other shards' tables is only legal where lanes are quiescent, so
+// the scan runs as a closure on the global lane while the calling task
+// parks. If the entry exists at a live shard, a route to it is planted
+// here; if it exists only at a dead shard (a transaction still unwinding),
+// nothing changes and the caller retries; if it exists nowhere, the page is
+// materialized here — node becomes its effective anchor.
+func (m *Manager) distLocate(t *sim.Task, node int, vpn uint64) {
+	v := m.view(node)
+	d := 20 * time.Microsecond
+	if la := v.Lookahead(); la > d {
+		d = la
+	}
+	done := false
+	v.AfterOn(sim.GlobalLane, d, func() {
+		defer func() { done = true; t.Unpark() }()
+		ns := m.nodes[node]
+		_, hosted := ns.dir[vpn]
+		_, fwded := ns.fwd[vpn]
+		if hosted || fwded {
+			return // a concurrent repair or locate beat us
+		}
+		for h, hns := range m.nodes {
+			de, ok := hns.dir[vpn]
+			if !ok {
+				continue
+			}
+			if h != node && (m.chaos == nil || !m.chaos.NodeDead(h)) {
+				ns.fwd[vpn] = h
+				if de.epoch > ns.routeEpoch[vpn] {
+					ns.routeEpoch[vpn] = de.epoch
+				}
+			}
+			return
+		}
+		// No entry anywhere: first touch at the effective anchor. Epoch 1
+		// outranks any stamp-0 route leftover that still names the dead
+		// anchor.
+		ns.pt.SetAccess(vpn, m.pool(node).GetZeroed(), mem.AccessWrite)
+		de := newDirEntry(node)
+		de.firstTouch()
+		de.epoch = 1
+		ns.dir[vpn] = de
+		if de.epoch > ns.routeEpoch[vpn] {
+			ns.routeEpoch[vpn] = de.epoch
+		}
+	})
+	for !done {
+		t.Park("dist locate")
+	}
+}
+
+// distNeedsLocate reports whether a lookup for vpn at node must go through
+// distLocate: node holds no entry and no route, the page's static anchor is
+// someone else, confirmed dead and already reclaimed, and node is the live
+// ring shard the page's lookups fall back to.
+func (m *Manager) distNeedsLocate(node int, vpn uint64) bool {
+	if m.chaos == nil {
+		return false
+	}
+	a := m.shardOf(vpn)
+	return a != node && m.chaos.NodeDead(a) && m.nodes[a].reclaimed && m.liveShard(vpn) == node
+}
+
+// rebuiltRoute records where (and at which epoch) a dead shard's entry was
+// rebuilt, so surviving forwarding pointers aimed at the dead node can be
+// repointed with a route that post-crash traffic cannot override backward.
+type rebuiltRoute struct {
+	home  int
+	epoch uint64
+}
+
 // SnapshotPages returns copies of every page node currently holds mapped,
 // keyed by VPN. The checkpoint layer calls this at a thread's quiescent
 // points: the snapshot, together with the thread's register blob, is enough
@@ -746,19 +1026,38 @@ func (m *Manager) SnapshotPages(node int) map[uint64][]byte {
 	return snap
 }
 
-// RestorePage copies a checkpointed page image over the origin's current
+// RestorePage copies a checkpointed page image over the current home's
 // frame for vpn. It is called after ReclaimDeadNode has landed a
-// zero-filled replacement at the origin for each lost page; restoring
-// rewinds the page to the crashed thread's last quiescent point so a
-// restarted thread replays from consistent bytes. Reports whether the
-// origin held a frame to restore into.
+// zero-filled replacement for each lost page — at the origin under
+// WriteInvalidate/HomeMigrate, at the page's live anchor shard under
+// DistributedManager; restoring rewinds the page to the crashed thread's
+// last quiescent point so a restarted thread replays from consistent
+// bytes. Reports whether the home held a frame to restore into.
 func (m *Manager) RestorePage(vpn uint64, data []byte) bool {
-	pte := m.nodes[m.origin].pt.Lookup(vpn)
+	home := m.origin
+	if m.policy.proto() == DistributedManager {
+		if de := m.distEntry(vpn); de != nil {
+			home = de.home
+		}
+	}
+	pte := m.nodes[home].pt.Lookup(vpn)
 	if pte == nil || !pte.Present {
 		return false
 	}
 	copy(pte.Frame, data)
 	return true
+}
+
+// distEntry locates vpn's directory entry across the shard tables (the
+// entry lives in exactly one node's table — its current home). It scans in
+// node order and must only run where lanes are quiescent.
+func (m *Manager) distEntry(vpn uint64) *dirEntry {
+	for _, ns := range m.nodes {
+		if de, ok := ns.dir[vpn]; ok {
+			return de
+		}
+	}
+	return nil
 }
 
 // DropDirectoryRange removes all ownership state for pages lo..hi
@@ -769,6 +1068,9 @@ func (m *Manager) RestorePage(vpn uint64, data []byte) bool {
 // page stays busy — the application is unmapping memory it is concurrently
 // faulting on — an error is returned.
 func (m *Manager) DropDirectoryRange(t *sim.Task, lo, hi uint64) error {
+	if m.policy.proto() == DistributedManager {
+		return m.dropDirectoryRangeDist(t, lo, hi)
+	}
 	for attempt := 0; ; attempt++ {
 		busyVPN := uint64(0)
 		busy := false
@@ -787,6 +1089,69 @@ func (m *Manager) DropDirectoryRange(t *sim.Task, lo, hi uint64) error {
 				m.dir.Delete(vpn)
 			}
 			m.ReclaimRange(m.origin, lo, hi)
+			return nil
+		}
+		if attempt >= 50 {
+			return fmt.Errorf("dsm: munmap races with a persistent transaction on vpn %#x", busyVPN)
+		}
+		t.Sleep(20 * time.Microsecond)
+	}
+}
+
+// dropDirectoryRangeDist is DropDirectoryRange for the sharded directory.
+// Entries in the range live spread across per-node tables that only their
+// own lanes may touch, so each removal attempt runs as a global-lane
+// closure (where every lane is quiescent) and the unmapping task parks
+// until it completes. Forwarding pointers and home hints in the range are
+// dropped alongside the entries.
+func (m *Manager) dropDirectoryRangeDist(t *sim.Task, lo, hi uint64) error {
+	v := m.view(m.origin)
+	for attempt := 0; ; attempt++ {
+		var busyVPN uint64
+		busy, done := false, false
+		d := 20 * time.Microsecond
+		if la := v.Lookahead(); la > d {
+			d = la
+		}
+		v.AfterOn(sim.GlobalLane, d, func() {
+			for _, ns := range m.nodes {
+				for _, vpn := range sortedVPNs(ns.dir) {
+					if vpn < lo || vpn > hi {
+						continue
+					}
+					if ns.dir[vpn].busy() {
+						busy = true
+						busyVPN = vpn
+					}
+				}
+			}
+			if !busy {
+				for n, ns := range m.nodes {
+					for _, vpn := range sortedVPNs(ns.dir) {
+						if vpn >= lo && vpn <= hi {
+							delete(ns.dir, vpn)
+						}
+					}
+					for vpn := range ns.fwd {
+						if vpn >= lo && vpn <= hi {
+							delete(ns.fwd, vpn)
+						}
+					}
+					for vpn := range ns.homeHint {
+						if vpn >= lo && vpn <= hi {
+							delete(ns.homeHint, vpn)
+						}
+					}
+					m.ReclaimRange(n, lo, hi)
+				}
+			}
+			done = true
+			t.Unpark()
+		})
+		for !done {
+			t.Park("munmap directory drop " + mem.Addr(lo<<mem.PageShift).String())
+		}
+		if !busy {
 			return nil
 		}
 		if attempt >= 50 {

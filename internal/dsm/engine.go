@@ -42,46 +42,39 @@ const tokenNodeShift = 48
 // tokenNode recovers the allocating node from a request token.
 func tokenNode(tok uint64) int { return int(tok >> tokenNodeShift) }
 
-// engine owns the transport-layer state of one Manager.
+// engine owns the transport-layer state of one Manager. All per-message
+// bookkeeping (sequence allocators, open waiters, dedup records) is sharded
+// per node and lives in nodeState: revocations and grants are only ever
+// issued from the serving home's own simulation lane, and sharding the
+// state by issuer lets several directory shards serve concurrently under
+// DistributedManager without a shared counter or map. The engine itself
+// keeps only the sweep watermarks, which are written exclusively on the
+// serialized global lane.
 type engine struct {
 	m *Manager
 
-	// revokeSeq allocates revocation sequence numbers. Unlike request
-	// tokens it stays a single monotonic counter: revocations are only
-	// issued by a page's serving home while it holds the directory entry
-	// busy — under WriteInvalidate always the origin's lane, and under
-	// HomeMigrate the whole run is serialized — so allocation is never
-	// concurrent.
-	revokeSeq uint64
-
-	revokeWait  map[uint64]*revokeWaiter // open revocations, keyed by seq
-	installWait map[uint64]*revokeWaiter // open grant windows, keyed by token
-
-	// served is the home-side per-token record of answered page requests,
-	// kept only under fault injection (nil otherwise) and pruned by sweep.
-	served map[uint64]*serveState
-
-	// prunedReqBelow (per allocating node) / prunedRevokeBelow are the dedup
-	// watermarks: every token (resp. seq) below the watermark belongs to a
-	// transaction that was fully closed before the last sweep, so an
-	// arriving message carrying one — with no surviving dedup record — is
-	// necessarily a stale duplicate and is dropped. Each node's tokens are
-	// allocated monotonically, which is what makes the watermark sound: a
-	// live transaction can never be below it.
+	// prunedReqBelow (per allocating node) / prunedRevokeBelow (per issuing
+	// node) are the dedup watermarks: every token (resp. seq) below the
+	// watermark belongs to a transaction that was fully closed before the
+	// last sweep, so an arriving message carrying one — with no surviving
+	// dedup record — is necessarily a stale duplicate and is dropped. Each
+	// node's tokens and seqs are allocated monotonically, which is what
+	// makes the watermark sound: a live transaction can never be below it.
 	prunedReqBelow    []uint64
-	prunedRevokeBelow uint64
+	prunedRevokeBelow []uint64
 }
 
 func (e *engine) init(m *Manager) {
 	e.m = m
-	e.revokeWait = make(map[uint64]*revokeWaiter)
-	e.installWait = make(map[uint64]*revokeWaiter)
 	e.prunedReqBelow = make([]uint64, len(m.nodes))
-	if m.chaos != nil {
-		e.served = make(map[uint64]*serveState)
-	}
+	e.prunedRevokeBelow = make([]uint64, len(m.nodes))
 	for _, ns := range m.nodes {
 		ns.sweepBudget = dedupSweepInterval
+		ns.revokeWait = make(map[uint64]*revokeWaiter)
+		ns.installWait = make(map[uint64]*revokeWaiter)
+		if m.chaos != nil {
+			ns.served = make(map[uint64]*serveState)
+		}
 	}
 }
 
@@ -118,10 +111,13 @@ func (e *engine) nextToken(node int) uint64 {
 	return uint64(node)<<tokenNodeShift | ns.reqCtr
 }
 
-// nextRevokeSeq allocates a revocation sequence number.
-func (e *engine) nextRevokeSeq() uint64 {
-	e.revokeSeq++
-	return e.revokeSeq
+// nextRevokeSeq allocates a revocation sequence number from the issuing
+// node's private space. Like request tokens, the issuer rides in the top
+// bits so each serving home allocates monotonically on its own lane.
+func (e *engine) nextRevokeSeq(node int) uint64 {
+	ns := e.m.nodes[node]
+	ns.revCtr++
+	return uint64(node)<<tokenNodeShift | ns.revCtr
 }
 
 // awaitReply parks the requester until its outstanding request is answered.
@@ -180,7 +176,7 @@ func (e *engine) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
 				continue
 			}
 			if m.chaos.NodeDead(w.target) {
-				delete(e.revokeWait, w.msg.seq)
+				delete(m.nodes[w.msg.home].revokeWait, w.msg.seq)
 				w.done = true
 				w.lost = w.msg.needData
 				break
@@ -191,7 +187,7 @@ func (e *engine) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
 				// revocation's effect directly — the fabric would drop the
 				// real message (its source is dead), and no stale replica
 				// may outlive the dead home's last transaction.
-				delete(e.revokeWait, w.msg.seq)
+				delete(m.nodes[w.msg.home].revokeWait, w.msg.seq)
 				w.done = true
 				if e.admitRevoke(w.target, w.msg) {
 					m.applyRevokeAdmitted(w.target, w.msg)
@@ -216,7 +212,8 @@ func (e *engine) waitRevokes(t *sim.Task, acks []*revokeWaiter) {
 // fully dealt with here. node is the serving node (whose lane is running).
 func (e *engine) admitServe(node int, req *pageRequest) (st *serveState, handled bool) {
 	m := e.m
-	if prev, ok := e.served[req.token]; ok {
+	ns := m.nodes[node]
+	if prev, ok := ns.served[req.token]; ok {
 		e.redeliverServe(req, prev)
 		return nil, true
 	}
@@ -227,7 +224,7 @@ func (e *engine) admitServe(node int, req *pageRequest) (st *serveState, handled
 		return nil, true
 	}
 	st = &serveState{req: req, write: req.write, home: node}
-	e.served[req.token] = st
+	ns.served[req.token] = st
 	e.admitted(node)
 	return st, false
 }
@@ -253,7 +250,7 @@ func (e *engine) admitRevoke(node int, msg *revokeMsg) bool {
 		}
 		return false
 	}
-	if msg.seq < e.prunedRevokeBelow {
+	if msg.seq < e.prunedRevokeBelow[tokenNode(msg.seq)] {
 		m.stats.dupsIgnored.Add(1)
 		return false
 	}
@@ -322,14 +319,18 @@ func (e *engine) sweep() {
 			}
 		}
 	}
-	for tok, st := range e.served {
-		if n := tokenNode(tok); !st.closed && tok < floors[n] {
-			floors[n] = tok
+	for _, hs := range m.nodes {
+		for tok, st := range hs.served {
+			if n := tokenNode(tok); !st.closed && tok < floors[n] {
+				floors[n] = tok
+			}
 		}
 	}
-	for tok, st := range e.served {
-		if st.closed && tok < floors[tokenNode(tok)] && now-st.closedAt >= horizon {
-			delete(e.served, tok)
+	for _, hs := range m.nodes {
+		for tok, st := range hs.served {
+			if st.closed && tok < floors[tokenNode(tok)] && now-st.closedAt >= horizon {
+				delete(hs.served, tok)
+			}
 		}
 	}
 	for _, ns := range m.nodes {
@@ -345,22 +346,28 @@ func (e *engine) sweep() {
 		}
 	}
 
-	// Revocation side: the floor is the smallest seq with an open waiter.
-	rfloor := e.revokeSeq + 1
-	for seq := range e.revokeWait {
-		if seq < rfloor {
-			rfloor = seq
+	// Revocation side: each issuer's floor is the smallest of its seqs with
+	// an open waiter (waiters live at the issuing home).
+	rfloors := make([]uint64, len(m.nodes))
+	for i, ns := range m.nodes {
+		rfloors[i] = uint64(i)<<tokenNodeShift | (ns.revCtr + 1)
+		for seq := range ns.revokeWait {
+			if seq < rfloors[i] {
+				rfloors[i] = seq
+			}
 		}
 	}
 	for _, ns := range m.nodes {
 		for seq, rec := range ns.appliedRevokes {
-			if seq < rfloor && !rec.pending && now-rec.appliedAt >= horizon {
+			if seq < rfloors[tokenNode(seq)] && !rec.pending && now-rec.appliedAt >= horizon {
 				delete(ns.appliedRevokes, seq)
 			}
 		}
 	}
-	if rfloor > e.prunedRevokeBelow {
-		e.prunedRevokeBelow = rfloor
+	for i, f := range rfloors {
+		if f > e.prunedRevokeBelow[i] {
+			e.prunedRevokeBelow[i] = f
+		}
 	}
 }
 
@@ -426,9 +433,8 @@ func (e *engine) resendRevokeAck(node int, msg *revokeMsg, prev *appliedRevoke) 
 // grant that carried data the serving home restores its copy from the
 // retained snapshot; for an ownership-only write grant the requester's copy
 // was the only fresh one, so the page is lost and comes back zero-filled.
-func (e *engine) rollbackGrant(req *pageRequest, st *serveState) {
+func (e *engine) rollbackGrant(req *pageRequest, st *serveState, de *dirEntry) {
 	m := e.m
-	de, _ := m.entry(req.vpn)
 	if !req.write {
 		de.dropOwner(req.node)
 		return

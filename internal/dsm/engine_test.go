@@ -70,15 +70,17 @@ func TestChaosDedupStateStaysBounded(t *testing.T) {
 	e.run(t)
 
 	eng := &e.m.e
-	var tokens uint64
+	var tokens, seqs, served uint64
 	for _, ns := range e.m.nodes {
 		tokens += ns.reqCtr
+		seqs += ns.revCtr
+		served += uint64(len(ns.served))
 	}
 	if tokens < iters {
 		t.Fatalf("allocated %d tokens; the workload should have allocated at least %d", tokens, iters)
 	}
-	if eng.revokeSeq < iters/2 {
-		t.Fatalf("revokeSeq = %d, want at least %d", eng.revokeSeq, iters/2)
+	if seqs < iters/2 {
+		t.Fatalf("allocated %d revoke seqs, want at least %d", seqs, iters/2)
 	}
 	// Every node that allocated tokens must have had its per-node watermark
 	// advanced by the sweep.
@@ -86,16 +88,16 @@ func TestChaosDedupStateStaysBounded(t *testing.T) {
 		if ns.reqCtr > 0 && eng.prunedReqBelow[i] == 0 {
 			t.Fatalf("node %d request watermark never advanced (%d tokens allocated)", i, ns.reqCtr)
 		}
-	}
-	if eng.prunedRevokeBelow == 0 {
-		t.Fatalf("revoke watermark never advanced")
+		if ns.revCtr > 0 && eng.prunedRevokeBelow[i] == 0 {
+			t.Fatalf("node %d revoke watermark never advanced (%d seqs allocated)", i, ns.revCtr)
+		}
 	}
 	// The bound: one sweep interval of fresh admissions plus the horizon's
 	// worth of still-warm records. An unpruned map would hold one record
 	// per token — over twice this.
 	const bound = 700
-	if n := len(eng.served); n >= bound {
-		t.Errorf("served map holds %d records after %d tokens; pruning is not bounding it", n, tokens)
+	if served >= bound {
+		t.Errorf("served maps hold %d records after %d tokens; pruning is not bounding them", served, tokens)
 	}
 	for i, ns := range e.m.nodes {
 		if n := len(ns.completed); n >= bound {

@@ -14,9 +14,10 @@ import (
 // travels through the fabric's page path, not inside these messages.
 const (
 	pageRequestSize = 64
-	pageReplySize   = 48
-	revokeSize      = 56
+	pageReplySize   = 56
+	revokeSize      = 64
 	revokeAckSize   = 40
+	homeHintSize    = 48
 )
 
 // pageRequest asks a home node for access to a page. The requester has
@@ -41,14 +42,18 @@ func (*pageReply) ChaosExpendable()   {}
 func (*installAck) ChaosExpendable()  {}
 func (*revokeMsg) ChaosExpendable()   {}
 func (*revokeAck) ChaosExpendable()   {}
+func (*homeHintMsg) ChaosExpendable() {}
 
 // pageReply answers a pageRequest. nack means the directory entry was busy
 // and the requester must retry; stale means the request was already
 // satisfied by a concurrent transaction (the requester re-validates its
 // PTE); redirect means the request landed at a node that is not the page's
-// home (HomeMigrate only) and home carries the authoritative one; withData
-// means page data was RDMA'd into the requester's prepared landing zone.
-// The redirect fields ride in the modeled 48-byte envelope.
+// home and home carries where to retry (the authoritative home under
+// HomeMigrate, one hop down the forwarding chain under DistributedManager);
+// withData means page data was RDMA'd into the requester's prepared landing
+// zone. epoch stamps the routing information under DistributedManager: the
+// home-handoff epoch at which home is (or, for a write grant, becomes) the
+// page's home. The extra fields ride in the modeled 56-byte envelope.
 type pageReply struct {
 	pid      int
 	token    uint64
@@ -56,6 +61,7 @@ type pageReply struct {
 	stale    bool
 	redirect bool
 	home     int
+	epoch    uint64
 	withData bool
 }
 
@@ -71,10 +77,11 @@ type installAck struct {
 func (*installAck) Size() int { return revokeAckSize }
 
 // revokeMsg revokes (or downgrades) a node's copy of a page. home is the
-// node that issued it (acks return there); newHome, when >= 0, is a
-// HomeMigrate hint telling the target where the page's home is about to
-// move. If needData is set, the target must ship its copy into pr (at the
-// issuing home) with the ack.
+// node that issued it (acks return there); newHome, when >= 0, is a hint
+// telling the target where the page's home is about to move, stamped with
+// the handoff epoch newEpoch (DistributedManager; zero under HomeMigrate,
+// which applies hints unconditionally). If needData is set, the target must
+// ship its copy into pr (at the issuing home) with the ack.
 type revokeMsg struct {
 	pid       int
 	vpn       uint64
@@ -83,6 +90,7 @@ type revokeMsg struct {
 	needData  bool
 	home      int
 	newHome   int
+	newEpoch  uint64
 	pr        *fabric.PageRecv
 }
 
@@ -95,6 +103,23 @@ type revokeAck struct {
 }
 
 func (*revokeAck) Size() int { return revokeAckSize }
+
+// homeHintMsg is the DistributedManager path-compression message: after a
+// grant that walked a forwarding chain lands, the requester tells every
+// node that redirected it where the page's home now is (and at which
+// handoff epoch), so each hop's pointer jumps straight there. It is
+// fire-and-forget and idempotent — applying a duplicate rewrites the same
+// pointer, a stale one (older epoch than the hop already believes) is
+// rejected, and a lost one merely leaves the chain longer until the next
+// chained grant.
+type homeHintMsg struct {
+	pid   int
+	vpn   uint64
+	home  int
+	epoch uint64
+}
+
+func (*homeHintMsg) Size() int { return homeHintSize }
 
 // HandleMessage processes a fabric message addressed to node if it belongs
 // to this manager's protocol and process; it reports whether the message
@@ -135,7 +160,10 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		if mm.pid != m.pid {
 			return false
 		}
-		w, ok := m.e.installWait[mm.token]
+		// The wait record lives at the serving home that issued the grant —
+		// the node this ack was addressed to.
+		ws := m.nodes[node].installWait
+		w, ok := ws[mm.token]
 		if !ok {
 			if m.chaos != nil {
 				// Duplicate of an ack that already closed the window.
@@ -144,7 +172,7 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 			}
 			panic(fmt.Sprintf("dsm: stray install ack token %d", mm.token))
 		}
-		delete(m.e.installWait, mm.token)
+		delete(ws, mm.token)
 		w.done = true
 		w.task.Unpark()
 		return true
@@ -152,7 +180,10 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 		if mm.pid != m.pid {
 			return false
 		}
-		w, ok := m.e.revokeWait[mm.seq]
+		// Likewise: revocations are issued from (and acked to) the serving
+		// home, whose lane is running right now.
+		ws := m.nodes[node].revokeWait
+		w, ok := ws[mm.seq]
 		if !ok {
 			if m.chaos != nil {
 				m.stats.dupsIgnored.Add(1)
@@ -160,12 +191,41 @@ func (m *Manager) HandleMessage(node, src int, msg fabric.Message) bool {
 			}
 			panic(fmt.Sprintf("dsm: stray revoke ack seq %d", mm.seq))
 		}
-		delete(m.e.revokeWait, mm.seq)
+		delete(ws, mm.seq)
 		w.done = true
 		w.task.Unpark()
 		return true
+	case *homeHintMsg:
+		if mm.pid != m.pid {
+			return false
+		}
+		m.applyHomeHint(node, mm)
+		return true
 	default:
 		return false
+	}
+}
+
+// applyHomeHint installs a DistributedManager path-compression hint: this
+// node redirected a fault that has since been granted at mm.home, so point
+// the forwarding chain straight there. A node that (re)gained authority in
+// the meantime — or already holds a fresher route (higher epoch) — ignores
+// the stale hint; the epoch gate lives in the policy's learnHome.
+func (m *Manager) applyHomeHint(node int, msg *homeHintMsg) {
+	ns := m.nodes[node]
+	if _, hosted := ns.dir[msg.vpn]; hosted || msg.home == node {
+		return
+	}
+	if !m.policy.learnHome(node, msg.vpn, msg.home, msg.epoch) {
+		return
+	}
+	m.stats.chainHints.Add(1)
+	if m.rec != nil {
+		// Applied in event context on the hinted node's lane.
+		rec := m.rec.OnLane(node)
+		rec.SpanAt("dsm", "dist.compress", node, -1, rec.Now(), 0,
+			obs.Hex("vpn", msg.vpn),
+			obs.Int("home", int64(msg.home)))
 	}
 }
 
@@ -187,7 +247,27 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 		m.serveSpan(serveAt, home, req, "dead")
 		return
 	}
-	de, _ := m.entry(req.vpn)
+	de := m.policy.serveEntry(home, req.vpn)
+	if de == nil {
+		// Authority moved away between dispatch and serve (DistributedManager
+		// only): bounce the requester one hop down the forwarding chain,
+		// stamped with the epoch this shard learned its route at.
+		target := m.policy.requestTarget(home, req.vpn)
+		epoch := m.nodes[home].routeEpoch[req.vpn]
+		if target == home {
+			target = m.policy.fallbackHome(home, req.vpn)
+			epoch = 0
+		}
+		m.stats.forwards.Add(1)
+		if st != nil {
+			st.redirect = true
+			st.redirTo = target
+			st.close(t.Now())
+		}
+		m.net.Send(t, home, req.node, &pageReply{pid: m.pid, token: req.token, redirect: true, home: target, epoch: epoch})
+		m.serveSpan(serveAt, home, req, "moved")
+		return
+	}
 	if de.busy() {
 		if st != nil {
 			st.nack = true
@@ -209,12 +289,22 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 		m.serveSpan(serveAt, home, req, "stale")
 		return
 	}
+	m.stats.dirServes.Add(1)
+	if home == m.origin {
+		m.stats.originServes.Add(1)
+	}
 	de.begin()
 	t.Sleep(m.params.Directory)
 	withData, data := m.serveLocked(t, de, req.node, req.vpn, req.write)
-	reply := &pageReply{pid: m.pid, token: req.token, withData: withData}
+	// A write grant hands the home off to the requester at the next epoch; a
+	// read grant pins the serving home at the current one.
+	repEpoch := de.epoch
+	if req.write {
+		repEpoch++
+	}
+	reply := &pageReply{pid: m.pid, token: req.token, withData: withData, epoch: repEpoch}
 	ack := &revokeWaiter{task: t}
-	m.e.installWait[req.token] = ack
+	m.nodes[home].installWait[req.token] = ack
 	if st != nil {
 		st.withData = withData
 		if withData {
@@ -251,8 +341,8 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 				continue
 			}
 			if m.chaos.NodeDead(req.node) {
-				delete(m.e.installWait, req.token)
-				m.e.rollbackGrant(req, st)
+				delete(m.nodes[home].installWait, req.token)
+				m.e.rollbackGrant(req, st, de)
 				outcome = "rollback"
 				break
 			}
@@ -262,9 +352,16 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 				// is dropped, so the ack can never arrive. Settle the page:
 				// a grant that reached the requester is finalized exactly as
 				// its install ack would have been; an undelivered one is
-				// undone and the page reclaimed to the origin shard from the
-				// retained snapshot.
-				delete(m.e.installWait, req.token)
+				// undone and the page reclaimed — to the origin shard under
+				// HomeMigrate, to the page's live anchor shard under
+				// DistributedManager (which must consult the requester's
+				// state from the quiescent global lane and therefore owns
+				// its whole epilogue).
+				delete(m.nodes[home].installWait, req.token)
+				if m.policy.proto() == DistributedManager {
+					m.distDeadHomeSettle(t, serveAt, home, de, req, st, ack)
+					return
+				}
 				if m.granteeDelivered(req) {
 					ack.done = true
 					outcome = "dead-home-finalize"
@@ -290,12 +387,64 @@ func (m *Manager) servePageRequest(t *sim.Task, home int, req *pageRequest, st *
 		m.policy.grantCompleted(de, req)
 	}
 	de.end()
-	if st != nil && de.home != m.origin && m.chaos.NodeDead(de.home) {
+	if st != nil && m.policy.proto() == DistributedManager {
+		if _, still := m.nodes[home].dir[req.vpn]; still && home != m.origin && m.chaos.NodeDead(home) {
+			// The entry settled still hosted at a shard that died during
+			// this serve (a read grant, or a rolled-back write): rebuild it
+			// at the page's live anchor from the quiescent global lane.
+			m.distScheduleRebuild(home, req.vpn, st.data)
+		}
+	} else if st != nil && de.home != m.origin && m.chaos.NodeDead(de.home) {
 		// The entry settled homed at a node that died during this serve:
 		// reclaim it to the origin shard immediately rather than waiting
 		// for a later request to stumble into the failover path.
 		m.recoverDeadHome(req.vpn, de, de.home, st.data)
 	}
+	m.serveSpan(serveAt, home, req, outcome)
+}
+
+// distDeadHomeSettle settles a DistributedManager grant window whose
+// serving shard died before the install ack could arrive. Deciding whether
+// the grant reached the requester reads that node's tables, which a node
+// lane may not do while lanes run in parallel — so the decision, the
+// directory epilogue, and any rebuild all run in one closure on the
+// quiescent global lane, and this function owns the serve's entire
+// epilogue (serve-state close and span included).
+func (m *Manager) distDeadHomeSettle(t *sim.Task, serveAt time.Duration, home int, de *dirEntry, req *pageRequest, st *serveState, ack *revokeWaiter) {
+	outcome := "dead-home"
+	settled := false
+	v := m.view(home)
+	d := 20 * time.Microsecond
+	if la := v.Lookahead(); la > d {
+		d = la
+	}
+	v.AfterOn(sim.GlobalLane, d, func() {
+		if m.granteeDelivered(req) {
+			// Finalize exactly as the lost install ack would have: a write
+			// grant hands authority to the requester's adopted entry, a read
+			// grant settles here and is rebuilt away from the dead shard.
+			ack.done = true
+			outcome = "dead-home-finalize"
+			m.policy.grantCompleted(de, req)
+			de.end()
+			if _, still := m.nodes[home].dir[req.vpn]; still {
+				m.distRebuild(req.vpn, de, home, st.data)
+			}
+		} else {
+			// The grant never reached the requester: undo it and rebuild the
+			// page at its live anchor from the retained snapshot. The entry
+			// must be settled before node lanes resume — once it lands in
+			// the new shard's table, only that shard's lane may touch it.
+			m.distRebuild(req.vpn, de, home, st.data)
+			de.end()
+		}
+		settled = true
+		t.Unpark()
+	})
+	for !settled {
+		t.Park("dist dead-home settle")
+	}
+	st.close(t.Now())
 	m.serveSpan(serveAt, home, req, outcome)
 }
 
@@ -363,6 +512,7 @@ func (m *Manager) handleReply(node int, rep *pageReply) {
 	req.stale = rep.stale
 	req.redirect = rep.redirect
 	req.home = rep.home
+	req.epoch = rep.epoch
 	req.withData = rep.withData
 	req.task.Unpark()
 }
@@ -397,9 +547,9 @@ func (m *Manager) applyRevokeAdmitted(node int, msg *revokeMsg) {
 			dropped = ns.pt.SetAccess(msg.vpn, nil, mem.AccessNone) != nil
 		}
 		if msg.newHome >= 0 {
-			// HomeMigrate: the revocation tells us where the page's home is
-			// about to move; remember it so our next fault routes there.
-			m.policy.learnHome(node, msg.vpn, msg.newHome)
+			// The revocation tells us where the page's home is about to
+			// move; remember it so our next fault routes there.
+			m.policy.learnHome(node, msg.vpn, msg.newHome, msg.newEpoch)
 		}
 		m.emitInvalidate(node, msg.vpn)
 		ack := &revokeAck{pid: m.pid, seq: msg.seq}

@@ -43,6 +43,12 @@ func (m *Manager) Prefetch(t *sim.Task, ctx Ctx, vpns []uint64) (int, error) {
 		// and prefetch buys nothing.
 		return 0, nil
 	}
+	if m.policy.proto() == DistributedManager {
+		// The batched exchange targets the origin's directory; with the
+		// directory sharded across nodes there is no single server to batch
+		// against, so the hint degrades to ordinary demand faulting.
+		return 0, nil
+	}
 	if m.chaos != nil {
 		// Prefetch is a pure hint and its batched exchange is not hardened
 		// against message loss; under fault injection it is disabled and
@@ -158,7 +164,7 @@ func (m *Manager) servePrefetch(t *sim.Task, req *prefetchRequest) {
 		}
 		if !needAck {
 			needAck = true
-			m.e.installWait[ackToken] = acked
+			m.nodes[m.origin].installWait[ackToken] = acked
 		}
 		m.net.SendPageBuf(t, m.origin, req.node, req.prs[i], data,
 			&pageReply{pid: m.pid, token: token, withData: true}, m.pool(m.origin).Get())

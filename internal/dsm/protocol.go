@@ -35,6 +35,16 @@ const (
 	// redirect replies. Under fault injection, pages whose home is declared
 	// dead are reclaimed to the origin shard and requests fail over there.
 	HomeMigrate
+	// DistributedManager shards the ownership directory across every node:
+	// a page's lookup anchor is a static hash of its VPN, directory
+	// authority follows the last writer (as under HomeMigrate), and nodes
+	// that hand authority off leave forwarding pointers behind. Lookup
+	// chains are collapsed to at most one hop by path-compression hints
+	// after each migrated grant. The origin is just another shard: a
+	// crashed shard's directory slice is rebuilt from owner-side ground
+	// truth at each page's live anchor. Unlike HomeMigrate, every shard
+	// serves on its own simulation lane, so the policy runs parallel.
+	DistributedManager
 )
 
 // homeBusyPoll is how often a fault at a page's own home re-checks a busy
@@ -42,27 +52,74 @@ const (
 // event, so this is a short spin interval, not a congestion backoff.
 const homeBusyPoll = 5 * time.Microsecond
 
-func (p Protocol) String() string {
-	switch p {
-	case WriteInvalidate:
-		return "write-invalidate"
-	case HomeMigrate:
-		return "home-migrate"
-	default:
-		return fmt.Sprintf("Protocol(%d)", int(p))
-	}
+// protocolInfo is one registry row: the canonical short name accepted on
+// the command line, the long name (also accepted, and printed by String),
+// and a one-line description for help text.
+type protocolInfo struct {
+	proto Protocol
+	name  string // short CLI name
+	long  string // canonical long name
+	desc  string
 }
 
-// ParseProtocol resolves a protocol name as accepted by dexrun -protocol.
-func ParseProtocol(s string) (Protocol, error) {
-	switch s {
-	case "wi", "write-invalidate":
-		return WriteInvalidate, nil
-	case "home", "home-migrate":
-		return HomeMigrate, nil
-	default:
-		return 0, fmt.Errorf("dsm: unknown protocol %q (want wi or home)", s)
+// protocolRegistry is the single source of truth for the policies a
+// Manager can run: ParseProtocol, the -protocol help text of every command,
+// and Protocol.String all derive from it. Adding a policy means adding a
+// row here plus a case in newPolicy.
+var protocolRegistry = []protocolInfo{
+	{WriteInvalidate, "wi", "write-invalidate", "origin-served read-replicate/write-invalidate (default)"},
+	{HomeMigrate, "home", "home-migrate", "directory home follows the last writer"},
+	{DistributedManager, "dist", "distributed-manager", "hash-sharded directory with forwarding chains"},
+}
+
+func (p Protocol) String() string {
+	for _, pi := range protocolRegistry {
+		if pi.proto == p {
+			return pi.long
+		}
 	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// ProtocolNames lists every name ParseProtocol accepts: the short CLI name
+// and the long name of each registered policy, in registry order.
+func ProtocolNames() []string {
+	names := make([]string, 0, 2*len(protocolRegistry))
+	for _, pi := range protocolRegistry {
+		names = append(names, pi.name, pi.long)
+	}
+	return names
+}
+
+// ProtocolHelp renders the -protocol flag help text from the registry, so
+// every command's usage string stays in sync with the policies that exist.
+func ProtocolHelp() string {
+	s := "coherence protocol: "
+	for i, pi := range protocolRegistry {
+		if i > 0 {
+			s += " | "
+		}
+		s += pi.name + " (" + pi.long + ")"
+	}
+	return s
+}
+
+// ParseProtocol resolves a protocol name as accepted by dexrun -protocol:
+// either the short or the long name of any registered policy.
+func ParseProtocol(s string) (Protocol, error) {
+	for _, pi := range protocolRegistry {
+		if s == pi.name || s == pi.long {
+			return pi.proto, nil
+		}
+	}
+	names := ""
+	for i, pi := range protocolRegistry {
+		if i > 0 {
+			names += ", "
+		}
+		names += pi.name
+	}
+	return 0, fmt.Errorf("dsm: unknown protocol %q (want one of %s)", s, names)
 }
 
 // policy is the pluggable coherence layer. The Manager routes every fault
@@ -79,8 +136,32 @@ type policy interface {
 	// requestTarget returns the node a page request from node should be sent
 	// to (the believed home of vpn).
 	requestTarget(node int, vpn uint64) int
-	// learnHome records at node a (possibly fresher) belief about vpn's home.
-	learnHome(node int, vpn uint64, home int)
+	// fallbackHome returns where a request from node re-routes after its
+	// believed home is confirmed dead: the origin under WriteInvalidate and
+	// HomeMigrate, the page's live anchor shard under DistributedManager.
+	fallbackHome(node int, vpn uint64) int
+	// learnHome records at node a belief about vpn's home, stamped with the
+	// home-handoff epoch it was learned at, and reports whether the update
+	// was applied. DistributedManager rejects updates older than the route
+	// the node already holds (unless that route's target is confirmed dead),
+	// which keeps the forwarding graph acyclic; the other policies apply
+	// unconditionally and ignore the epoch.
+	learnHome(node int, vpn uint64, home int, epoch uint64) bool
+	// serveEntry resolves the directory entry a serve transaction at home
+	// operates on, materializing it on first touch. It returns nil if the
+	// serving node's authority moved away between dispatch and serve
+	// (DistributedManager only) — the caller bounces the request.
+	serveEntry(home int, vpn uint64) *dirEntry
+	// grantInstalled runs at the requester right after a granted PTE is
+	// installed and before the install ack is sent (the DistributedManager
+	// authority-adoption point for write grants). epoch is the routing epoch
+	// the grant reply carried.
+	grantInstalled(node int, vpn uint64, write bool, served int, epoch uint64)
+	// compressChain lets the policy collapse the forwarding chain a request
+	// walked: hops lists the nodes that redirected it, home is where the
+	// grant was finally served (or the requester itself for a write), epoch
+	// the handoff epoch at which home holds the page.
+	compressChain(t *sim.Task, node int, vpn uint64, hops []int, home int, epoch uint64)
 	// dispatchRequest routes a page request delivered at node: serve it
 	// there, or redirect the requester toward the authoritative home.
 	dispatchRequest(node int, req *pageRequest)
@@ -103,6 +184,13 @@ func newPolicy(m *Manager) policy {
 			ns.homeHint = make(map[uint64]int)
 		}
 		return &homeMigrate{m: m}
+	case DistributedManager:
+		for _, ns := range m.nodes {
+			ns.dir = make(map[uint64]*dirEntry)
+			ns.fwd = make(map[uint64]int)
+			ns.routeEpoch = make(map[uint64]uint64)
+		}
+		return &distManager{m: m}
 	default:
 		panic(fmt.Sprintf("dsm: unknown protocol %d", m.params.Protocol))
 	}
@@ -132,7 +220,22 @@ func (p *writeInvalidate) proto() Protocol { return WriteInvalidate }
 
 func (p *writeInvalidate) requestTarget(node int, vpn uint64) int { return p.m.origin }
 
-func (p *writeInvalidate) learnHome(node int, vpn uint64, home int) {}
+func (p *writeInvalidate) fallbackHome(node int, vpn uint64) int { return p.m.origin }
+
+func (p *writeInvalidate) learnHome(node int, vpn uint64, home int, epoch uint64) bool {
+	return false
+}
+
+func (p *writeInvalidate) serveEntry(home int, vpn uint64) *dirEntry {
+	de, _ := p.m.entry(vpn)
+	return de
+}
+
+func (p *writeInvalidate) grantInstalled(node int, vpn uint64, write bool, served int, epoch uint64) {
+}
+
+func (p *writeInvalidate) compressChain(t *sim.Task, node int, vpn uint64, hops []int, home int, epoch uint64) {
+}
 
 func (p *writeInvalidate) grantCompleted(de *dirEntry, req *pageRequest) {}
 
@@ -209,7 +312,7 @@ func (p *writeInvalidate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn
 			de.dropOwner(owner)
 			continue
 		}
-		acks = append(acks, m.sendRevoke(t, m.origin, owner, vpn, false, -1, nil))
+		acks = append(acks, m.sendRevoke(t, m.origin, owner, vpn, false, -1, 0, nil))
 	}
 	m.e.waitRevokes(t, acks)
 	if !needData {
@@ -251,7 +354,7 @@ func (m *Manager) fetchFromWriter(t *sim.Task, de *dirEntry, vpn uint64, downgra
 		pullAt = t.Now()
 	}
 	pr := m.net.PreparePageRecv(t, w, m.origin)
-	waiter := m.sendRevoke(t, m.origin, w, vpn, downgrade, -1, pr)
+	waiter := m.sendRevoke(t, m.origin, w, vpn, downgrade, -1, 0, pr)
 	m.e.waitRevokes(t, []*revokeWaiter{waiter})
 	if waiter.lost {
 		// The writer died before shipping its copy home.
@@ -300,14 +403,27 @@ func (p *homeMigrate) requestTarget(node int, vpn uint64) int {
 	return p.m.origin
 }
 
-func (p *homeMigrate) learnHome(node int, vpn uint64, home int) {
+func (p *homeMigrate) fallbackHome(node int, vpn uint64) int { return p.m.origin }
+
+func (p *homeMigrate) learnHome(node int, vpn uint64, home int, epoch uint64) bool {
 	ns := p.m.nodes[node]
 	if home == p.m.origin {
 		// The default belief; no need to store it.
 		delete(ns.homeHint, vpn)
-		return
+		return true
 	}
 	ns.homeHint[vpn] = home
+	return true
+}
+
+func (p *homeMigrate) serveEntry(home int, vpn uint64) *dirEntry {
+	de, _ := p.m.entry(vpn)
+	return de
+}
+
+func (p *homeMigrate) grantInstalled(node int, vpn uint64, write bool, served int, epoch uint64) {}
+
+func (p *homeMigrate) compressChain(t *sim.Task, node int, vpn uint64, hops []int, home int, epoch uint64) {
 }
 
 // grantCompleted is the home-flip point: once a remote write grant is
@@ -321,7 +437,7 @@ func (p *homeMigrate) grantCompleted(de *dirEntry, req *pageRequest) {
 	old := de.home
 	de.home = req.node
 	if old != req.node {
-		p.learnHome(old, req.vpn, req.node)
+		p.learnHome(old, req.vpn, req.node, 0)
 	}
 }
 
@@ -435,15 +551,25 @@ func (p *homeMigrate) dispatchRequest(node int, req *pageRequest) {
 }
 
 func (p *homeMigrate) serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
-	m := p.m
+	return p.m.serveReadHomed(t, de, reqNode, vpn)
+}
+
+func (p *homeMigrate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
+	return p.m.serveWriteHomed(t, de, reqNode, vpn)
+}
+
+// serveReadHomed / serveWriteHomed are the home-generic directory
+// transactions shared by the migrating-home policies (HomeMigrate and
+// DistributedManager): the serving home is de.home, wherever that is, and a
+// writer away from its home cannot exist — the home migrates with
+// exclusivity — so there is no fetch-from-writer path.
+func (m *Manager) serveReadHomed(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
 	home := de.home
 	if de.writer >= 0 && de.writer != home {
-		panic(fmt.Sprintf("dsm: home-migrate entry for vpn %#x has writer %d away from home %d", vpn, de.writer, home))
+		panic(fmt.Sprintf("dsm: migrating-home entry for vpn %#x has writer %d away from home %d", vpn, de.writer, home))
 	}
 	if de.writer == home {
-		// The home holds the page exclusively: downgrade in place. (A writer
-		// away from its home cannot exist under this policy — the home
-		// migrates with exclusivity — so there is no fetch path here.)
+		// The home holds the page exclusively: downgrade in place.
 		m.nodes[home].pt.SetAccess(vpn, nil, mem.AccessRead)
 		de.downgradeWriter()
 	}
@@ -455,11 +581,10 @@ func (p *homeMigrate) serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint
 	return true, m.frameAt(home, vpn)
 }
 
-func (p *homeMigrate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
-	m := p.m
+func (m *Manager) serveWriteHomed(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
 	home := de.home
 	if de.writer >= 0 && de.writer != home {
-		panic(fmt.Sprintf("dsm: home-migrate entry for vpn %#x has writer %d away from home %d", vpn, de.writer, home))
+		panic(fmt.Sprintf("dsm: migrating-home entry for vpn %#x has writer %d away from home %d", vpn, de.writer, home))
 	}
 	needData := !de.has(reqNode) || m.params.AlwaysSendData
 	// Capture the outbound data before the home's own copy is revoked.
@@ -468,7 +593,8 @@ func (p *homeMigrate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uin
 		data = m.frameAt(home, vpn)
 	}
 	// Revoke every copy except the requester's; each revocation carries the
-	// prospective new home so replica holders keep their hints fresh.
+	// prospective new home (stamped with the handoff epoch it takes effect
+	// at) so replica holders keep their routes fresh.
 	var acks []*revokeWaiter
 	for _, owner := range de.ownerList(reqNode) {
 		if owner == home {
@@ -483,7 +609,7 @@ func (p *homeMigrate) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uin
 			de.dropOwner(owner)
 			continue
 		}
-		acks = append(acks, m.sendRevoke(t, home, owner, vpn, false, reqNode, nil))
+		acks = append(acks, m.sendRevoke(t, home, owner, vpn, false, reqNode, de.epoch+1, nil))
 	}
 	m.e.waitRevokes(t, acks)
 	if !needData {
@@ -535,20 +661,32 @@ func (m *Manager) homeFault(t *sim.Task, node int, vpn uint64, write bool) (int,
 func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int {
 	node := ctx.Node
 	ns := m.nodes[node]
+	// hops records every node that redirected this fault along a forwarding
+	// chain; after the grant lands, the policy may compress the chain so
+	// later lookups resolve in at most one hop. forced carries a redirect
+	// the epoch gate rejected for storage: the walk still follows it once,
+	// transiently, so it makes progress past routes a liveness override has
+	// pushed backward.
+	var hops []int
+	forced := -1
 	for attempt := 1; ; attempt++ {
 		var reqAt time.Duration
 		if m.rec != nil {
 			reqAt = t.Now()
 		}
 		target := m.policy.requestTarget(node, vpn)
+		if forced >= 0 {
+			target, forced = forced, -1
+		}
 		if m.chaos != nil && target != m.origin && target != node && m.chaos.NodeDead(target) {
 			// The believed home is confirmed dead: skip the doomed round
-			// trip and route through the origin, which reclaims dead-home
-			// pages on arrival.
-			m.policy.learnHome(node, vpn, m.origin)
+			// trip and route through the policy's fallback shard, which
+			// reclaims (or redirects around) dead-home pages.
+			fb := m.policy.fallbackHome(node, vpn)
+			m.policy.learnHome(node, vpn, fb, 0)
 			m.stats.homeFailovers.Add(1)
 			m.failoverSpan(node, vpn, target, "dead-target")
-			target = m.origin
+			target = fb
 		}
 		if target == node {
 			// The believed home is this very node: either our own write
@@ -558,7 +696,7 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			// authoritative — drop the hint and return; EnsurePage
 			// re-validates the PTE and re-runs the lead fault against the
 			// directory's current home.
-			m.policy.learnHome(node, vpn, m.origin)
+			m.policy.learnHome(node, vpn, m.policy.fallbackHome(node, vpn), 0)
 			return attempt - 1
 		}
 		pr := m.net.PreparePageRecv(t, target, node)
@@ -597,11 +735,13 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 		}
 		if req.deadHome {
 			// The believed home died with our request (or its reply) in
-			// flight: forget the hint and retry through the origin after a
-			// backoff, giving the failover path time to reclaim the page.
+			// flight: forget the hint and retry through the policy's fallback
+			// shard after a backoff, giving the failover path time to reclaim
+			// the page. (The epoch gate admits this route unconditionally —
+			// the stored target is confirmed dead.)
 			delete(ns.outstanding, token)
 			pr.Release()
-			m.policy.learnHome(node, vpn, m.origin)
+			m.policy.learnHome(node, vpn, m.policy.fallbackHome(node, vpn), 0)
 			m.stats.homeFailovers.Add(1)
 			m.failoverSpan(node, vpn, target, "dead-home")
 			m.backoff(t, node, attempt)
@@ -612,7 +752,26 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 			// immediately (no backoff — this is routing, not contention).
 			delete(ns.outstanding, token)
 			pr.Release()
-			m.policy.learnHome(node, vpn, req.home)
+			if m.chaos != nil && req.home != m.origin && m.chaos.NodeDead(req.home) {
+				// The redirect points at a node that has since died: fall
+				// back to the policy's recovery shard and back off, giving
+				// the lease layer time to declare and rebuild.
+				fb := m.policy.fallbackHome(node, vpn)
+				m.policy.learnHome(node, vpn, fb, 0)
+				m.stats.homeFailovers.Add(1)
+				m.failoverSpan(node, vpn, req.home, "dead-redirect")
+				m.backoff(t, node, attempt)
+				continue
+			}
+			hops = append(hops, target)
+			if !m.policy.learnHome(node, vpn, req.home, req.epoch) && req.home != node {
+				// The gate rejected the redirect for storage; still follow
+				// it once so the walk makes progress past routes a liveness
+				// override pushed backward. A rejected redirect naming THIS
+				// node is a stale echo of our own past tenure — our stored
+				// route is fresher, so just retry through it.
+				forced = req.home
+			}
 			continue
 		}
 		if req.nack {
@@ -665,16 +824,28 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 				obs.Hex("vpn", vpn))
 		}
 		req.installed = true
+		// Authority adoption (DistributedManager write grants) must happen
+		// before the install ack is sent: the old home hands off only after
+		// the new home's directory entry is live.
+		m.policy.grantInstalled(node, vpn, write, target, req.epoch)
 		m.e.noteInstalled(ns, token, target, t.Now())
 		delete(ns.outstanding, token)
 		m.net.Send(t, node, target, &installAck{pid: m.pid, token: token})
 		// A successful grant pins down where the page's home is right now:
 		// the serving node for reads, ourselves for writes (the home flips
-		// to the new exclusive owner as our install ack lands).
+		// to the new exclusive owner as our install ack lands), at the epoch
+		// the grant reply carried.
 		if write {
-			m.policy.learnHome(node, vpn, node)
+			m.policy.learnHome(node, vpn, node, req.epoch)
 		} else {
-			m.policy.learnHome(node, vpn, target)
+			m.policy.learnHome(node, vpn, target, req.epoch)
+		}
+		if len(hops) > 0 {
+			final := target
+			if write {
+				final = node
+			}
+			m.policy.compressChain(t, node, vpn, hops, final, req.epoch)
 		}
 		// Apply revocations deferred during the install window.
 		for _, fn := range req.deferred {
@@ -684,8 +855,8 @@ func (m *Manager) requestFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) int
 	}
 }
 
-func (m *Manager) sendRevoke(t *sim.Task, from, target int, vpn uint64, downgrade bool, newHome int, pr *fabric.PageRecv) *revokeWaiter {
-	seq := m.e.nextRevokeSeq()
+func (m *Manager) sendRevoke(t *sim.Task, from, target int, vpn uint64, downgrade bool, newHome int, newEpoch uint64, pr *fabric.PageRecv) *revokeWaiter {
+	seq := m.e.nextRevokeSeq(from)
 	msg := &revokeMsg{
 		pid:       m.pid,
 		vpn:       vpn,
@@ -694,10 +865,11 @@ func (m *Manager) sendRevoke(t *sim.Task, from, target int, vpn uint64, downgrad
 		needData:  pr != nil,
 		home:      from,
 		newHome:   newHome,
+		newEpoch:  newEpoch,
 		pr:        pr,
 	}
 	w := &revokeWaiter{task: t, target: target, msg: msg}
-	m.e.revokeWait[seq] = w
+	m.nodes[from].revokeWait[seq] = w
 	m.net.Send(t, from, target, msg)
 	if downgrade {
 		m.stats.downgrades.Add(1)
@@ -705,4 +877,308 @@ func (m *Manager) sendRevoke(t *sim.Task, from, target int, vpn uint64, downgrad
 		m.stats.invalidations.Add(1)
 	}
 	return w
+}
+
+// ---------------------------------------------------------------------------
+// DistributedManager: a hash-sharded directory with forwarding chains.
+//
+// Every node is a directory shard. A page's *anchor* — the shard a lookup
+// starts at — is a static hash of its VPN, so any node can locate any page
+// without shared state. Directory *authority* (the home) follows the last
+// writer, exactly as under HomeMigrate, but the authoritative entry lives in
+// the serving node's own shard table (nodeState.dir) rather than a shared
+// tree: a node that hands authority off deletes its entry and leaves a
+// forwarding pointer (nodeState.fwd) behind. Requests that land at a
+// non-authoritative shard are redirected along the forwarding chain, and
+// after a chained grant lands the requester sends path-compression hints so
+// every hop's pointer jumps straight to the new home: chains collapse to at
+// most one hop. Unlike HomeMigrate, serves run concurrently on each shard's
+// own simulation lane.
+
+type distManager struct{ m *Manager }
+
+func (p *distManager) proto() Protocol { return DistributedManager }
+
+func (p *distManager) requestTarget(node int, vpn uint64) int {
+	if h, ok := p.m.nodes[node].fwd[vpn]; ok {
+		return h
+	}
+	return p.m.shardOf(vpn)
+}
+
+// fallbackHome re-routes around a dead believed-home: the page's anchor
+// shard (or, if the anchor itself died, the next live shard on the ring) is
+// where dead-shard entries are rebuilt.
+func (p *distManager) fallbackHome(node int, vpn uint64) int { return p.m.liveShard(vpn) }
+
+// learnHome is the single epoch-gated route table update: every source of
+// routing information — grant replies, redirects, revocation-carried hints,
+// path-compression hints — lands here. An update older than the route the
+// node already holds is rejected, so the forwarding graph stays acyclic no
+// matter how messages reorder; the exception is liveness, which beats
+// freshness — a route whose target is confirmed dead (or nonsensically
+// names the node itself) yields to any replacement.
+func (p *distManager) learnHome(node int, vpn uint64, home int, epoch uint64) bool {
+	m := p.m
+	ns := m.nodes[node]
+	if home == node {
+		// A claim that this very node is home. Legitimate for our own write
+		// grant (the entry adopted in grantInstalled is authoritative, no
+		// route needed) — but a STALE redirect can also name us, echoing a
+		// tenure we already handed off. Deleting our fresher breadcrumb on
+		// such an echo would orphan the chain behind us (and let the anchor
+		// re-materialize a second lineage), so the epoch gate applies here
+		// exactly as below.
+		if cur, ok := ns.routeEpoch[vpn]; ok && epoch < cur {
+			tgt, routed := ns.fwd[vpn]
+			if !routed {
+				tgt = m.shardOf(vpn)
+			}
+			if tgt != node && (m.chaos == nil || !m.chaos.NodeDead(tgt)) {
+				return false
+			}
+		}
+		delete(ns.fwd, vpn)
+		if epoch > ns.routeEpoch[vpn] {
+			ns.routeEpoch[vpn] = epoch
+		}
+		return true
+	}
+	if cur, ok := ns.routeEpoch[vpn]; ok && epoch < cur {
+		tgt, routed := ns.fwd[vpn]
+		if !routed {
+			tgt = m.shardOf(vpn)
+		}
+		if tgt != node && (m.chaos == nil || !m.chaos.NodeDead(tgt)) {
+			return false
+		}
+	}
+	ns.fwd[vpn] = home
+	ns.routeEpoch[vpn] = epoch
+	return true
+}
+
+// serveEntry resolves the entry in the serving shard's own table. A request
+// at the page's anchor with no entry and no forwarding pointer is the
+// page's global first touch: materialize it here, anchored. A miss anywhere
+// else means authority moved between dispatch and serve; return nil so the
+// caller bounces the request down the forwarding chain.
+func (p *distManager) serveEntry(home int, vpn uint64) *dirEntry {
+	m := p.m
+	ns := m.nodes[home]
+	if de, ok := ns.dir[vpn]; ok {
+		return de
+	}
+	if _, fwded := ns.fwd[vpn]; !fwded && m.shardOf(vpn) == home {
+		ns.pt.SetAccess(vpn, m.pool(home).GetZeroed(), mem.AccessWrite)
+		de := newDirEntry(home)
+		de.firstTouch()
+		ns.dir[vpn] = de
+		return de
+	}
+	return nil
+}
+
+// grantInstalled is the authority-adoption point: a write grant makes the
+// requester the page's home, so it materializes a fresh authoritative entry
+// in its own shard table before the install ack releases the old home. The
+// old home's entry is retired by grantCompleted when that ack arrives.
+func (p *distManager) grantInstalled(node int, vpn uint64, write bool, served int, epoch uint64) {
+	if !write {
+		return
+	}
+	ns := p.m.nodes[node]
+	de := newDirEntry(node)
+	de.adoptHome(node)
+	de.epoch = epoch
+	ns.dir[vpn] = de
+	delete(ns.fwd, vpn)
+	if epoch > ns.routeEpoch[vpn] {
+		ns.routeEpoch[vpn] = epoch
+	}
+}
+
+// compressChain sends a fire-and-forget home hint to every node that
+// redirected this fault, collapsing the forwarding chain it walked: each
+// hop's pointer now jumps straight to the page's current home.
+func (p *distManager) compressChain(t *sim.Task, node int, vpn uint64, hops []int, home int, epoch uint64) {
+	m := p.m
+	var sent uint64
+	for _, hop := range hops {
+		if hop == home || hop == node {
+			continue
+		}
+		if bit := uint64(1) << uint(hop); sent&bit != 0 {
+			continue
+		} else {
+			sent |= bit
+		}
+		if m.chaos != nil && m.chaos.NodeDead(hop) {
+			continue
+		}
+		m.net.Send(t, node, hop, &homeHintMsg{pid: m.pid, vpn: vpn, home: home, epoch: epoch})
+	}
+}
+
+// grantCompleted retires the old home's authority once a migrated write
+// grant is acknowledged: the entry leaves this shard's table and a
+// forwarding pointer to the new home — stamped with the handoff epoch —
+// takes its place. It runs on the old home's lane (the serve task), so the
+// table mutation is lane-local; the new home already adopted its own entry
+// (at the bumped epoch) in grantInstalled.
+func (p *distManager) grantCompleted(de *dirEntry, req *pageRequest) {
+	if !req.write {
+		return
+	}
+	m := p.m
+	old := de.home
+	if old == req.node {
+		return
+	}
+	ons := m.nodes[old]
+	delete(ons.dir, req.vpn)
+	de.epoch++
+	ons.fwd[req.vpn] = req.node
+	ons.routeEpoch[req.vpn] = de.epoch
+	de.home = req.node
+}
+
+func (p *distManager) leadFault(t *sim.Task, ctx Ctx, vpn uint64, write bool) (int, bool) {
+	m := p.m
+	node := ctx.Node
+	ns := m.nodes[node]
+	for attempt := 1; ; attempt++ {
+		de, ok := ns.dir[vpn]
+		if !ok {
+			if _, fwded := ns.fwd[vpn]; !fwded {
+				if m.shardOf(vpn) == node {
+					// Global first touch at the page's own anchor shard:
+					// materialize locally, no consistency traffic required.
+					ns.pt.SetAccess(vpn, m.pool(node).GetZeroed(), mem.AccessWrite)
+					de = newDirEntry(node)
+					de.firstTouch()
+					ns.dir[vpn] = de
+					return attempt - 1, false
+				}
+				if m.distNeedsLocate(node, vpn) {
+					// This node is the live fallback for a reclaimed dead
+					// anchor and holds no trace of the page: resolve it on
+					// the global lane, then re-enter with the planted route
+					// (or freshly materialized entry).
+					m.distLocate(t, node, vpn)
+					continue
+				}
+			}
+			return m.requestFault(t, ctx, vpn, write) + attempt - 1, true
+		}
+		// Fault at the page's authoritative shard: resolve through the local
+		// table. Re-check after every wait — the busy transaction we waited
+		// out may have migrated authority away (the entry leaves the table).
+		if de.busy() {
+			if attempt == 1 {
+				m.stats.nacks.Add(1)
+			}
+			t.Sleep(homeBusyPoll)
+			continue
+		}
+		if m.Lookup(node, vpn, write) != nil {
+			// Raced with a transaction that restored our access.
+			return attempt - 1, true
+		}
+		de.begin()
+		t.Sleep(m.params.Directory)
+		m.serveLocked(t, de, node, vpn, write)
+		de.end()
+		t.Sleep(m.params.PTEInstall)
+		return attempt - 1, true
+	}
+}
+
+// dispatchRequest routes a page request delivered at this shard: serve it
+// here if the shard is authoritative (or the request is the page's first
+// touch at its anchor), otherwise redirect the requester one hop down the
+// forwarding chain. Under fault injection the transport engine deduplicates
+// by token first.
+func (p *distManager) dispatchRequest(node int, req *pageRequest) {
+	m := p.m
+	var st *serveState
+	if m.chaos != nil {
+		var handled bool
+		if st, handled = m.e.admitServe(node, req); handled {
+			return
+		}
+	}
+	ns := m.nodes[node]
+	_, hosted := ns.dir[req.vpn]
+	fwdTo, fwded := ns.fwd[req.vpn]
+	if !hosted && !fwded && m.shardOf(req.vpn) == node {
+		hosted = true // first touch resolves at the anchor
+	}
+	if !hosted {
+		if !fwded && m.distNeedsLocate(node, req.vpn) {
+			// This shard is the live fallback for a reclaimed dead anchor
+			// and holds no trace of the page: resolve it on the global lane,
+			// then point the requester at whatever the locate found (this
+			// very shard, if the page had to be materialized here).
+			m.stats.forwards.Add(1)
+			if st != nil {
+				st.redirect = true
+				st.redirTo = node
+				st.close(m.view(node).Now())
+			}
+			m.view(node).Spawn("dsm-locate", func(t *sim.Task) {
+				m.distLocate(t, node, req.vpn)
+				t.Sleep(m.params.OriginDispatch)
+				target, epoch := node, ns.routeEpoch[req.vpn]
+				if fw, ok := ns.fwd[req.vpn]; ok {
+					target = fw
+				}
+				m.net.Send(t, node, req.node, &pageReply{pid: m.pid, token: req.token, redirect: true, home: target, epoch: epoch})
+			})
+			return
+		}
+		target := fwdTo
+		epoch := ns.routeEpoch[req.vpn]
+		if !fwded {
+			// An anchor restart, not a home claim: carry no freshness.
+			target = m.shardOf(req.vpn)
+			epoch = 0
+		}
+		m.stats.forwards.Add(1)
+		if st != nil {
+			st.redirect = true
+			st.redirTo = target
+			st.close(m.view(node).Now())
+		}
+		if m.rec != nil {
+			// Recorded on the forwarding shard's lane.
+			rec := m.rec.OnLane(node)
+			rec.SpanAt("dsm", "dist.forward", node, -1, rec.Now(), 0,
+				obs.Hex("vpn", req.vpn),
+				obs.Int("from", int64(req.node)),
+				obs.Int("home", int64(target)))
+		}
+		m.view(node).Spawn("dsm-redirect", func(t *sim.Task) {
+			t.Sleep(m.params.OriginDispatch)
+			m.net.Send(t, node, req.node, &pageReply{pid: m.pid, token: req.token, redirect: true, home: target, epoch: epoch})
+		})
+		return
+	}
+	if m.rec != nil {
+		// The lookup resolved at this shard; the serve span that follows
+		// covers the transaction itself.
+		rec := m.rec.OnLane(node)
+		rec.SpanAt("dsm", "dist.lookup", node, -1, rec.Now(), 0,
+			obs.Hex("vpn", req.vpn),
+			obs.Int("from", int64(req.node)))
+	}
+	m.view(node).Spawn("dsm-serve", func(t *sim.Task) { m.servePageRequest(t, node, req, st) })
+}
+
+func (p *distManager) serveRead(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
+	return p.m.serveReadHomed(t, de, reqNode, vpn)
+}
+
+func (p *distManager) serveWrite(t *sim.Task, de *dirEntry, reqNode int, vpn uint64) (bool, []byte) {
+	return p.m.serveWriteHomed(t, de, reqNode, vpn)
 }

@@ -2,6 +2,7 @@ package dsm
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ func TestParseProtocol(t *testing.T) {
 	cases := map[string]Protocol{
 		"wi": WriteInvalidate, "write-invalidate": WriteInvalidate,
 		"home": HomeMigrate, "home-migrate": HomeMigrate,
+		"dist": DistributedManager, "distributed-manager": DistributedManager,
 	}
 	for s, want := range cases {
 		got, err := ParseProtocol(s)
@@ -28,11 +30,33 @@ func TestParseProtocol(t *testing.T) {
 			t.Errorf("ParseProtocol(%q) = %v, %v; want %v", s, got, err, want)
 		}
 	}
-	if _, err := ParseProtocol("mesi"); err == nil {
-		t.Error("ParseProtocol accepted an unknown name")
+	for _, bad := range []string{"mesi", "", "dist ", "DIST"} {
+		if _, err := ParseProtocol(bad); err == nil {
+			t.Errorf("ParseProtocol(%q) accepted an unknown name", bad)
+		}
 	}
-	if WriteInvalidate.String() != "write-invalidate" || HomeMigrate.String() != "home-migrate" {
-		t.Errorf("protocol names: %v, %v", WriteInvalidate, HomeMigrate)
+	if WriteInvalidate.String() != "write-invalidate" || HomeMigrate.String() != "home-migrate" ||
+		DistributedManager.String() != "distributed-manager" {
+		t.Errorf("protocol names: %v, %v, %v", WriteInvalidate, HomeMigrate, DistributedManager)
+	}
+}
+
+// TestProtocolRegistryDrivesHelp: the flag help and the accepted-names list
+// are derived from the same registry that ParseProtocol consults, so every
+// advertised name must round-trip and the help must mention each of them.
+func TestProtocolRegistryDrivesHelp(t *testing.T) {
+	names := ProtocolNames()
+	if len(names) < 6 { // three protocols, short and long name each
+		t.Fatalf("ProtocolNames() = %v; expected both spellings of all three protocols", names)
+	}
+	help := ProtocolHelp()
+	for _, name := range names {
+		if _, err := ParseProtocol(name); err != nil {
+			t.Errorf("advertised name %q does not parse: %v", name, err)
+		}
+		if !strings.Contains(help, name) {
+			t.Errorf("ProtocolHelp() omits advertised name %q:\n%s", name, help)
+		}
 	}
 }
 

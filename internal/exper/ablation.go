@@ -350,13 +350,32 @@ func AblationUpgrade(r *Runner, _ apps.Size) Table {
 	return t
 }
 
-// protoResult is the value of one A6 cell.
+// protoResult is the value of one A6 or A7 cell.
 type protoResult struct {
 	Span          time.Duration
 	Faults        uint64
 	PageSends     uint64
 	PageTransfers uint64
 	Nacks         uint64
+	DirServes     uint64
+	OriginServes  uint64
+	Forwards      uint64
+	ChainHints    uint64
+}
+
+// protoStats extracts the shared A6/A7 counters from a DSM report.
+func protoStats(span time.Duration, d dsm.Stats, net fabric.Stats) protoResult {
+	return protoResult{
+		Span:          span,
+		Faults:        d.Faults(),
+		PageSends:     net.PageSends,
+		PageTransfers: d.PageTransfers,
+		Nacks:         d.Nacks,
+		DirServes:     d.DirServes,
+		OriginServes:  d.OriginServes,
+		Forwards:      d.Forwards,
+		ChainHints:    d.ChainHints,
+	}
 }
 
 // runProtocolPingPong bounces exclusive ownership of a small page set
@@ -412,7 +431,74 @@ func runProtocolPingPong(proto dsm.Protocol) protoResult {
 		span = th.Now() - start
 		return nil
 	})
-	return protoResult{span, rep.DSM.Faults(), rep.Net.PageSends, rep.DSM.PageTransfers, rep.DSM.Nacks}
+	return protoStats(span, rep.DSM, rep.Net)
+}
+
+// runOriginContention drives one directory transaction per page per round
+// from every node at once: node i rewrites its private page slice while its
+// ring neighbor re-reads it, so each round invalidates the reader's replicas
+// and faults them back in. Under the centralized policies every one of those
+// transactions dispatches at a single serving node; the sharded directory
+// serves each slice at its current home — the slice's writer — spreading
+// dispatch load toward 1/nodes.
+func runOriginContention(proto dsm.Protocol) protoResult {
+	const nodes = 4
+	const pagesPer = 4
+	const rounds = 12
+	params := core.DefaultParams(nodes)
+	params.DSM.Protocol = proto
+	var span time.Duration
+	rep := runMachine(params, func(th *core.Thread) error {
+		addr, err := th.Mmap(nodes*pagesPer*mem.PageSize, mem.ProtRead|mem.ProtWrite, "contention")
+		if err != nil {
+			return err
+		}
+		start := time.Duration(0)
+		var ws []*core.Thread
+		for i := 0; i < nodes; i++ {
+			node := i
+			w, err := th.Spawn(func(w *core.Thread) error {
+				if err := w.Migrate(node); err != nil {
+					return err
+				}
+				if start == 0 {
+					start = w.Now()
+				}
+				own := addr + mem.Addr(node*pagesPer*mem.PageSize)
+				next := addr + mem.Addr(((node+1)%nodes)*pagesPer*mem.PageSize)
+				for r := 0; r < rounds; r++ {
+					for p := 0; p < pagesPer; p++ {
+						a := own + mem.Addr(p*mem.PageSize)
+						v, err := w.ReadUint64(a)
+						if err != nil {
+							return err
+						}
+						if err := w.WriteUint64(a, v+1); err != nil {
+							return err
+						}
+					}
+					w.Compute(2 * time.Microsecond)
+					for p := 0; p < pagesPer; p++ {
+						if _, err := w.ReadUint64(next + mem.Addr(p*mem.PageSize)); err != nil {
+							return err
+						}
+					}
+					w.Compute(2 * time.Microsecond)
+				}
+				return w.MigrateBack()
+			})
+			if err != nil {
+				return err
+			}
+			ws = append(ws, w)
+		}
+		for _, w := range ws {
+			th.Join(w)
+		}
+		span = th.Now() - start
+		return nil
+	})
+	return protoStats(span, rep.DSM, rep.Net)
 }
 
 // AblationProtocol (A6) compares the coherence policies behind the
@@ -466,6 +552,85 @@ func AblationProtocol(r *Runner, _ apps.Size) Table {
 	}
 	t.Notes = append(t.Notes,
 		"pulls-to-home counts pages fetched back from a remote writer before re-granting; home-migrate serves at the writer so it never pulls",
-		"home-migrate is incompatible with fault injection (dexchaos always runs write-invalidate)")
+		"every policy runs under fault injection: dexchaos selects with -protocol (wi | home | dist), with -restart for crash campaigns")
+	return t
+}
+
+// originShare renders OriginServes/DirServes, the fraction of directory
+// dispatches the origin node absorbed.
+func originShare(res protoResult) string {
+	if res.DirServes == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(res.OriginServes)/float64(res.DirServes))
+}
+
+// AblationDist (A7) measures what sharding the ownership directory buys:
+// the same ping-pong and a symmetric all-nodes contention microbenchmark
+// across all three policies, then the full application suite under
+// write-invalidate vs the sharded directory. The headline column is
+// origin-share — the fraction of directory dispatches absorbed by the origin
+// node, 1.00 under the centralized paper protocol and ~1/nodes once the
+// directory is sharded and authority follows the writers.
+func AblationDist(r *Runner, _ apps.Size) Table {
+	r = ensure(r)
+	protos := []dsm.Protocol{dsm.WriteInvalidate, dsm.HomeMigrate, dsm.DistributedManager}
+	pingCells := make([]*Cell, len(protos))
+	contCells := make([]*Cell, len(protos))
+	for i, proto := range protos {
+		proto := proto
+		pingCells[i] = r.Submit(fmt.Sprintf("ablation/protocol/pingpong/proto=%s", proto), func() any {
+			return runProtocolPingPong(proto)
+		})
+		contCells[i] = r.Submit(fmt.Sprintf("ablation/dist/contention/proto=%s", proto), func() any {
+			return runOriginContention(proto)
+		})
+	}
+	suiteProtos := []dsm.Protocol{dsm.WriteInvalidate, dsm.DistributedManager}
+	all := apps.All()
+	appCells := make([][]*Cell, len(all))
+	for i, app := range all {
+		for _, proto := range suiteProtos {
+			appCells[i] = append(appCells[i], r.SubmitApp(app, apps.Config{
+				Nodes: 4, Variant: apps.Optimized, Size: apps.SizeTest,
+				Opts: []dex.Option{dex.WithProtocol(proto)},
+			}))
+		}
+	}
+	t := Table{
+		ID:     "A7",
+		Title:  "sharded ownership directory (distributed-manager) vs centralized policies",
+		Header: []string{"workload", "policy", "span", "lead-faults", "dir-serves", "origin-share", "forwards", "hints"},
+	}
+	micro := []struct {
+		name  string
+		cells []*Cell
+	}{{"pingpong", pingCells}, {"contention", contCells}}
+	for _, mb := range micro {
+		for i, proto := range protos {
+			res := mb.cells[i].Wait().(protoResult)
+			t.Rows = append(t.Rows, []string{mb.name, proto.String(),
+				res.Span.Round(time.Microsecond).String(), fmt.Sprint(res.Faults),
+				fmt.Sprint(res.DirServes), originShare(res),
+				fmt.Sprint(res.Forwards), fmt.Sprint(res.ChainHints)})
+		}
+	}
+	for i, app := range all {
+		for j, proto := range suiteProtos {
+			res, err := WaitApp(appCells[i][j])
+			if err != nil {
+				t.Rows = append(t.Rows, []string{app.Name, proto.String(), "err: " + err.Error()})
+				continue
+			}
+			d := res.Report.DSM
+			t.Rows = append(t.Rows, []string{app.Name, proto.String(),
+				res.Elapsed.Round(time.Microsecond).String(), fmt.Sprint(d.Faults()),
+				fmt.Sprint(d.DirServes), originShare(protoResult{DirServes: d.DirServes, OriginServes: d.OriginServes}),
+				fmt.Sprint(d.Forwards), fmt.Sprint(d.ChainHints)})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"origin-share is OriginServes/DirServes: 1.00 means one node dispatches every directory transaction, 1/nodes is a perfect spread",
+		"forwards counts requests bounced one hop down a forwarding chain; hints counts the path-compression updates that collapse chains to one hop")
 	return t
 }

@@ -92,6 +92,7 @@ func All() []Experiment {
 		{ID: "ablation-upgrade", Desc: "A4 ownership-only grants on/off", Run: AblationUpgrade},
 		{ID: "ablation-alignment", Desc: "A5 §IV-B object alignment: packed vs selective vs blanket", Run: AblationAlignment},
 		{ID: "ablation-protocol", Desc: "A6 coherence policy: write-invalidate vs home-migrate", Run: AblationProtocol},
+		{ID: "ablation-dist", Desc: "A7 sharded ownership directory: origin dispatch share, forwarding, chain compression", Run: AblationDist},
 		{ID: "serve", Desc: "S1 serving SLO: tail latency and goodput under crash/restart", Run: ServeSLO},
 	}
 }

@@ -22,7 +22,7 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	exps := All()
-	if len(exps) != 13 {
+	if len(exps) != 14 {
 		t.Fatalf("got %d experiments", len(exps))
 	}
 	for _, e := range exps {
@@ -236,5 +236,31 @@ func TestCountAPISites(t *testing.T) {
 	}
 	if _, err := CountAPISites("no-such-app"); err == nil {
 		t.Fatal("unknown app parsed")
+	}
+}
+
+// TestAblationDistSpreadsDispatch: A7's headline claim — the centralized
+// paper protocol dispatches every directory transaction at the origin
+// (share 1.00) on the symmetric contention microbenchmark, while the
+// sharded directory spreads dispatch toward 1/nodes.
+func TestAblationDistSpreadsDispatch(t *testing.T) {
+	tb := AblationDist(nil, apps.SizeTest)
+	shares := map[string]string{}
+	for _, row := range tb.Rows {
+		if row[0] == "contention" {
+			shares[row[1]] = row[5]
+		}
+	}
+	if shares["write-invalidate"] != "1.00" {
+		t.Fatalf("write-invalidate origin share = %s, want 1.00 (rows: %v)", shares["write-invalidate"], tb.Rows)
+	}
+	dist, err := strconv.ParseFloat(shares["distributed-manager"], 64)
+	if err != nil {
+		t.Fatalf("distributed-manager origin share %q: %v", shares["distributed-manager"], err)
+	}
+	// 4 nodes: a perfect spread is 0.25; anchors and first touches leave
+	// some skew, so only require well below half.
+	if dist > 0.45 {
+		t.Fatalf("distributed-manager origin share = %.2f, want ~1/nodes", dist)
 	}
 }
